@@ -1,0 +1,33 @@
+//! Criterion bench for the precomputation phase in isolation: building the
+//! vertex core time index and the edge core window skyline (Algorithm 2),
+//! whose `O(|VCT|·deg_avg)` cost the paper contrasts with the result size
+//! in Figure 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tkc_datasets::{DatasetProfile, DatasetStats};
+use tkcore::{EdgeCoreSkyline, VertexCoreTimeIndex};
+
+fn bench_coretime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coretime_phase");
+    group.sample_size(10);
+
+    for name in ["FB", "CM", "EM"] {
+        let profile = DatasetProfile::by_name(name).expect("profile");
+        let graph = profile.generate();
+        let stats = DatasetStats::compute(&graph);
+        let k = stats.k_for_percent(30);
+        let range = graph.span();
+
+        group.bench_with_input(BenchmarkId::new("vct_index", name), &graph, |b, g| {
+            b.iter(|| black_box(VertexCoreTimeIndex::build(g, k, range).size()));
+        });
+        group.bench_with_input(BenchmarkId::new("edge_skyline", name), &graph, |b, g| {
+            b.iter(|| black_box(EdgeCoreSkyline::build(g, k, range).total_windows()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coretime);
+criterion_main!(benches);

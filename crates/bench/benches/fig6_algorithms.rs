@@ -1,0 +1,41 @@
+//! Criterion bench for Figure 6: the four algorithms (OTCD, CoreTime,
+//! EnumBase, Enum) on representative dataset analogues at the paper's
+//! default parameters (k = 30% kmax, range = 10% tmax).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tkc_datasets::{DatasetProfile, DatasetStats, QueryWorkload, WorkloadConfig};
+use tkcore::{Algorithm, CountingSink, EdgeCoreSkyline, TimeRangeKCoreQuery};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_algorithms");
+    group.sample_size(10);
+
+    for name in ["FB", "CM", "EM", "PL"] {
+        let profile = DatasetProfile::by_name(name).expect("profile");
+        let graph = profile.generate();
+        let stats = DatasetStats::compute(&graph);
+        let config = WorkloadConfig::paper_default(&stats, 1, 42);
+        let workload = QueryWorkload::generate(&graph, &config);
+        let range = workload.ranges[0];
+        let k = workload.k;
+        let query = TimeRangeKCoreQuery::new(k, range);
+
+        group.bench_with_input(BenchmarkId::new("CoreTime", name), &graph, |b, g| {
+            b.iter(|| black_box(EdgeCoreSkyline::build(g, k, range)));
+        });
+        for algo in [Algorithm::Enum, Algorithm::EnumBase, Algorithm::Otcd] {
+            group.bench_with_input(BenchmarkId::new(algo.name(), name), &graph, |b, g| {
+                b.iter(|| {
+                    let mut sink = CountingSink::default();
+                    black_box(query.run_with(g, algo, &mut sink));
+                    black_box(sink.total_edges)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for Figure 7: running time of Enum(+CoreTime) and OTCD
+//! while varying k between 10% and 40% of kmax (CollegeMsg analogue).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tkc_datasets::{DatasetProfile, DatasetStats};
+use tkcore::{Algorithm, CountingSink, TimeRangeKCoreQuery};
+
+fn bench_vary_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_vary_k");
+    group.sample_size(10);
+
+    let profile = DatasetProfile::by_name("CM").expect("profile");
+    let graph = profile.generate();
+    let stats = DatasetStats::compute(&graph);
+    let len = stats.range_len_for_percent(10).min(graph.tmax());
+    let range = temporal_graph::TimeWindow::new(1, len);
+
+    for percent in [10u32, 20, 30, 40] {
+        let k = stats.k_for_percent(percent);
+        let query = TimeRangeKCoreQuery::new(k, range);
+        for algo in [Algorithm::Enum, Algorithm::Otcd] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("k={percent}%")),
+                &graph,
+                |b, g| {
+                    b.iter(|| {
+                        let mut sink = CountingSink::default();
+                        black_box(query.run_with(g, algo, &mut sink));
+                        black_box(sink.num_cores)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vary_k);
+criterion_main!(benches);

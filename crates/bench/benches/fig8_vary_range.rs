@@ -1,0 +1,41 @@
+//! Criterion bench for Figure 8: running time of Enum(+CoreTime) and OTCD
+//! while varying the query range between 5% and 40% of tmax (CollegeMsg
+//! analogue).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tkc_datasets::{DatasetProfile, DatasetStats};
+use tkcore::{Algorithm, CountingSink, TimeRangeKCoreQuery};
+
+fn bench_vary_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_vary_range");
+    group.sample_size(10);
+
+    let profile = DatasetProfile::by_name("CM").expect("profile");
+    let graph = profile.generate();
+    let stats = DatasetStats::compute(&graph);
+    let k = stats.k_for_percent(30);
+
+    for percent in [5u32, 10, 20, 40] {
+        let len = stats.range_len_for_percent(percent).min(graph.tmax());
+        let range = temporal_graph::TimeWindow::new(1, len);
+        let query = TimeRangeKCoreQuery::new(k, range);
+        for algo in [Algorithm::Enum, Algorithm::Otcd] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("range={percent}%")),
+                &graph,
+                |b, g| {
+                    b.iter(|| {
+                        let mut sink = CountingSink::default();
+                        black_box(query.run_with(g, algo, &mut sink));
+                        black_box(sink.num_cores)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vary_range);
+criterion_main!(benches);

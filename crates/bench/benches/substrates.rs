@@ -1,0 +1,43 @@
+//! Criterion bench for the substrates: temporal graph construction and
+//! static core decomposition (used for the `kmax` column of Table III).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use static_kcore::{CoreDecomposition, StaticGraph};
+use std::hint::black_box;
+use temporal_graph::generator;
+use tkc_datasets::DatasetProfile;
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(10);
+
+    group.bench_function("generate_uniform_20k_edges", |b| {
+        b.iter(|| black_box(generator::uniform_random(2_000, 20_000, 1_000, 7)).num_edges());
+    });
+
+    for name in ["CM", "WT"] {
+        let profile = DatasetProfile::by_name(name).expect("profile");
+        let graph = profile.generate();
+        group.bench_with_input(
+            BenchmarkId::new("static_core_decomposition", name),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    let sg = StaticGraph::from_edges(
+                        g.num_vertices(),
+                        g.edges().iter().map(|e| (e.u, e.v)),
+                    );
+                    black_box(CoreDecomposition::compute(&sg).kmax())
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("window_projection", name), &graph, |b, g| {
+            let span = g.span();
+            b.iter(|| black_box(g.num_edges_in(span)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

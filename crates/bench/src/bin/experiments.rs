@@ -1,0 +1,405 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation section on the scaled dataset analogues.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p tkc-bench --release --bin experiments -- all
+//! cargo run -p tkc-bench --release --bin experiments -- fig6 --queries 5
+//! cargo run -p tkc-bench --release --bin experiments -- table3 fig4 fig9
+//! ```
+//!
+//! Each experiment prints an aligned text table and writes a CSV under
+//! `target/experiments/`.  Absolute numbers differ from the paper (synthetic
+//! analogues, different hardware); the shapes — which algorithm wins, how
+//! times scale with `k` and with the range length — are the reproduction
+//! target and are recorded in EXPERIMENTS.md.
+
+use std::time::{Duration, Instant};
+use tkc_bench::Report;
+use tkc_datasets::{DatasetProfile, DatasetStats, QueryWorkload, WorkloadConfig, ALL_PROFILES};
+use tkcore::{Algorithm, CountingSink, FrameworkStats, TimeRangeKCoreQuery};
+
+/// Per-algorithm, per-dataset wall-clock budget.  When the first query of a
+/// configuration exceeds it, the remaining queries are skipped and the cell
+/// is reported as `TL` (time limit), mirroring the paper's 6-hour cap.
+const TIME_LIMIT: Duration = Duration::from_secs(30);
+
+const OUT_DIR: &str = "target/experiments";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiments: Vec<String> = Vec::new();
+    let mut num_queries = 3usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--queries" => {
+                num_queries = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(num_queries);
+                i += 1;
+            }
+            other => experiments.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
+        experiments = vec![
+            "table3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    }
+
+    for experiment in &experiments {
+        let report = match experiment.as_str() {
+            "table3" => table3(),
+            "fig4" => fig4(),
+            "fig6" => fig6(num_queries),
+            "fig7" => fig7(num_queries),
+            "fig8" => fig8(num_queries),
+            "fig9" => fig9(num_queries),
+            "fig10" => fig10(num_queries),
+            "fig11" => fig11(num_queries),
+            "fig12" => fig12(),
+            other => {
+                eprintln!("unknown experiment `{other}` (expected table3, fig4..fig12, all)");
+                continue;
+            }
+        };
+        print!("{}", report.to_text());
+        println!();
+        if let Err(e) = report.save_csv(OUT_DIR, experiment) {
+            eprintln!("warning: could not save CSV for {experiment}: {e}");
+        }
+    }
+}
+
+fn default_params(graph: &temporal_graph::TemporalGraph) -> (DatasetStats, usize, u32) {
+    let stats = DatasetStats::compute(graph);
+    (stats, stats.k_for_percent(30), stats.range_len_for_percent(10))
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Table III: dataset statistics.
+fn table3() -> Report {
+    let mut report = Report::new(
+        "Table III: datasets (scaled synthetic analogues)",
+        "dataset",
+        vec![
+            "paper_dataset".into(),
+            "|V|".into(),
+            "|E|".into(),
+            "tmax".into(),
+            "kmax".into(),
+        ],
+    );
+    for profile in ALL_PROFILES {
+        let graph = profile.generate();
+        let stats = DatasetStats::compute(&graph);
+        report.push(
+            profile.name,
+            vec![
+                profile.paper_dataset.to_string(),
+                stats.num_vertices.to_string(),
+                stats.num_edges.to_string(),
+                stats.tmax.to_string(),
+                stats.kmax.to_string(),
+            ],
+        );
+    }
+    report
+}
+
+/// Figure 4: |VCT|, |VCT|*deg_avg and |R| at default parameters for the
+/// seven representative datasets.
+fn fig4() -> Report {
+    let mut report = Report::new(
+        "Figure 4: |VCT|, |VCT|*deg_avg and |R| (defaults: k=30% kmax, range=10% tmax)",
+        "dataset",
+        vec![
+            "|VCT|".into(),
+            "|VCT|*deg_avg".into(),
+            "|ECS|".into(),
+            "|R| (edges)".into(),
+            "R/VCTdeg ratio".into(),
+        ],
+    );
+    for name in tkc_datasets::FIGURE4_PROFILES {
+        let profile = DatasetProfile::by_name(name).unwrap();
+        let graph = profile.generate();
+        let (stats, k, _len) = default_params(&graph);
+        // Like the paper, measure on a random query range that contains at
+        // least one temporal k-core.
+        let config = WorkloadConfig::paper_default(&stats, 1, profile.seed() ^ 0x44);
+        let workload = QueryWorkload::generate(&graph, &config);
+        let range = workload.ranges[0];
+        let fw = FrameworkStats::measure(&graph, k, range);
+        let ratio = if fw.vct_times_avg_degree > 0.0 {
+            fw.result_size as f64 / fw.vct_times_avg_degree
+        } else {
+            0.0
+        };
+        report.push(
+            *name,
+            vec![
+                fw.vct_entries.to_string(),
+                format!("{:.0}", fw.vct_times_avg_degree),
+                fw.ecs_windows.to_string(),
+                fw.result_size.to_string(),
+                format!("{ratio:.1}"),
+            ],
+        );
+    }
+    report
+}
+
+/// Runs every query of a workload with one algorithm, returning the average
+/// time, or `None` when the time limit was hit.
+fn run_workload(
+    graph: &temporal_graph::TemporalGraph,
+    workload: &QueryWorkload,
+    algorithm: Algorithm,
+) -> Option<Duration> {
+    let mut total = Duration::ZERO;
+    for (i, query) in workload.queries().enumerate() {
+        let mut sink = CountingSink::default();
+        let t0 = Instant::now();
+        query.run_with(graph, algorithm, &mut sink);
+        let elapsed = t0.elapsed();
+        total += elapsed;
+        if i == 0 && elapsed > TIME_LIMIT {
+            return None;
+        }
+    }
+    Some(total / workload.len().max(1) as u32)
+}
+
+/// Average precomputation (CoreTime) time over a workload.
+fn coretime_only(
+    graph: &temporal_graph::TemporalGraph,
+    workload: &QueryWorkload,
+) -> Duration {
+    let mut total = Duration::ZERO;
+    for query in workload.queries() {
+        let t0 = Instant::now();
+        let _ = tkcore::EdgeCoreSkyline::build(graph, query.k(), query.range());
+        total += t0.elapsed();
+    }
+    total / workload.len().max(1) as u32
+}
+
+/// Figure 6: average running time per dataset for OTCD, CoreTime, EnumBase
+/// and Enum at default parameters.
+fn fig6(num_queries: usize) -> Report {
+    let mut report = Report::new(
+        format!("Figure 6: average running time in ms (defaults, {num_queries} queries/dataset)"),
+        "dataset",
+        vec![
+            "OTCD".into(),
+            "CoreTime".into(),
+            "EnumBase+CoreTime".into(),
+            "Enum+CoreTime".into(),
+        ],
+    );
+    for profile in ALL_PROFILES {
+        let graph = profile.generate();
+        let stats = DatasetStats::compute(&graph);
+        let config = WorkloadConfig::paper_default(&stats, num_queries, 0xF166 ^ profile.seed());
+        let workload = QueryWorkload::generate(&graph, &config);
+        let otcd = run_workload(&graph, &workload, Algorithm::Otcd);
+        let coretime = coretime_only(&graph, &workload);
+        let enum_base = run_workload(&graph, &workload, Algorithm::EnumBase);
+        let enum_final = run_workload(&graph, &workload, Algorithm::Enum);
+        let cell = |d: Option<Duration>| d.map(ms).unwrap_or_else(|| "TL".into());
+        report.push(
+            profile.name,
+            vec![cell(otcd), ms(coretime), cell(enum_base), cell(enum_final)],
+        );
+    }
+    report
+}
+
+/// One parameter configuration of a sweep: display label, `k`, range length.
+type SweepConfig = (String, usize, u32);
+
+/// Shared driver for the varying-k and varying-range figures.
+fn varying(
+    title: &str,
+    num_queries: usize,
+    configs: &dyn Fn(&DatasetStats) -> Vec<SweepConfig>,
+    count_results: bool,
+) -> Report {
+    let columns = if count_results {
+        vec!["num_cores".into(), "|R| (edges)".into()]
+    } else {
+        vec![
+            "OTCD".into(),
+            "EnumBase+CoreTime".into(),
+            "Enum+CoreTime".into(),
+        ]
+    };
+    let mut report = Report::new(title, "dataset/param", columns);
+    for name in tkc_datasets::VARYING_PROFILES {
+        let profile = DatasetProfile::by_name(name).unwrap();
+        let graph = profile.generate();
+        let stats = DatasetStats::compute(&graph);
+        for (label, k, len) in configs(&stats) {
+            let config = WorkloadConfig {
+                k,
+                range_len: len,
+                num_queries,
+                seed: profile.seed() ^ 0xABCD,
+                max_attempts_per_query: 25,
+            };
+            let workload = QueryWorkload::generate(&graph, &config);
+            let row_label = format!("{name} {label}");
+            if count_results {
+                let mut cores = 0u64;
+                let mut edges = 0u64;
+                for query in workload.queries() {
+                    let count = query.count(&graph);
+                    cores += count.num_cores;
+                    edges += count.total_edges;
+                }
+                let n = workload.len().max(1) as u64;
+                report.push(row_label, vec![(cores / n).to_string(), (edges / n).to_string()]);
+            } else {
+                let otcd = run_workload(&graph, &workload, Algorithm::Otcd);
+                let enum_base = run_workload(&graph, &workload, Algorithm::EnumBase);
+                let enum_final = run_workload(&graph, &workload, Algorithm::Enum);
+                let cell = |d: Option<Duration>| d.map(ms).unwrap_or_else(|| "TL".into());
+                report.push(row_label, vec![cell(otcd), cell(enum_base), cell(enum_final)]);
+            }
+        }
+    }
+    report
+}
+
+fn k_sweep(stats: &DatasetStats) -> Vec<SweepConfig> {
+    [10u32, 20, 30, 40]
+        .iter()
+        .map(|&p| {
+            (
+                format!("k={p}%kmax"),
+                stats.k_for_percent(p),
+                stats.range_len_for_percent(10),
+            )
+        })
+        .collect()
+}
+
+fn range_sweep(stats: &DatasetStats) -> Vec<SweepConfig> {
+    [5u32, 10, 20, 40]
+        .iter()
+        .map(|&p| {
+            (
+                format!("range={p}%tmax"),
+                stats.k_for_percent(30),
+                stats.range_len_for_percent(p),
+            )
+        })
+        .collect()
+}
+
+/// Figure 7: running time vs k.
+fn fig7(num_queries: usize) -> Report {
+    varying(
+        "Figure 7: average running time in ms, varying k (10%..40% of kmax)",
+        num_queries,
+        &k_sweep,
+        false,
+    )
+}
+
+/// Figure 8: running time vs query range length.
+fn fig8(num_queries: usize) -> Report {
+    varying(
+        "Figure 8: average running time in ms, varying range (5%..40% of tmax)",
+        num_queries,
+        &range_sweep,
+        false,
+    )
+}
+
+/// Figure 9: number of temporal k-cores per dataset at default parameters.
+fn fig9(num_queries: usize) -> Report {
+    let mut report = Report::new(
+        "Figure 9: average number of temporal k-cores (defaults)",
+        "dataset",
+        vec!["num_cores".into(), "|R| (edges)".into()],
+    );
+    for profile in ALL_PROFILES {
+        let graph = profile.generate();
+        let stats = DatasetStats::compute(&graph);
+        let config = WorkloadConfig::paper_default(&stats, num_queries, profile.seed() ^ 0x9);
+        let workload = QueryWorkload::generate(&graph, &config);
+        let mut cores = 0u64;
+        let mut edges = 0u64;
+        for query in workload.queries() {
+            let count = query.count(&graph);
+            cores += count.num_cores;
+            edges += count.total_edges;
+        }
+        let n = workload.len().max(1) as u64;
+        report.push(
+            profile.name,
+            vec![(cores / n).to_string(), (edges / n).to_string()],
+        );
+    }
+    report
+}
+
+/// Figure 10: number of results vs k.
+fn fig10(num_queries: usize) -> Report {
+    varying(
+        "Figure 10: average number of temporal k-cores, varying k",
+        num_queries,
+        &k_sweep,
+        true,
+    )
+}
+
+/// Figure 11: number of results vs query range length.
+fn fig11(num_queries: usize) -> Report {
+    varying(
+        "Figure 11: average number of temporal k-cores, varying range",
+        num_queries,
+        &range_sweep,
+        true,
+    )
+}
+
+/// Figure 12: peak memory estimate per algorithm at default parameters.
+fn fig12() -> Report {
+    let mut report = Report::new(
+        "Figure 12: peak working-structure memory in MB (defaults, 1 query)",
+        "dataset",
+        vec!["OTCD".into(), "EnumBase".into(), "Enum".into()],
+    );
+    for profile in ALL_PROFILES {
+        let graph = profile.generate();
+        let stats = DatasetStats::compute(&graph);
+        let config = WorkloadConfig::paper_default(&stats, 1, profile.seed() ^ 0x12);
+        let workload = QueryWorkload::generate(&graph, &config);
+        let Some(range) = workload.ranges.first().copied() else {
+            continue;
+        };
+        let query = TimeRangeKCoreQuery::new(workload.k, range);
+        let mb = |bytes: usize| format!("{:.2}", bytes as f64 / (1024.0 * 1024.0));
+        let mut cells = Vec::new();
+        for algo in [Algorithm::Otcd, Algorithm::EnumBase, Algorithm::Enum] {
+            let mut sink = CountingSink::default();
+            let run = query.run_with(&graph, algo, &mut sink);
+            cells.push(mb(run.peak_memory_bytes));
+        }
+        report.push(profile.name, cells);
+    }
+    report
+}

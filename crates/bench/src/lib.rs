@@ -1,0 +1,6 @@
+//! Benchmark harness library: shared reporting utilities used by the
+//! `experiments` binary and the Criterion benches.
+
+pub mod report;
+
+pub use report::{Report, Row};

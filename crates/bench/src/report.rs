@@ -1,0 +1,145 @@
+//! Minimal text/CSV reporting for experiment reproduction.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// One row of an experiment report: a label plus one value per column.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (dataset name, parameter value, ...).
+    pub label: String,
+    /// One value per column, already formatted.
+    pub values: Vec<String>,
+}
+
+/// A simple experiment report: a titled table with named columns, printable
+/// as an aligned text table and saveable as CSV under `target/experiments/`.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Report title (e.g. `Figure 6: average running time (ms)`).
+    pub title: String,
+    /// Name of the label column.
+    pub label_header: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(
+        title: impl Into<String>,
+        label_header: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            label_header: label_header.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<String>) {
+        self.rows.push(Row {
+            label: label.into(),
+            values,
+        });
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = Vec::with_capacity(self.columns.len() + 1);
+        widths.push(
+            self.rows
+                .iter()
+                .map(|r| r.label.len())
+                .chain([self.label_header.len()])
+                .max()
+                .unwrap_or(8),
+        );
+        for (i, c) in self.columns.iter().enumerate() {
+            let w = self
+                .rows
+                .iter()
+                .map(|r| r.values.get(i).map(|v| v.len()).unwrap_or(0))
+                .chain([c.len()])
+                .max()
+                .unwrap_or(8);
+            widths.push(w);
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = write!(out, "{:<w$}", self.label_header, w = widths[0] + 2);
+        for (i, c) in self.columns.iter().enumerate() {
+            let _ = write!(out, "{:>w$}  ", c, w = widths[i + 1]);
+        }
+        let _ = writeln!(out);
+        for r in &self.rows {
+            let _ = write!(out, "{:<w$}", r.label, w = widths[0] + 2);
+            for (i, v) in r.values.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", v, w = widths[i + 1]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders the report as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{},{}", self.label_header, self.columns.join(","));
+        for r in &self.rows {
+            let _ = writeln!(out, "{},{}", r.label, r.values.join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `dir/<file_stem>.csv`, creating the
+    /// directory if needed.
+    pub fn save_csv(&self, dir: impl AsRef<Path>, file_stem: &str) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{file_stem}.csv")), self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("Demo", "dataset", vec!["a".into(), "b".into()]);
+        r.push("CM", vec!["1".into(), "2.5".into()]);
+        r.push("EM-analogue", vec!["10".into(), "0.25".into()]);
+        r
+    }
+
+    #[test]
+    fn text_rendering_is_aligned() {
+        let text = sample().to_text();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("CM"));
+        assert!(text.contains("EM-analogue"));
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "dataset,a,b");
+        assert_eq!(lines.next().unwrap(), "CM,1,2.5");
+    }
+
+    #[test]
+    fn save_csv_writes_file() {
+        let dir = std::env::temp_dir().join("tkc-report-test");
+        sample().save_csv(&dir, "demo").unwrap();
+        let content = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert!(content.starts_with("dataset,"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

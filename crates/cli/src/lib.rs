@@ -1,0 +1,390 @@
+//! Implementation of the `tkc` command-line tool.
+//!
+//! The binary is a thin wrapper around [`run`]; keeping the logic in a
+//! library makes the argument parsing and command dispatch unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use tkc_datasets::{DatasetProfile, DatasetStats};
+use tkcore::{Algorithm, CollectingSink, CountingSink, TimeRangeKCoreQuery};
+
+/// Errors reported to the CLI user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<temporal_graph::TemporalGraphError> for CliError {
+    fn from(e: temporal_graph::TemporalGraphError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Usage text printed by `tkc help` and on argument errors.
+pub const USAGE: &str = "\
+tkc — time-range temporal k-core queries
+
+USAGE:
+  tkc stats <edge-list>
+      Print |V|, |E|, tmax and kmax of a temporal edge-list file (`u v t` per line).
+
+  tkc query <edge-list> --k <K> [--start <TS>] [--end <TE>]
+            [--algorithm enum|enum-base|otcd] [--count-only] [--limit <N>]
+      Enumerate all distinct temporal k-cores in the range [TS, TE]
+      (default: the whole time span), printing each core's tightest time
+      interval, vertex count and edge count.
+
+  tkc generate <profile> <output-file>
+      Write the scaled synthetic analogue of one of the paper's datasets
+      (FB BO CM EM MC MO AU LR EN SU WT WK PL YT) as an edge-list file.
+
+  tkc profiles
+      List the available dataset profiles.
+";
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `tkc stats <file>`
+    Stats {
+        /// Path of the edge-list file.
+        path: String,
+    },
+    /// `tkc query <file> --k K ...`
+    Query {
+        /// Path of the edge-list file.
+        path: String,
+        /// Query parameter `k`.
+        k: usize,
+        /// Query range start (defaults to 1).
+        start: Option<u32>,
+        /// Query range end (defaults to the last timestamp).
+        end: Option<u32>,
+        /// Algorithm to run.
+        algorithm: Algorithm,
+        /// Only report counts, do not materialise cores.
+        count_only: bool,
+        /// Print at most this many cores.
+        limit: usize,
+    },
+    /// `tkc generate <profile> <out>`
+    Generate {
+        /// Profile name (e.g. `CM`).
+        profile: String,
+        /// Output edge-list path.
+        output: String,
+    },
+    /// `tkc profiles`
+    Profiles,
+    /// `tkc help`
+    Help,
+}
+
+/// Parses the command line (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "profiles" => Ok(Command::Profiles),
+        "stats" => {
+            let path = it
+                .next()
+                .ok_or_else(|| CliError("stats requires an edge-list path".into()))?;
+            Ok(Command::Stats { path: path.clone() })
+        }
+        "generate" => {
+            let profile = it
+                .next()
+                .ok_or_else(|| CliError("generate requires a profile name".into()))?;
+            let output = it
+                .next()
+                .ok_or_else(|| CliError("generate requires an output path".into()))?;
+            Ok(Command::Generate {
+                profile: profile.clone(),
+                output: output.clone(),
+            })
+        }
+        "query" => {
+            let path = it
+                .next()
+                .ok_or_else(|| CliError("query requires an edge-list path".into()))?
+                .clone();
+            let mut k: Option<usize> = None;
+            let mut start = None;
+            let mut end = None;
+            let mut algorithm = Algorithm::Enum;
+            let mut count_only = false;
+            let mut limit = 20usize;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let value = |what: &str| -> Result<&String, CliError> {
+                    rest.get(i + 1)
+                        .copied()
+                        .ok_or_else(|| CliError(format!("{what} requires a value")))
+                };
+                match flag {
+                    "--k" => {
+                        k = Some(parse_num(value("--k")?, "--k")?);
+                        i += 1;
+                    }
+                    "--start" => {
+                        start = Some(parse_num(value("--start")?, "--start")? as u32);
+                        i += 1;
+                    }
+                    "--end" => {
+                        end = Some(parse_num(value("--end")?, "--end")? as u32);
+                        i += 1;
+                    }
+                    "--limit" => {
+                        limit = parse_num(value("--limit")?, "--limit")?;
+                        i += 1;
+                    }
+                    "--algorithm" => {
+                        algorithm = match value("--algorithm")?.as_str() {
+                            "enum" => Algorithm::Enum,
+                            "enum-base" => Algorithm::EnumBase,
+                            "otcd" => Algorithm::Otcd,
+                            other => {
+                                return Err(CliError(format!(
+                                    "unknown algorithm `{other}` (expected enum, enum-base, otcd)"
+                                )))
+                            }
+                        };
+                        i += 1;
+                    }
+                    "--count-only" => count_only = true,
+                    other => return Err(CliError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            let k = k.ok_or_else(|| CliError("query requires --k <K>".into()))?;
+            if k == 0 {
+                return Err(CliError("--k must be at least 1".into()));
+            }
+            Ok(Command::Query {
+                path,
+                k,
+                start,
+                end,
+                algorithm,
+                count_only,
+                limit,
+            })
+        }
+        other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+fn parse_num(s: &str, what: &str) -> Result<usize, CliError> {
+    s.parse()
+        .map_err(|_| CliError(format!("{what}: `{s}` is not a number")))
+}
+
+/// Executes a parsed command, returning the text to print on stdout.
+pub fn run(command: Command) -> Result<String, CliError> {
+    let mut out = String::new();
+    match command {
+        Command::Help => out.push_str(USAGE),
+        Command::Profiles => {
+            let _ = writeln!(out, "{:<6} {:<14} {:>8} {:>8} {:>6}", "name", "paper dataset", "|V|", "|E|", "tmax");
+            for p in tkc_datasets::ALL_PROFILES {
+                let _ = writeln!(
+                    out,
+                    "{:<6} {:<14} {:>8} {:>8} {:>6}",
+                    p.name, p.paper_dataset, p.num_vertices, p.num_edges, p.num_timestamps
+                );
+            }
+        }
+        Command::Stats { path } => {
+            let graph = temporal_graph::loader::read_edge_list(&path)?;
+            let stats = DatasetStats::compute(&graph);
+            let _ = writeln!(out, "file:      {path}");
+            let _ = writeln!(out, "|V|:       {}", stats.num_vertices);
+            let _ = writeln!(out, "|E|:       {}", stats.num_edges);
+            let _ = writeln!(out, "tmax:      {}", stats.tmax);
+            let _ = writeln!(out, "kmax:      {}", stats.kmax);
+            let _ = writeln!(
+                out,
+                "avg deg:   {:.2}",
+                graph.average_distinct_degree_in(graph.span())
+            );
+        }
+        Command::Generate { profile, output } => {
+            let profile = DatasetProfile::by_name(&profile)
+                .ok_or_else(|| CliError(format!("unknown profile `{profile}` (see `tkc profiles`)")))?;
+            let graph = profile.generate();
+            temporal_graph::loader::write_edge_list(&graph, &output)?;
+            let _ = writeln!(
+                out,
+                "wrote {} edges over {} vertices ({} timestamps) to {output}",
+                graph.num_edges(),
+                graph.num_vertices(),
+                graph.tmax()
+            );
+        }
+        Command::Query {
+            path,
+            k,
+            start,
+            end,
+            algorithm,
+            count_only,
+            limit,
+        } => {
+            let graph = temporal_graph::loader::read_edge_list(&path)?;
+            let range = temporal_graph::TimeWindow::try_new(
+                start.unwrap_or(1),
+                end.unwrap_or(graph.tmax()).min(graph.tmax()),
+            )
+            .ok_or_else(|| CliError("invalid query range".into()))?;
+            let query = TimeRangeKCoreQuery::new(k, range);
+            if count_only {
+                let mut sink = CountingSink::default();
+                let stats = query.run_with(&graph, algorithm, &mut sink);
+                let _ = writeln!(
+                    out,
+                    "{}: {} distinct temporal {}-cores in {}, |R| = {} edges ({:?})",
+                    algorithm.name(),
+                    sink.num_cores,
+                    k,
+                    range,
+                    sink.total_edges,
+                    stats.total_time()
+                );
+            } else {
+                let mut sink = CollectingSink::default();
+                let stats = query.run_with(&graph, algorithm, &mut sink);
+                let cores = sink.into_sorted();
+                let _ = writeln!(
+                    out,
+                    "{}: {} distinct temporal {}-cores in {} ({:?})",
+                    algorithm.name(),
+                    cores.len(),
+                    k,
+                    range,
+                    stats.total_time()
+                );
+                for core in cores.iter().take(limit) {
+                    let _ = writeln!(
+                        out,
+                        "  TTI {:<12} {:>5} vertices {:>6} edges",
+                        core.tti.to_string(),
+                        core.vertices(&graph).len(),
+                        core.num_edges()
+                    );
+                }
+                if cores.len() > limit {
+                    let _ = writeln!(out, "  ... and {} more (use --limit)", cores.len() - limit);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_help_and_profiles() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&strings(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&strings(&["profiles"])).unwrap(), Command::Profiles);
+        assert!(run(Command::Help).unwrap().contains("USAGE"));
+        assert!(run(Command::Profiles).unwrap().contains("CollegeMsg"));
+    }
+
+    #[test]
+    fn parses_query_flags() {
+        let cmd = parse_args(&strings(&[
+            "query", "g.txt", "--k", "3", "--start", "2", "--end", "9", "--algorithm", "otcd",
+            "--count-only", "--limit", "5",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Query {
+                path: "g.txt".into(),
+                k: 3,
+                start: Some(2),
+                end: Some(9),
+                algorithm: Algorithm::Otcd,
+                count_only: true,
+                limit: 5,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        assert!(parse_args(&strings(&["query", "g.txt"])).is_err()); // missing --k
+        assert!(parse_args(&strings(&["query", "g.txt", "--k", "0"])).is_err());
+        assert!(parse_args(&strings(&["query", "g.txt", "--k", "x"])).is_err());
+        assert!(parse_args(&strings(&["query", "g.txt", "--k", "2", "--algorithm", "magic"])).is_err());
+        assert!(parse_args(&strings(&["frobnicate"])).is_err());
+        assert!(parse_args(&strings(&["stats"])).is_err());
+        assert!(parse_args(&strings(&["generate", "CM"])).is_err());
+    }
+
+    #[test]
+    fn generate_stats_query_round_trip() {
+        let dir = std::env::temp_dir().join("tkc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fb.txt");
+        let path_str = path.to_string_lossy().to_string();
+
+        let out = run(Command::Generate {
+            profile: "FB".into(),
+            output: path_str.clone(),
+        })
+        .unwrap();
+        assert!(out.contains("wrote"));
+
+        let out = run(Command::Stats { path: path_str.clone() }).unwrap();
+        assert!(out.contains("kmax"));
+
+        let out = run(Command::Query {
+            path: path_str.clone(),
+            k: 3,
+            start: None,
+            end: None,
+            algorithm: Algorithm::Enum,
+            count_only: true,
+            limit: 10,
+        })
+        .unwrap();
+        assert!(out.contains("distinct temporal 3-cores"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_profile_and_missing_file_are_errors() {
+        assert!(run(Command::Generate {
+            profile: "NOPE".into(),
+            output: "/tmp/x.txt".into()
+        })
+        .is_err());
+        assert!(run(Command::Stats {
+            path: "/definitely/missing.txt".into()
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,17 @@
+//! `tkc` — command-line front end for time-range temporal k-core queries.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match tkc_cli::parse_args(&args).and_then(tkc_cli::run) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Scaled dataset profiles, synthetic workloads and query generators for the
+//! temporal k-core evaluation.
+//!
+//! The paper evaluates on fourteen real SNAP/KONECT temporal networks
+//! (Table III).  Those files are not redistributable here, so this crate
+//! defines *scaled synthetic analogues*: each [`DatasetProfile`] captures the
+//! structural knobs that drive the algorithms (vertex count, temporal edge
+//! count, number of distinct timestamps, temporal regime) at a laptop-friendly
+//! scale, and materialises a concrete [`temporal_graph::TemporalGraph`]
+//! with a deterministic seed.  The [`workload`] module generates the query
+//! ranges and `k` values of Section VI (percentages of `tmax` and `kmax`,
+//! ranges guaranteed to contain at least one temporal k-core).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod profiles;
+pub mod stats;
+pub mod workload;
+
+pub use profiles::{
+    DatasetProfile, TemporalRegime, ALL_PROFILES, FIGURE4_PROFILES, VARYING_PROFILES,
+};
+pub use stats::DatasetStats;
+pub use workload::{QueryWorkload, WorkloadConfig};

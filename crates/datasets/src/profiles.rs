@@ -1,0 +1,230 @@
+//! Scaled analogues of the paper's fourteen evaluation datasets (Table III).
+//!
+//! Every [`DatasetProfile`] records the structural knobs that determine the
+//! behaviour of the algorithms — number of vertices, number of temporal
+//! edges, number of distinct timestamps and the temporal regime — at a scale
+//! that runs comfortably on a laptop, and generates a concrete temporal
+//! graph deterministically.  The real datasets can still be used by loading
+//! them with [`temporal_graph::loader`] and bypassing the profiles.
+
+use temporal_graph::{generator, TemporalGraph};
+
+/// The broad temporal shape of a dataset, which is what drives the relative
+/// behaviour of the algorithms in the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemporalRegime {
+    /// Sparse interaction networks with many distinct timestamps and bursty
+    /// community activity (FB, BO, CM, MC, MO, AU, LR analogues).
+    Bursty,
+    /// Communication networks where activity accumulates around hubs
+    /// (EM, EN, SU, WT analogues).
+    Accumulating,
+    /// Datasets with very few distinct timestamps relative to their edge
+    /// count — near-snapshot graphs (WK, PL, YT analogues).
+    FewTimestamps,
+}
+
+/// A scaled synthetic analogue of one of the paper's datasets.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetProfile {
+    /// Short name used in figures (matches the paper's abbreviations).
+    pub name: &'static str,
+    /// Full name of the original dataset this profile mirrors.
+    pub paper_dataset: &'static str,
+    /// Number of vertices of the synthetic analogue.
+    pub num_vertices: usize,
+    /// Number of temporal edges of the synthetic analogue.
+    pub num_edges: usize,
+    /// Number of distinct timestamps of the synthetic analogue.
+    pub num_timestamps: u32,
+    /// Temporal regime controlling the generator used.
+    pub regime: TemporalRegime,
+}
+
+/// All fourteen dataset analogues, in the order of the paper's Table III.
+pub const ALL_PROFILES: &[DatasetProfile] = &[
+    DatasetProfile { name: "FB", paper_dataset: "FB-Forum", num_vertices: 200, num_edges: 1_500, num_timestamps: 300, regime: TemporalRegime::Bursty },
+    DatasetProfile { name: "BO", paper_dataset: "BitcoinOtc", num_vertices: 400, num_edges: 1_600, num_timestamps: 320, regime: TemporalRegime::Bursty },
+    DatasetProfile { name: "CM", paper_dataset: "CollegeMsg", num_vertices: 250, num_edges: 2_500, num_timestamps: 400, regime: TemporalRegime::Bursty },
+    DatasetProfile { name: "EM", paper_dataset: "Email", num_vertices: 150, num_edges: 6_000, num_timestamps: 500, regime: TemporalRegime::Accumulating },
+    DatasetProfile { name: "MC", paper_dataset: "Mooc", num_vertices: 500, num_edges: 6_000, num_timestamps: 600, regime: TemporalRegime::Bursty },
+    DatasetProfile { name: "MO", paper_dataset: "MathOverflow", num_vertices: 800, num_edges: 7_000, num_timestamps: 700, regime: TemporalRegime::Bursty },
+    DatasetProfile { name: "AU", paper_dataset: "AskUbuntu", num_vertices: 1_500, num_edges: 9_000, num_timestamps: 800, regime: TemporalRegime::Bursty },
+    DatasetProfile { name: "LR", paper_dataset: "Lkml-reply", num_vertices: 1_000, num_edges: 10_000, num_timestamps: 800, regime: TemporalRegime::Bursty },
+    DatasetProfile { name: "EN", paper_dataset: "Enron", num_vertices: 1_000, num_edges: 11_000, num_timestamps: 400, regime: TemporalRegime::Accumulating },
+    DatasetProfile { name: "SU", paper_dataset: "SuperUser", num_vertices: 1_800, num_edges: 12_000, num_timestamps: 1_000, regime: TemporalRegime::Accumulating },
+    DatasetProfile { name: "WT", paper_dataset: "WikiTalk", num_vertices: 3_000, num_edges: 15_000, num_timestamps: 1_200, regime: TemporalRegime::Accumulating },
+    DatasetProfile { name: "WK", paper_dataset: "Wikipedia", num_vertices: 800, num_edges: 15_000, num_timestamps: 60, regime: TemporalRegime::FewTimestamps },
+    DatasetProfile { name: "PL", paper_dataset: "ProsperLoans", num_vertices: 700, num_edges: 18_000, num_timestamps: 30, regime: TemporalRegime::FewTimestamps },
+    DatasetProfile { name: "YT", paper_dataset: "Youtube", num_vertices: 3_000, num_edges: 20_000, num_timestamps: 12, regime: TemporalRegime::FewTimestamps },
+];
+
+/// The seven representative datasets of Figure 4 (CM EM MC LR EN SU WT).
+pub const FIGURE4_PROFILES: &[&str] = &["CM", "EM", "MC", "LR", "EN", "SU", "WT"];
+
+/// The four datasets used for the varying-k / varying-range experiments
+/// (Figures 7, 8, 10 and 11): CollegeMsg, Email, WikiTalk and ProsperLoans.
+pub const VARYING_PROFILES: &[&str] = &["CM", "EM", "WT", "PL"];
+
+impl DatasetProfile {
+    /// Looks a profile up by its short name.
+    pub fn by_name(name: &str) -> Option<&'static DatasetProfile> {
+        ALL_PROFILES.iter().find(|p| p.name == name)
+    }
+
+    /// Deterministic seed derived from the profile name (FNV-1a).
+    pub fn seed(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        hash
+    }
+
+    /// Generates the synthetic temporal graph for this profile.
+    ///
+    /// The generated graph matches the profile's edge count exactly for the
+    /// uniform regimes and approximately (background + planted bursts) for
+    /// the bursty ones; the number of distinct timestamps is at most
+    /// `num_timestamps`.
+    pub fn generate(&self) -> TemporalGraph {
+        let seed = self.seed();
+        match self.regime {
+            TemporalRegime::Bursty => {
+                // Roughly half of the edges come from planted bursts so that
+                // non-trivial temporal k-cores exist throughout the timeline.
+                let burst_size = 16;
+                let edges_per_burst = (burst_size * (burst_size - 1) / 2) * 6 / 10;
+                let num_bursts = (self.num_edges / 2 / edges_per_burst).max(2);
+                let config = generator::BurstyConfig {
+                    num_vertices: self.num_vertices,
+                    background_edges: self.num_edges - num_bursts * edges_per_burst,
+                    num_bursts,
+                    burst_size,
+                    burst_duration: (self.num_timestamps / 20).max(2),
+                    burst_density: 0.6,
+                    num_timestamps: self.num_timestamps,
+                };
+                generator::planted_bursty_cores(&config, seed)
+            }
+            TemporalRegime::Accumulating => {
+                // Dense hub-centred activity: preferential attachment plus a
+                // layer of bursts to create time-local cores.
+                let pa_edges_per_vertex =
+                    (self.num_edges / (2 * self.num_vertices)).clamp(2, 8);
+                let pa = generator::preferential_attachment(
+                    self.num_vertices,
+                    pa_edges_per_vertex,
+                    self.num_timestamps,
+                    seed,
+                );
+                // Communication datasets are *dense inside a window*: bursts
+                // are larger and denser than in the sparse-interaction
+                // regime, so that short query windows still contain k-cores
+                // at 30–40% of kmax (as they do in the real datasets).
+                let burst_size = 20;
+                let edges_per_burst = (burst_size * (burst_size - 1) / 2) * 85 / 100;
+                let remaining = self.num_edges.saturating_sub(pa.num_edges()).max(edges_per_burst);
+                let num_bursts = (remaining / edges_per_burst).max(2);
+                let config = generator::BurstyConfig {
+                    num_vertices: self.num_vertices,
+                    background_edges: remaining.saturating_sub(num_bursts * edges_per_burst),
+                    num_bursts,
+                    burst_size,
+                    burst_duration: (self.num_timestamps / 25).max(2),
+                    burst_density: 0.85,
+                    num_timestamps: self.num_timestamps,
+                };
+                let bursts = generator::planted_bursty_cores(&config, seed ^ 0x5eed);
+                merge(&pa, &bursts)
+            }
+            TemporalRegime::FewTimestamps => {
+                // Snapshot-style datasets: very few distinct timestamps, but
+                // (like the real WK/PL/YT graphs) they contain dense
+                // communities that form k-cores even inside one or two
+                // timestamps.  Plant those communities explicitly; the rest
+                // of the edges are uniform background.
+                let burst_size = 30;
+                let edges_per_burst = (burst_size * (burst_size - 1) / 2) / 2;
+                let num_bursts = (self.num_edges / 3 / edges_per_burst).max(2);
+                let config = generator::BurstyConfig {
+                    num_vertices: self.num_vertices,
+                    background_edges: self.num_edges - num_bursts * edges_per_burst,
+                    num_bursts,
+                    burst_size,
+                    burst_duration: (self.num_timestamps / 20).max(1),
+                    burst_density: 0.5,
+                    num_timestamps: self.num_timestamps,
+                };
+                generator::planted_bursty_cores(&config, seed)
+            }
+        }
+    }
+}
+
+/// Merges two temporal graphs (union of their edge multisets, labels kept).
+fn merge(a: &TemporalGraph, b: &TemporalGraph) -> TemporalGraph {
+    let mut builder = temporal_graph::TemporalGraphBuilder::new()
+        .timestamp_mode(temporal_graph::TimestampMode::Raw);
+    for e in a.edges() {
+        builder = builder.add_edge(a.label(e.u), a.label(e.v), i64::from(e.t));
+    }
+    for e in b.edges() {
+        builder = builder.add_edge(b.label(e.u), b.label(e.v), i64::from(e.t));
+    }
+    builder.build().expect("merged graph is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_have_unique_names() {
+        let mut names: Vec<&str> = ALL_PROFILES.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_PROFILES.len());
+        assert_eq!(ALL_PROFILES.len(), 14);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(DatasetProfile::by_name("CM").unwrap().paper_dataset, "CollegeMsg");
+        assert!(DatasetProfile::by_name("nope").is_none());
+        for name in FIGURE4_PROFILES.iter().chain(VARYING_PROFILES) {
+            assert!(DatasetProfile::by_name(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_roughly_sized() {
+        for profile in ALL_PROFILES.iter().filter(|p| p.num_edges <= 6_000) {
+            let g1 = profile.generate();
+            let g2 = profile.generate();
+            assert_eq!(g1.num_edges(), g2.num_edges(), "{}", profile.name);
+            assert_eq!(g1.edges(), g2.edges(), "{}", profile.name);
+            assert!(g1.num_vertices() <= profile.num_vertices);
+            assert!(g1.tmax() <= profile.num_timestamps);
+            // within a factor of two of the requested edge count
+            assert!(g1.num_edges() >= profile.num_edges / 2, "{}", profile.name);
+            assert!(g1.num_edges() <= profile.num_edges * 2, "{}", profile.name);
+        }
+    }
+
+    #[test]
+    fn few_timestamp_profiles_compress_time() {
+        let p = DatasetProfile::by_name("YT").unwrap();
+        let g = p.generate();
+        assert!(g.tmax() <= 12);
+        assert!(g.num_edges() >= 10_000);
+    }
+
+    #[test]
+    fn seeds_differ_between_profiles() {
+        let a = DatasetProfile::by_name("CM").unwrap().seed();
+        let b = DatasetProfile::by_name("EM").unwrap().seed();
+        assert_ne!(a, b);
+    }
+}

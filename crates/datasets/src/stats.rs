@@ -1,0 +1,101 @@
+//! Dataset statistics (the paper's Table III).
+
+use static_kcore::{CoreDecomposition, StaticGraph};
+use temporal_graph::{TemporalGraph, VertexId};
+
+/// The statistics the paper reports per dataset: `|V|`, `|E|`, the number of
+/// distinct timestamps `tmax`, and the maximum core number `kmax` of the
+/// de-temporalised graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of temporal edges.
+    pub num_edges: usize,
+    /// Number of distinct timestamps.
+    pub tmax: u32,
+    /// Maximum core number over all vertices (static k-core decomposition of
+    /// the projected graph over the whole time span).
+    pub kmax: u32,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of a temporal graph.
+    pub fn compute(graph: &TemporalGraph) -> Self {
+        let static_graph = to_static(graph);
+        let decomposition = CoreDecomposition::compute(&static_graph);
+        Self {
+            num_vertices: graph.num_vertices(),
+            num_edges: graph.num_edges(),
+            tmax: graph.tmax(),
+            kmax: decomposition.kmax(),
+        }
+    }
+
+    /// The default query parameter of the paper's experiments: `k` as a
+    /// percentage of `kmax`, never below 2 (a 1-core is every non-isolated
+    /// vertex and is not an interesting query).
+    pub fn k_for_percent(&self, percent: u32) -> usize {
+        (((self.kmax as u64 * u64::from(percent)) + 50) / 100).max(2) as usize
+    }
+
+    /// The query-range length used by the experiments: a percentage of the
+    /// number of distinct timestamps, at least 1.
+    pub fn range_len_for_percent(&self, percent: u32) -> u32 {
+        (((u64::from(self.tmax) * u64::from(percent)) + 50) / 100).max(1) as u32
+    }
+}
+
+/// Collapses a temporal graph into the simple undirected graph over the same
+/// vertices, ignoring timestamps (used for `kmax`).
+pub fn to_static(graph: &TemporalGraph) -> StaticGraph {
+    StaticGraph::from_edges(
+        graph.num_vertices(),
+        graph
+            .edges()
+            .iter()
+            .map(|e| (e.u as VertexId, e.v as VertexId)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::DatasetProfile;
+    use temporal_graph::TemporalGraphBuilder;
+
+    #[test]
+    fn computes_simple_statistics() {
+        let g = TemporalGraphBuilder::new()
+            .with_edges([(0u64, 1u64, 1i64), (1, 2, 2), (0, 2, 3), (2, 3, 3)])
+            .build()
+            .unwrap();
+        let stats = DatasetStats::compute(&g);
+        assert_eq!(stats.num_vertices, 4);
+        assert_eq!(stats.num_edges, 4);
+        assert_eq!(stats.tmax, 3);
+        assert_eq!(stats.kmax, 2);
+    }
+
+    #[test]
+    fn percent_helpers_round_and_clamp() {
+        let stats = DatasetStats {
+            num_vertices: 10,
+            num_edges: 20,
+            tmax: 100,
+            kmax: 10,
+        };
+        assert_eq!(stats.k_for_percent(30), 3);
+        assert_eq!(stats.k_for_percent(1), 2); // clamped to 2
+        assert_eq!(stats.range_len_for_percent(10), 10);
+        assert_eq!(stats.range_len_for_percent(0), 1); // clamped to 1
+    }
+
+    #[test]
+    fn profile_graphs_have_usable_kmax() {
+        let profile = DatasetProfile::by_name("CM").unwrap();
+        let stats = DatasetStats::compute(&profile.generate());
+        assert!(stats.kmax >= 5, "kmax = {} too small for k sweeps", stats.kmax);
+        assert!(stats.tmax >= 50);
+    }
+}

@@ -1,0 +1,153 @@
+//! Query workload generation (Section VI, "Parameters").
+//!
+//! The paper evaluates each configuration on 100 random query time ranges of
+//! a given length (a percentage of `tmax`), each guaranteed to contain at
+//! least one temporal k-core, and reports the average running time.  This
+//! module reproduces that protocol with configurable counts and lengths.
+
+use crate::stats::DatasetStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use temporal_graph::{TemporalGraph, TimeWindow, Timestamp};
+use tkcore::{CountingSink, TimeRangeKCoreQuery};
+
+/// Configuration of a query workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Query parameter `k`.
+    pub k: usize,
+    /// Length of every query range, in timestamps.
+    pub range_len: u32,
+    /// Number of query ranges to generate.
+    pub num_queries: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Maximum number of random draws when searching for ranges that contain
+    /// at least one temporal k-core before giving up on the guarantee.
+    pub max_attempts_per_query: usize,
+}
+
+impl WorkloadConfig {
+    /// The paper's default parameters for a dataset: `k = 30% kmax`,
+    /// range length `10% tmax`, with a configurable number of queries.
+    pub fn paper_default(stats: &DatasetStats, num_queries: usize, seed: u64) -> Self {
+        Self {
+            k: stats.k_for_percent(30),
+            range_len: stats.range_len_for_percent(10),
+            num_queries,
+            seed,
+            max_attempts_per_query: 50,
+        }
+    }
+}
+
+/// A set of query time ranges for a fixed `k`, all within a graph's span.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    /// The query parameter `k` shared by all queries.
+    pub k: usize,
+    /// The generated query ranges.
+    pub ranges: Vec<TimeWindow>,
+}
+
+impl QueryWorkload {
+    /// Generates a workload for `graph` according to `config`.
+    ///
+    /// Ranges are drawn uniformly at random within the graph's span; a range
+    /// is accepted if the temporal k-core enumeration over it is non-empty
+    /// (checked with the result-size-optimal algorithm, which is cheap when
+    /// there are no results).  If no accepted range is found within
+    /// `max_attempts_per_query` draws, the last candidate is kept so the
+    /// workload always has `num_queries` entries.
+    pub fn generate(graph: &TemporalGraph, config: &WorkloadConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let tmax = graph.tmax().max(1);
+        let len = config.range_len.clamp(1, tmax);
+        let mut ranges = Vec::with_capacity(config.num_queries);
+        for _ in 0..config.num_queries {
+            let mut chosen: Option<TimeWindow> = None;
+            let mut last = TimeWindow::new(1, len.min(tmax));
+            for _ in 0..config.max_attempts_per_query.max(1) {
+                let start = rng.random_range(1..=(tmax - len + 1).max(1)) as Timestamp;
+                let candidate = TimeWindow::new(start, (start + len - 1).min(tmax));
+                last = candidate;
+                if Self::has_result(graph, config.k, candidate) {
+                    chosen = Some(candidate);
+                    break;
+                }
+            }
+            ranges.push(chosen.unwrap_or(last));
+        }
+        Self {
+            k: config.k,
+            ranges,
+        }
+    }
+
+    fn has_result(graph: &TemporalGraph, k: usize, range: TimeWindow) -> bool {
+        let mut sink = CountingSink::default();
+        TimeRangeKCoreQuery::new(k, range).run_with(graph, tkcore::Algorithm::Enum, &mut sink);
+        sink.num_cores > 0
+    }
+
+    /// Number of queries in the workload.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when the workload has no queries.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Iterates the queries as [`TimeRangeKCoreQuery`] values.
+    pub fn queries(&self) -> impl Iterator<Item = TimeRangeKCoreQuery> + '_ {
+        self.ranges
+            .iter()
+            .map(move |&r| TimeRangeKCoreQuery::new(self.k, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::DatasetProfile;
+
+    #[test]
+    fn generates_requested_number_of_queries() {
+        let g = DatasetProfile::by_name("FB").unwrap().generate();
+        let stats = DatasetStats::compute(&g);
+        let config = WorkloadConfig::paper_default(&stats, 5, 7);
+        let workload = QueryWorkload::generate(&g, &config);
+        assert_eq!(workload.len(), 5);
+        assert!(!workload.is_empty());
+        assert_eq!(workload.k, config.k);
+        for r in &workload.ranges {
+            assert!(r.len() <= u64::from(config.range_len));
+            assert!(r.end() <= g.tmax());
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic_for_a_seed() {
+        let g = DatasetProfile::by_name("FB").unwrap().generate();
+        let stats = DatasetStats::compute(&g);
+        let config = WorkloadConfig::paper_default(&stats, 4, 99);
+        let a = QueryWorkload::generate(&g, &config);
+        let b = QueryWorkload::generate(&g, &config);
+        assert_eq!(a.ranges, b.ranges);
+    }
+
+    #[test]
+    fn most_ranges_contain_a_core() {
+        let g = DatasetProfile::by_name("FB").unwrap().generate();
+        let stats = DatasetStats::compute(&g);
+        let config = WorkloadConfig::paper_default(&stats, 6, 3);
+        let workload = QueryWorkload::generate(&g, &config);
+        let with_core = workload
+            .queries()
+            .filter(|q| q.count(&g).num_cores > 0)
+            .count();
+        assert!(with_core >= workload.len() / 2, "only {with_core} queries have results");
+    }
+}

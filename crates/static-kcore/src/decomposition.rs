@@ -1,0 +1,186 @@
+use crate::{StaticGraph, VertexId};
+
+/// The full core decomposition of a graph: the *core number* of every vertex,
+/// i.e. the largest `k` such that the vertex belongs to the k-core.
+///
+/// Computed with the O(n + m) bin-sort peeling algorithm of Batagelj &
+/// Zaveršnik (2003).
+#[derive(Debug, Clone)]
+pub struct CoreDecomposition {
+    core_numbers: Vec<u32>,
+    kmax: u32,
+}
+
+impl CoreDecomposition {
+    /// Computes the core decomposition of `graph`.
+    pub fn compute(graph: &StaticGraph) -> Self {
+        let n = graph.num_vertices();
+        if n == 0 {
+            return Self {
+                core_numbers: Vec::new(),
+                kmax: 0,
+            };
+        }
+        let mut degree: Vec<usize> = (0..n as VertexId).map(|u| graph.degree(u)).collect();
+        let max_degree = degree.iter().copied().max().unwrap_or(0);
+
+        // bin[d] = index of the first vertex with degree d in `order`.
+        let mut bin = vec![0usize; max_degree + 2];
+        for &d in &degree {
+            bin[d + 1] += 1;
+        }
+        for d in 1..bin.len() {
+            bin[d] += bin[d - 1];
+        }
+        let mut order = vec![0 as VertexId; n];
+        let mut pos = vec![0usize; n];
+        let mut cursor = bin.clone();
+        for u in 0..n {
+            let d = degree[u];
+            order[cursor[d]] = u as VertexId;
+            pos[u] = cursor[d];
+            cursor[d] += 1;
+        }
+        // `bin[d]` must now point at the first vertex of degree >= d.
+        // (cursor consumed it; recompute prefix starts)
+        let mut bin_start = vec![0usize; max_degree + 2];
+        bin_start[..].copy_from_slice(&bin);
+
+        let mut core_numbers = vec![0u32; n];
+        for i in 0..n {
+            let u = order[i];
+            let du = degree[u as usize];
+            core_numbers[u as usize] = du as u32;
+            for &v in graph.neighbors(u) {
+                let dv = degree[v as usize];
+                if dv > du {
+                    // Move v to the front of its bin and shrink its degree.
+                    let pv = pos[v as usize];
+                    let first = bin_start[dv];
+                    let w = order[first];
+                    if v != w {
+                        order.swap(pv, first);
+                        pos[v as usize] = first;
+                        pos[w as usize] = pv;
+                    }
+                    bin_start[dv] += 1;
+                    degree[v as usize] -= 1;
+                }
+            }
+        }
+        let kmax = core_numbers.iter().copied().max().unwrap_or(0);
+        Self { core_numbers, kmax }
+    }
+
+    /// The core number of vertex `u`.
+    #[inline]
+    pub fn core_number(&self, u: VertexId) -> u32 {
+        self.core_numbers[u as usize]
+    }
+
+    /// Core numbers for all vertices, indexed by vertex id.
+    #[inline]
+    pub fn core_numbers(&self) -> &[u32] {
+        &self.core_numbers
+    }
+
+    /// The maximum core number in the graph (`kmax` in the paper's Table III).
+    #[inline]
+    pub fn kmax(&self) -> u32 {
+        self.kmax
+    }
+
+    /// Vertices belonging to the k-core (core number `>= k`), sorted by id.
+    pub fn k_core(&self, k: u32) -> Vec<VertexId> {
+        self.core_numbers
+            .iter()
+            .enumerate()
+            .filter_map(|(u, &c)| (c >= k).then_some(u as VertexId))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peel::k_core_vertices;
+
+    fn graph() -> StaticGraph {
+        StaticGraph::from_edges(
+            7,
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3), // 4-clique: core number 3
+                (3, 4),
+                (4, 5), // path: core number 1
+                (5, 6),
+                (6, 4), // triangle 4-5-6: core number 2
+            ],
+        )
+    }
+
+    #[test]
+    fn core_numbers_match_expectation() {
+        let d = CoreDecomposition::compute(&graph());
+        assert_eq!(d.core_numbers(), &[3, 3, 3, 3, 2, 2, 2]);
+        assert_eq!(d.kmax(), 3);
+        assert_eq!(d.k_core(3), vec![0, 1, 2, 3]);
+        assert_eq!(d.k_core(2).len(), 7);
+    }
+
+    #[test]
+    fn agrees_with_peeling_for_every_k() {
+        let g = graph();
+        let d = CoreDecomposition::compute(&g);
+        for k in 0..=(d.kmax() + 1) {
+            assert_eq!(d.k_core(k), k_core_vertices(&g, k as usize), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_have_core_zero() {
+        let g = StaticGraph::from_edges(4, [(0, 1)]);
+        let d = CoreDecomposition::compute(&g);
+        assert_eq!(d.core_number(2), 0);
+        assert_eq!(d.core_number(3), 0);
+        assert_eq!(d.core_number(0), 1);
+        assert_eq!(d.kmax(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = StaticGraph::from_edges(0, std::iter::empty());
+        let d = CoreDecomposition::compute(&g);
+        assert_eq!(d.kmax(), 0);
+        assert!(d.core_numbers().is_empty());
+        assert!(d.k_core(1).is_empty());
+    }
+
+    #[test]
+    fn random_graphs_agree_with_peeling() {
+        // Deterministic pseudo-random edges (LCG) so the test needs no rand dep here.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..20 {
+            let n = 30 + (trial % 5) * 10;
+            let m = 3 * n;
+            let edges: Vec<(VertexId, VertexId)> = (0..m)
+                .map(|_| ((next() % n as u64) as VertexId, (next() % n as u64) as VertexId))
+                .collect();
+            let g = StaticGraph::from_edges(n, edges);
+            let d = CoreDecomposition::compute(&g);
+            for k in 0..=(d.kmax() + 1) {
+                assert_eq!(d.k_core(k), k_core_vertices(&g, k as usize));
+            }
+        }
+    }
+}

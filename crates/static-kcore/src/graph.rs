@@ -1,0 +1,111 @@
+use crate::VertexId;
+
+/// A simple undirected graph in CSR form.
+///
+/// Parallel edges are collapsed and self loops dropped at construction, so
+/// vertex degree equals the number of *distinct* neighbours — the notion of
+/// degree used by the k-core definition.
+#[derive(Debug, Clone)]
+pub struct StaticGraph {
+    offsets: Vec<u32>,
+    neighbors: Vec<VertexId>,
+}
+
+impl StaticGraph {
+    /// Builds a graph with `num_vertices` vertices from an undirected edge
+    /// list.  Self loops are dropped and parallel edges collapsed.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= num_vertices`.
+    pub fn from_edges<I>(num_vertices: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut incidences: Vec<(VertexId, VertexId)> = Vec::new();
+        for (u, v) in edges {
+            assert!(
+                (u as usize) < num_vertices && (v as usize) < num_vertices,
+                "edge ({u}, {v}) out of range for {num_vertices} vertices"
+            );
+            if u == v {
+                continue;
+            }
+            incidences.push((u, v));
+            incidences.push((v, u));
+        }
+        incidences.sort_unstable();
+        incidences.dedup();
+
+        let mut offsets = vec![0u32; num_vertices + 1];
+        for &(u, _) in &incidences {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let neighbors = incidences.into_iter().map(|(_, v)| v).collect();
+        Self { offsets, neighbors }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected (collapsed) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Distinct neighbours of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[u as usize] as usize..self.offsets[u as usize + 1] as usize]
+    }
+
+    /// Degree (number of distinct neighbours) of `u`.
+    #[inline]
+    pub fn degree(&self, u: VertexId) -> usize {
+        (self.offsets[u as usize + 1] - self.offsets[u as usize]) as usize
+    }
+
+    /// Maximum degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_collapses() {
+        // triangle with a parallel edge and a self loop
+        let g = StaticGraph::from_edges(4, [(0, 1), (1, 0), (1, 2), (0, 2), (3, 3)]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = StaticGraph::from_edges(3, std::iter::empty());
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_panics() {
+        let _ = StaticGraph::from_edges(2, [(0, 5)]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Static (non-temporal) k-core decomposition.
+//!
+//! A *k-core* of a simple undirected graph is the maximal induced subgraph in
+//! which every vertex has at least `k` neighbours (Seidman 1983).  This crate
+//! provides the classic substrate the temporal algorithms are built on:
+//!
+//! * [`StaticGraph`] — a simple undirected graph over dense `u32` vertex ids,
+//!   built from an edge list (parallel edges and self loops are collapsed /
+//!   dropped);
+//! * [`peel_k_core`] — the peeling algorithm that repeatedly removes vertices
+//!   of degree `< k`;
+//! * [`CoreDecomposition`] — the full core-number assignment computed with
+//!   the O(n + m) bin-sort algorithm of Batagelj & Zaveršnik, from which
+//!   `kmax` (the paper's dataset statistic) and any k-core can be read off.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decomposition;
+mod graph;
+mod peel;
+
+pub use decomposition::CoreDecomposition;
+pub use graph::StaticGraph;
+pub use peel::{k_core_vertices, peel_k_core};
+
+/// Vertex identifier, matching `temporal_graph::VertexId`.
+pub type VertexId = u32;

@@ -1,0 +1,103 @@
+use crate::{StaticGraph, VertexId};
+use std::collections::VecDeque;
+
+/// Computes the k-core of `graph` by peeling: repeatedly removes vertices with
+/// fewer than `k` remaining neighbours.  Returns a boolean membership vector
+/// indexed by vertex id.
+///
+/// Runs in `O(n + m)` time.
+pub fn peel_k_core(graph: &StaticGraph, k: usize) -> Vec<bool> {
+    let n = graph.num_vertices();
+    let mut degree: Vec<usize> = (0..n as VertexId).map(|u| graph.degree(u)).collect();
+    let mut alive = vec![true; n];
+    let mut queue: VecDeque<VertexId> = (0..n as VertexId)
+        .filter(|&u| degree[u as usize] < k)
+        .collect();
+    while let Some(u) = queue.pop_front() {
+        if !alive[u as usize] {
+            continue;
+        }
+        alive[u as usize] = false;
+        for &v in graph.neighbors(u) {
+            if alive[v as usize] {
+                degree[v as usize] -= 1;
+                if degree[v as usize] + 1 == k {
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    alive
+}
+
+/// Convenience wrapper around [`peel_k_core`] returning the sorted list of
+/// vertices in the k-core.
+pub fn k_core_vertices(graph: &StaticGraph, k: usize) -> Vec<VertexId> {
+    peel_k_core(graph, k)
+        .iter()
+        .enumerate()
+        .filter_map(|(u, &in_core)| in_core.then_some(u as VertexId))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> StaticGraph {
+        // A 4-clique {0,1,2,3} with a pendant path 3-4-5.
+        StaticGraph::from_edges(
+            6,
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+        )
+    }
+
+    #[test]
+    fn three_core_is_the_clique() {
+        assert_eq!(k_core_vertices(&graph(), 3), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn one_core_keeps_everything_with_an_edge() {
+        assert_eq!(k_core_vertices(&graph(), 1).len(), 6);
+    }
+
+    #[test]
+    fn too_large_k_gives_empty_core() {
+        assert!(k_core_vertices(&graph(), 4).is_empty());
+        assert!(k_core_vertices(&graph(), 100).is_empty());
+    }
+
+    #[test]
+    fn zero_core_is_all_vertices() {
+        assert_eq!(k_core_vertices(&graph(), 0).len(), 6);
+    }
+
+    #[test]
+    fn cascade_peeling() {
+        // path 0-1-2-3: 2-core is empty because peeling cascades from the ends
+        let g = StaticGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert!(k_core_vertices(&g, 2).is_empty());
+        // cycle 0-1-2-3-0: 2-core is the whole cycle
+        let g = StaticGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(k_core_vertices(&g, 2).len(), 4);
+    }
+
+    #[test]
+    fn core_members_have_enough_neighbors_inside_core() {
+        let g = graph();
+        for k in 0..=4 {
+            let member = peel_k_core(&g, k);
+            for u in 0..g.num_vertices() as VertexId {
+                if member[u as usize] {
+                    let inside = g
+                        .neighbors(u)
+                        .iter()
+                        .filter(|&&v| member[v as usize])
+                        .count();
+                    assert!(inside >= k, "vertex {u} has {inside} < {k} core neighbours");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,344 @@
+use crate::graph::GroupEntry;
+use crate::{EdgeId, TemporalEdge, TemporalGraph, TemporalGraphError, Timestamp, VertexId};
+use std::collections::HashMap;
+
+/// How raw timestamps are mapped to the normalised `1..=tmax` range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimestampMode {
+    /// Distinct raw timestamps are compressed, order-preservingly, to the
+    /// consecutive integers `1..=tmax` (the convention used throughout the
+    /// paper).  This is the default and works with arbitrary `i64` raw
+    /// timestamps such as Unix epochs.
+    #[default]
+    CompressDistinct,
+    /// Raw timestamps are used as-is.  They must already be positive and
+    /// reasonably dense: per-timestamp index memory is proportional to the
+    /// largest timestamp.
+    Raw,
+}
+
+/// Builder for [`TemporalGraph`].
+///
+/// Vertices are identified by arbitrary `u64` labels and mapped to dense ids;
+/// timestamps are normalised according to the configured [`TimestampMode`].
+///
+/// ```
+/// use temporal_graph::{TemporalGraphBuilder, TimeWindow};
+///
+/// let g = TemporalGraphBuilder::new()
+///     .add_edge(10, 20, 100)
+///     .add_edge(20, 30, 105)
+///     .add_edge(10, 30, 105)
+///     .build()
+///     .unwrap();
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.tmax(), 2); // two distinct raw timestamps
+/// ```
+#[derive(Debug, Clone)]
+pub struct TemporalGraphBuilder {
+    raw_edges: Vec<(u64, u64, i64)>,
+    timestamp_mode: TimestampMode,
+    skip_self_loops: bool,
+    dedup_exact: bool,
+}
+
+impl Default for TemporalGraphBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TemporalGraphBuilder {
+    /// Creates an empty builder with default settings (compressed timestamps,
+    /// self loops silently skipped, exact duplicates kept).
+    pub fn new() -> Self {
+        Self {
+            raw_edges: Vec::new(),
+            timestamp_mode: TimestampMode::default(),
+            skip_self_loops: true,
+            dedup_exact: false,
+        }
+    }
+
+    /// Sets the timestamp normalisation mode.
+    pub fn timestamp_mode(mut self, mode: TimestampMode) -> Self {
+        self.timestamp_mode = mode;
+        self
+    }
+
+    /// When `false`, a self loop makes [`Self::build`] fail instead of being
+    /// silently dropped.
+    pub fn skip_self_loops(mut self, skip: bool) -> Self {
+        self.skip_self_loops = skip;
+        self
+    }
+
+    /// When `true`, exact duplicate occurrences `(u, v, t)` are collapsed to a
+    /// single temporal edge.
+    pub fn dedup_exact_duplicates(mut self, dedup: bool) -> Self {
+        self.dedup_exact = dedup;
+        self
+    }
+
+    /// Adds a single temporal edge `(u, v, t)` given by external labels and a
+    /// raw timestamp.
+    pub fn add_edge(mut self, u: u64, v: u64, t: i64) -> Self {
+        self.raw_edges.push((u, v, t));
+        self
+    }
+
+    /// Adds every edge from an iterator of `(u, v, t)` triples.
+    pub fn with_edges<I>(mut self, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, u64, i64)>,
+    {
+        self.raw_edges.extend(edges);
+        self
+    }
+
+    /// Number of raw edges currently buffered.
+    pub fn len(&self) -> usize {
+        self.raw_edges.len()
+    }
+
+    /// True when no edge has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.raw_edges.is_empty()
+    }
+
+    /// Builds the immutable [`TemporalGraph`].
+    pub fn build(self) -> Result<TemporalGraph, TemporalGraphError> {
+        let mut raw = Vec::with_capacity(self.raw_edges.len());
+        for &(u, v, t) in &self.raw_edges {
+            if u == v {
+                if self.skip_self_loops {
+                    continue;
+                }
+                return Err(TemporalGraphError::InvalidEdge {
+                    message: format!("self loop ({u}, {v}, {t})"),
+                });
+            }
+            raw.push((u, v, t));
+        }
+        if raw.is_empty() {
+            return Err(TemporalGraphError::EmptyGraph);
+        }
+
+        // Vertex label -> dense id, deterministic (sorted by label).
+        let mut labels: Vec<u64> = raw.iter().flat_map(|&(u, v, _)| [u, v]).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        let id_of: HashMap<u64, VertexId> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (l, i as VertexId))
+            .collect();
+
+        // Timestamp normalisation.
+        let normalise: Box<dyn Fn(i64) -> Result<Timestamp, TemporalGraphError>> =
+            match self.timestamp_mode {
+                TimestampMode::CompressDistinct => {
+                    let mut ts: Vec<i64> = raw.iter().map(|&(_, _, t)| t).collect();
+                    ts.sort_unstable();
+                    ts.dedup();
+                    let map: HashMap<i64, Timestamp> = ts
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &t)| (t, (i + 1) as Timestamp))
+                        .collect();
+                    Box::new(move |t| Ok(map[&t]))
+                }
+                TimestampMode::Raw => Box::new(|t| {
+                    if t < 1 || t > i64::from(u32::MAX - 1) {
+                        Err(TemporalGraphError::InvalidEdge {
+                            message: format!("raw timestamp {t} out of range 1..2^32-1"),
+                        })
+                    } else {
+                        Ok(t as Timestamp)
+                    }
+                }),
+            };
+
+        let mut edges = Vec::with_capacity(raw.len());
+        for &(u, v, t) in &raw {
+            let (a, b) = (id_of[&u], id_of[&v]);
+            let (a, b) = if a < b { (a, b) } else { (b, a) };
+            edges.push(TemporalEdge {
+                u: a,
+                v: b,
+                t: normalise(t)?,
+            });
+        }
+        edges.sort_unstable_by_key(|e| (e.t, e.u, e.v));
+        if self.dedup_exact {
+            edges.dedup();
+        }
+
+        let num_vertices = labels.len();
+        let tmax = edges.last().map(|e| e.t).unwrap_or(0);
+
+        // Per-timestamp offsets.
+        let mut time_offsets = vec![0u32; tmax as usize + 2];
+        for e in &edges {
+            time_offsets[e.t as usize + 1] += 1;
+        }
+        for i in 1..time_offsets.len() {
+            time_offsets[i] += time_offsets[i - 1];
+        }
+
+        // Adjacency grouped by distinct neighbour.
+        let mut incidences: Vec<(VertexId, VertexId, Timestamp, EdgeId)> =
+            Vec::with_capacity(edges.len() * 2);
+        for (id, e) in edges.iter().enumerate() {
+            incidences.push((e.u, e.v, e.t, id as EdgeId));
+            incidences.push((e.v, e.u, e.t, id as EdgeId));
+        }
+        incidences.sort_unstable();
+
+        let mut adj_offsets = vec![0u32; num_vertices + 1];
+        let mut groups: Vec<GroupEntry> = Vec::new();
+        let mut occurrences: Vec<(Timestamp, EdgeId)> = Vec::with_capacity(incidences.len());
+        let mut i = 0usize;
+        for u in 0..num_vertices as VertexId {
+            while i < incidences.len() && incidences[i].0 == u {
+                let neighbor = incidences[i].1;
+                let occ_start = occurrences.len() as u32;
+                while i < incidences.len() && incidences[i].0 == u && incidences[i].1 == neighbor {
+                    occurrences.push((incidences[i].2, incidences[i].3));
+                    i += 1;
+                }
+                groups.push(GroupEntry {
+                    neighbor,
+                    occ_start,
+                    occ_end: occurrences.len() as u32,
+                });
+            }
+            adj_offsets[u as usize + 1] = groups.len() as u32;
+        }
+
+        Ok(TemporalGraph {
+            num_vertices,
+            edges,
+            tmax,
+            time_offsets,
+            adj_offsets,
+            groups,
+            occurrences,
+            labels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TimeWindow;
+
+    #[test]
+    fn compresses_timestamps() {
+        let g = TemporalGraphBuilder::new()
+            .with_edges([(1u64, 2u64, 1_000i64), (2, 3, 5_000), (1, 3, 1_000)])
+            .build()
+            .unwrap();
+        assert_eq!(g.tmax(), 2);
+        assert_eq!(g.edges_at(1).len(), 2);
+        assert_eq!(g.edges_at(2).len(), 1);
+    }
+
+    #[test]
+    fn raw_mode_keeps_timestamps() {
+        let g = TemporalGraphBuilder::new()
+            .timestamp_mode(TimestampMode::Raw)
+            .with_edges([(1u64, 2u64, 3i64), (2, 3, 7)])
+            .build()
+            .unwrap();
+        assert_eq!(g.tmax(), 7);
+        assert_eq!(g.edges_at(3).len(), 1);
+        assert_eq!(g.num_edges_in(TimeWindow::new(4, 6)), 0);
+    }
+
+    #[test]
+    fn raw_mode_rejects_nonpositive() {
+        let err = TemporalGraphBuilder::new()
+            .timestamp_mode(TimestampMode::Raw)
+            .add_edge(1, 2, 0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TemporalGraphError::InvalidEdge { .. }));
+    }
+
+    #[test]
+    fn self_loops_skipped_by_default() {
+        let g = TemporalGraphBuilder::new()
+            .with_edges([(1u64, 1u64, 1i64), (1, 2, 2)])
+            .build()
+            .unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.num_vertices(), 2);
+    }
+
+    #[test]
+    fn self_loops_rejected_when_strict() {
+        let err = TemporalGraphBuilder::new()
+            .skip_self_loops(false)
+            .add_edge(1, 1, 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TemporalGraphError::InvalidEdge { .. }));
+    }
+
+    #[test]
+    fn empty_graph_is_an_error() {
+        assert!(matches!(
+            TemporalGraphBuilder::new().build().unwrap_err(),
+            TemporalGraphError::EmptyGraph
+        ));
+        // only self loops -> still empty
+        assert!(matches!(
+            TemporalGraphBuilder::new().add_edge(3, 3, 1).build().unwrap_err(),
+            TemporalGraphError::EmptyGraph
+        ));
+    }
+
+    #[test]
+    fn dedup_exact_duplicates() {
+        let edges = [(1u64, 2u64, 5i64), (2, 1, 5), (1, 2, 5)];
+        let kept = TemporalGraphBuilder::new()
+            .with_edges(edges)
+            .build()
+            .unwrap();
+        assert_eq!(kept.num_edges(), 3);
+        let deduped = TemporalGraphBuilder::new()
+            .dedup_exact_duplicates(true)
+            .with_edges(edges)
+            .build()
+            .unwrap();
+        assert_eq!(deduped.num_edges(), 1);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let g = TemporalGraphBuilder::new()
+            .with_edges([(100u64, 7u64, 1i64), (7, 42, 2)])
+            .build()
+            .unwrap();
+        let mut labels = g.labels().to_vec();
+        labels.sort_unstable();
+        assert_eq!(labels, vec![7, 42, 100]);
+        // adjacency is symmetric
+        for u in 0..g.num_vertices() as VertexId {
+            for gr in g.neighbors(u) {
+                assert!(g.neighbors(gr.neighbor).any(|h| h.neighbor == u));
+            }
+        }
+    }
+
+    #[test]
+    fn builder_len_helpers() {
+        let b = TemporalGraphBuilder::new();
+        assert!(b.is_empty());
+        let b = b.add_edge(1, 2, 1);
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+}

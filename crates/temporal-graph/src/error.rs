@@ -1,0 +1,81 @@
+use std::fmt;
+use std::io;
+
+/// Errors produced while building or loading temporal graphs.
+#[derive(Debug)]
+pub enum TemporalGraphError {
+    /// Underlying I/O failure while reading or writing an edge list.
+    Io(io::Error),
+    /// A line of an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An edge was rejected by the builder (e.g. a self loop when they are
+    /// disallowed, or a non-positive raw timestamp in raw mode).
+    InvalidEdge {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// The builder produced a graph with no edges.
+    EmptyGraph,
+}
+
+impl fmt::Display for TemporalGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalGraphError::Io(e) => write!(f, "I/O error: {e}"),
+            TemporalGraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            TemporalGraphError::InvalidEdge { message } => {
+                write!(f, "invalid edge: {message}")
+            }
+            TemporalGraphError::EmptyGraph => write!(f, "temporal graph has no edges"),
+        }
+    }
+}
+
+impl std::error::Error for TemporalGraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TemporalGraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TemporalGraphError {
+    fn from(e: io::Error) -> Self {
+        TemporalGraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TemporalGraphError::Parse {
+            line: 7,
+            message: "expected three fields".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let e = TemporalGraphError::EmptyGraph;
+        assert!(e.to_string().contains("no edges"));
+        let e = TemporalGraphError::InvalidEdge {
+            message: "self loop".into(),
+        };
+        assert!(e.to_string().contains("self loop"));
+    }
+
+    #[test]
+    fn io_error_source() {
+        let e: TemporalGraphError = io::Error::new(io::ErrorKind::NotFound, "missing").into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("I/O"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Synthetic temporal graph generators.
+//!
+//! The evaluation of the paper uses fourteen real temporal networks.  Those
+//! files are not redistributable with this repository, so the benchmark
+//! harness generates *scaled synthetic analogues* with the same structural
+//! knobs that drive the algorithms under test: number of vertices, number of
+//! temporal edges, number of distinct timestamps, and core density.  The
+//! generators here are the building blocks for those profiles (see the
+//! `tkc-datasets` crate) and are also useful on their own for testing.
+
+use crate::{TemporalGraph, TemporalGraphBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Uniformly random temporal graph: every edge picks two distinct vertices
+/// uniformly at random and a timestamp uniformly in `1..=num_timestamps`.
+///
+/// This mirrors sparse interaction networks with many distinct timestamps
+/// (the FB/BO/CM regime of the paper's Table III).
+pub fn uniform_random(
+    num_vertices: usize,
+    num_edges: usize,
+    num_timestamps: u32,
+    seed: u64,
+) -> TemporalGraph {
+    assert!(num_vertices >= 2, "need at least two vertices");
+    assert!(num_timestamps >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = TemporalGraphBuilder::new();
+    let mut added = 0usize;
+    while added < num_edges {
+        let u = rng.random_range(0..num_vertices) as u64;
+        let v = rng.random_range(0..num_vertices) as u64;
+        if u == v {
+            continue;
+        }
+        let t = rng.random_range(1..=i64::from(num_timestamps));
+        builder = builder.add_edge(u, v, t);
+        added += 1;
+    }
+    builder.build().expect("generator always produces edges")
+}
+
+/// Temporal preferential-attachment graph (Barabási–Albert style).
+///
+/// Vertices arrive one by one; each new vertex attaches to `edges_per_vertex`
+/// existing vertices chosen proportionally to their degree.  Timestamps grow
+/// with arrival order with a small random spread, producing the "activity
+/// accumulates over time" pattern of communication networks (EM/SU/WT regime).
+pub fn preferential_attachment(
+    num_vertices: usize,
+    edges_per_vertex: usize,
+    num_timestamps: u32,
+    seed: u64,
+) -> TemporalGraph {
+    assert!(num_vertices > edges_per_vertex + 1);
+    assert!(edges_per_vertex >= 1);
+    assert!(num_timestamps >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = TemporalGraphBuilder::new();
+    // Repeated-endpoint list implements degree-proportional sampling.
+    let mut endpoints: Vec<u64> = Vec::new();
+    let seed_vertices = edges_per_vertex + 1;
+    for u in 0..seed_vertices as u64 {
+        for v in 0..u {
+            builder = builder.add_edge(u, v, 1);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for u in seed_vertices as u64..num_vertices as u64 {
+        let progress = (u as f64) / (num_vertices as f64);
+        let base_t = 1.0 + progress * f64::from(num_timestamps - 1);
+        let mut targets = Vec::with_capacity(edges_per_vertex);
+        while targets.len() < edges_per_vertex {
+            let pick = endpoints[rng.random_range(0..endpoints.len())];
+            if pick != u && !targets.contains(&pick) {
+                targets.push(pick);
+            }
+        }
+        for &v in &targets {
+            let jitter = rng.random_range(-3.0..=3.0);
+            let t = (base_t + jitter)
+                .round()
+                .clamp(1.0, f64::from(num_timestamps)) as i64;
+            builder = builder.add_edge(u, v, t);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    builder.build().expect("generator always produces edges")
+}
+
+/// Parameters for [`planted_bursty_cores`].
+#[derive(Debug, Clone)]
+pub struct BurstyConfig {
+    /// Number of vertices in the background graph.
+    pub num_vertices: usize,
+    /// Number of uniformly random background edges.
+    pub background_edges: usize,
+    /// Number of planted bursts (dense communities active in a short window).
+    pub num_bursts: usize,
+    /// Vertices per burst community.
+    pub burst_size: usize,
+    /// Length (in timestamps) of each burst window.
+    pub burst_duration: u32,
+    /// Probability of each intra-community pair interacting during the burst.
+    pub burst_density: f64,
+    /// Total number of distinct timestamps.
+    pub num_timestamps: u32,
+}
+
+impl Default for BurstyConfig {
+    fn default() -> Self {
+        Self {
+            num_vertices: 500,
+            background_edges: 2_000,
+            num_bursts: 8,
+            burst_size: 20,
+            burst_duration: 20,
+            burst_density: 0.6,
+            num_timestamps: 1_000,
+        }
+    }
+}
+
+/// Background noise plus *planted bursty communities*: dense subgraphs whose
+/// edges all fall inside a short time window.  This mimics the coordinated
+/// bursts (bot campaigns, transaction rings, outbreak clusters) that motivate
+/// exhaustive temporal k-core enumeration in the paper's introduction, and it
+/// guarantees the existence of non-trivial temporal k-cores.
+pub fn planted_bursty_cores(config: &BurstyConfig, seed: u64) -> TemporalGraph {
+    assert!(config.num_vertices >= config.burst_size.max(2));
+    assert!(config.burst_size >= 2);
+    assert!(config.num_timestamps >= 1);
+    assert!((0.0..=1.0).contains(&config.burst_density));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = TemporalGraphBuilder::new();
+
+    // Background noise.
+    let mut added = 0usize;
+    while added < config.background_edges {
+        let u = rng.random_range(0..config.num_vertices) as u64;
+        let v = rng.random_range(0..config.num_vertices) as u64;
+        if u == v {
+            continue;
+        }
+        let t = rng.random_range(1..=i64::from(config.num_timestamps));
+        builder = builder.add_edge(u, v, t);
+        added += 1;
+    }
+
+    // Planted bursts.
+    let mut vertices: Vec<u64> = (0..config.num_vertices as u64).collect();
+    for _ in 0..config.num_bursts {
+        vertices.shuffle(&mut rng);
+        let members = &vertices[..config.burst_size];
+        let latest_start = config.num_timestamps.saturating_sub(config.burst_duration) + 1;
+        let start = rng.random_range(1..=i64::from(latest_start.max(1)));
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                if rng.random_bool(config.burst_density) {
+                    let offset = rng.random_range(0..i64::from(config.burst_duration.max(1)));
+                    let t = (start + offset).min(i64::from(config.num_timestamps));
+                    builder = builder.add_edge(members[i], members[j], t);
+                }
+            }
+        }
+    }
+    builder.build().expect("generator always produces edges")
+}
+
+/// Random temporal graph with *few* distinct timestamps: many edges share the
+/// same label, mimicking snapshot-style datasets (the WK/PL/YT regime of
+/// Table III, where `tmax` is orders of magnitude smaller than `|E|`).
+pub fn few_timestamps(
+    num_vertices: usize,
+    num_edges: usize,
+    num_timestamps: u32,
+    seed: u64,
+) -> TemporalGraph {
+    // Identical mechanics to `uniform_random`; the semantic difference is the
+    // caller passing a very small `num_timestamps`, which we keep as an
+    // explicit entry point for readability at call sites.
+    uniform_random(num_vertices, num_edges, num_timestamps, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_random_respects_parameters() {
+        let g = uniform_random(50, 300, 40, 7);
+        assert!(g.num_vertices() <= 50);
+        assert_eq!(g.num_edges(), 300);
+        assert!(g.tmax() <= 40);
+        // determinism
+        let g2 = uniform_random(50, 300, 40, 7);
+        assert_eq!(g.edges(), g2.edges());
+        let g3 = uniform_random(50, 300, 40, 8);
+        assert_ne!(g.edges(), g3.edges());
+    }
+
+    #[test]
+    fn preferential_attachment_shape() {
+        let g = preferential_attachment(100, 3, 50, 11);
+        // 3 seed edges (triangle on 4 seed vertices = 6 edges) plus 3 per new vertex
+        assert!(g.num_edges() >= 3 * (100 - 4));
+        assert!(g.tmax() <= 50);
+        // hubs exist: max distinct degree well above the minimum attachment count
+        let max_deg = (0..g.num_vertices() as u32)
+            .map(|u| g.distinct_degree(u))
+            .max()
+            .unwrap();
+        assert!(max_deg > 5);
+    }
+
+    #[test]
+    fn bursty_cores_are_planted() {
+        let cfg = BurstyConfig {
+            num_vertices: 80,
+            background_edges: 100,
+            num_bursts: 3,
+            burst_size: 10,
+            burst_duration: 5,
+            burst_density: 0.9,
+            num_timestamps: 60,
+        };
+        let g = planted_bursty_cores(&cfg, 3);
+        assert!(g.num_edges() > 100);
+        // bursts concentrate edges: some timestamp bucket holds several edges
+        let busiest = (1..=g.tmax()).map(|t| g.edges_at(t).len()).max().unwrap();
+        assert!(busiest >= 2);
+    }
+
+    #[test]
+    fn few_timestamps_compresses_time() {
+        let g = few_timestamps(60, 500, 5, 9);
+        assert!(g.tmax() <= 5);
+        assert_eq!(g.num_edges(), 500);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uniform_random_rejects_single_vertex() {
+        let _ = uniform_random(1, 10, 5, 0);
+    }
+}

@@ -1,0 +1,338 @@
+use crate::{EdgeId, Timestamp, TimeWindow, VertexId};
+use std::ops::Range;
+
+/// A single undirected temporal edge occurrence `(u, v, t)`.
+///
+/// Edges are stored with `u < v`; the graph is undirected so `(u, v, t)` and
+/// `(v, u, t)` denote the same occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TemporalEdge {
+    /// Smaller endpoint.
+    pub u: VertexId,
+    /// Larger endpoint.
+    pub v: VertexId,
+    /// Normalised timestamp (`1..=tmax`).
+    pub t: Timestamp,
+}
+
+impl TemporalEdge {
+    /// The endpoint of the edge that is not `w`.
+    ///
+    /// # Panics
+    /// Panics if `w` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, w: VertexId) -> VertexId {
+        if w == self.u {
+            self.v
+        } else {
+            debug_assert_eq!(w, self.v, "vertex {w} is not an endpoint");
+            self.u
+        }
+    }
+}
+
+/// One adjacency group: a distinct neighbour of a vertex together with every
+/// edge occurrence shared with that neighbour, sorted by timestamp.
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborGroup<'a> {
+    /// The distinct neighbour vertex.
+    pub neighbor: VertexId,
+    /// All `(timestamp, edge id)` occurrences between the owning vertex and
+    /// [`Self::neighbor`], sorted by timestamp ascending.
+    pub occurrences: &'a [(Timestamp, EdgeId)],
+}
+
+impl<'a> NeighborGroup<'a> {
+    /// Earliest occurrence timestamp that is `>= ts`, if any.
+    #[inline]
+    pub fn earliest_at_or_after(&self, ts: Timestamp) -> Option<(Timestamp, EdgeId)> {
+        let idx = self.occurrences.partition_point(|&(t, _)| t < ts);
+        self.occurrences.get(idx).copied()
+    }
+
+    /// Occurrences whose timestamp falls inside `window`.
+    #[inline]
+    pub fn occurrences_in(&self, window: TimeWindow) -> &'a [(Timestamp, EdgeId)] {
+        let lo = self.occurrences.partition_point(|&(t, _)| t < window.start());
+        let hi = self.occurrences.partition_point(|&(t, _)| t <= window.end());
+        &self.occurrences[lo..hi]
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct GroupEntry {
+    pub(crate) neighbor: VertexId,
+    pub(crate) occ_start: u32,
+    pub(crate) occ_end: u32,
+}
+
+/// An immutable temporal graph.
+///
+/// Construction happens through [`crate::TemporalGraphBuilder`], the
+/// [`crate::loader`] or one of the [`crate::generator`] functions.  The graph
+/// stores:
+///
+/// * all temporal edges sorted by timestamp (so the edge occurrences of any
+///   time window form a contiguous id range);
+/// * a per-timestamp bucket index;
+/// * per-vertex adjacency grouped by distinct neighbour, every group holding
+///   the sorted occurrence list shared with that neighbour.
+#[derive(Debug, Clone)]
+pub struct TemporalGraph {
+    pub(crate) num_vertices: usize,
+    pub(crate) edges: Vec<TemporalEdge>,
+    pub(crate) tmax: Timestamp,
+    /// `time_offsets[t]..time_offsets[t + 1]` indexes the edges with timestamp `t`.
+    pub(crate) time_offsets: Vec<u32>,
+    pub(crate) adj_offsets: Vec<u32>,
+    pub(crate) groups: Vec<GroupEntry>,
+    pub(crate) occurrences: Vec<(Timestamp, EdgeId)>,
+    pub(crate) labels: Vec<u64>,
+}
+
+impl TemporalGraph {
+    /// Number of vertices (`|V|`). Vertex ids are `0..num_vertices()`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of temporal edge occurrences (`|E|`).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Largest (normalised) timestamp in the graph.
+    #[inline]
+    pub fn tmax(&self) -> Timestamp {
+        self.tmax
+    }
+
+    /// The full time span `[1, tmax]` of the graph.
+    #[inline]
+    pub fn span(&self) -> TimeWindow {
+        TimeWindow::new(1, self.tmax.max(1))
+    }
+
+    /// All temporal edges, sorted by `(t, u, v)`.
+    #[inline]
+    pub fn edges(&self) -> &[TemporalEdge] {
+        &self.edges
+    }
+
+    /// The temporal edge with the given id.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &TemporalEdge {
+        &self.edges[id as usize]
+    }
+
+    /// Ids of the edges whose timestamp is exactly `t`.
+    #[inline]
+    pub fn edge_ids_at(&self, t: Timestamp) -> Range<EdgeId> {
+        if t == 0 || t > self.tmax {
+            return 0..0;
+        }
+        self.time_offsets[t as usize]..self.time_offsets[t as usize + 1]
+    }
+
+    /// Edges whose timestamp is exactly `t`.
+    #[inline]
+    pub fn edges_at(&self, t: Timestamp) -> &[TemporalEdge] {
+        let r = self.edge_ids_at(t);
+        &self.edges[r.start as usize..r.end as usize]
+    }
+
+    /// Ids of the edges falling inside `window` (a contiguous range because
+    /// edges are sorted by timestamp).
+    #[inline]
+    pub fn edge_ids_in(&self, window: TimeWindow) -> Range<EdgeId> {
+        let start = window.start().min(self.tmax + 1);
+        let end = window.end().min(self.tmax);
+        if start > end {
+            return 0..0;
+        }
+        self.time_offsets[start as usize]..self.time_offsets[end as usize + 1]
+    }
+
+    /// Edges falling inside `window`.
+    #[inline]
+    pub fn edges_in(&self, window: TimeWindow) -> &[TemporalEdge] {
+        let r = self.edge_ids_in(window);
+        &self.edges[r.start as usize..r.end as usize]
+    }
+
+    /// Number of edge occurrences inside `window`.
+    #[inline]
+    pub fn num_edges_in(&self, window: TimeWindow) -> usize {
+        let r = self.edge_ids_in(window);
+        (r.end - r.start) as usize
+    }
+
+    /// Iterates the adjacency of `u`: one [`NeighborGroup`] per distinct
+    /// neighbour, ordered by neighbour id.
+    pub fn neighbors(&self, u: VertexId) -> impl Iterator<Item = NeighborGroup<'_>> + '_ {
+        let lo = self.adj_offsets[u as usize] as usize;
+        let hi = self.adj_offsets[u as usize + 1] as usize;
+        self.groups[lo..hi].iter().map(move |g| NeighborGroup {
+            neighbor: g.neighbor,
+            occurrences: &self.occurrences[g.occ_start as usize..g.occ_end as usize],
+        })
+    }
+
+    /// Number of distinct neighbours of `u` over the whole time span.
+    #[inline]
+    pub fn distinct_degree(&self, u: VertexId) -> usize {
+        (self.adj_offsets[u as usize + 1] - self.adj_offsets[u as usize]) as usize
+    }
+
+    /// Number of edge occurrences incident to `u` over the whole time span.
+    pub fn temporal_degree(&self, u: VertexId) -> usize {
+        self.neighbors(u).map(|g| g.occurrences.len()).sum()
+    }
+
+    /// Number of distinct neighbours of `u` restricted to `window`.
+    pub fn distinct_degree_in(&self, u: VertexId, window: TimeWindow) -> usize {
+        self.neighbors(u)
+            .filter(|g| !g.occurrences_in(window).is_empty())
+            .count()
+    }
+
+    /// Average distinct degree over vertices with at least one incident edge
+    /// in `window` (the `deg_avg` of the paper's complexity analysis).
+    pub fn average_distinct_degree_in(&self, window: TimeWindow) -> f64 {
+        let mut total = 0usize;
+        let mut active = 0usize;
+        for u in 0..self.num_vertices as VertexId {
+            let d = self.distinct_degree_in(u, window);
+            if d > 0 {
+                total += d;
+                active += 1;
+            }
+        }
+        if active == 0 {
+            0.0
+        } else {
+            total as f64 / active as f64
+        }
+    }
+
+    /// Number of distinct timestamps present in `window`.
+    pub fn distinct_timestamps_in(&self, window: TimeWindow) -> usize {
+        let start = window.start().min(self.tmax + 1);
+        let end = window.end().min(self.tmax);
+        (start..=end)
+            .filter(|&t| {
+                let r = self.edge_ids_at(t);
+                r.end > r.start
+            })
+            .count()
+    }
+
+    /// Original (external) label of vertex `u`.
+    #[inline]
+    pub fn label(&self, u: VertexId) -> u64 {
+        self.labels[u as usize]
+    }
+
+    /// Original labels for all vertices, indexed by vertex id.
+    #[inline]
+    pub fn labels(&self) -> &[u64] {
+        &self.labels
+    }
+
+    /// Approximate heap footprint of the graph in bytes (used by the memory
+    /// accounting experiment).
+    pub fn memory_bytes(&self) -> usize {
+        self.edges.len() * std::mem::size_of::<TemporalEdge>()
+            + self.time_offsets.len() * 4
+            + self.adj_offsets.len() * 4
+            + self.groups.len() * std::mem::size_of::<GroupEntry>()
+            + self.occurrences.len() * std::mem::size_of::<(Timestamp, EdgeId)>()
+            + self.labels.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::TemporalGraphBuilder;
+
+    use super::*;
+
+    fn small() -> TemporalGraph {
+        // triangle at t=1..3 plus a pendant edge at t=5, duplicate occurrence (0,1)@4
+        TemporalGraphBuilder::new()
+            .with_edges([(0u64, 1u64, 1i64), (1, 2, 2), (0, 2, 3), (0, 1, 4), (2, 3, 5)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = small();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.tmax(), 5);
+        assert_eq!(g.span(), TimeWindow::new(1, 5));
+    }
+
+    #[test]
+    fn edges_sorted_by_time_and_window_slices() {
+        let g = small();
+        let ts: Vec<_> = g.edges().iter().map(|e| e.t).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        assert_eq!(ts, sorted);
+
+        assert_eq!(g.edges_at(1).len(), 1);
+        assert_eq!(g.edges_at(7).len(), 0);
+        assert_eq!(g.num_edges_in(TimeWindow::new(2, 4)), 3);
+        assert_eq!(g.num_edges_in(TimeWindow::new(6, 9)), 0);
+        let r = g.edge_ids_in(TimeWindow::new(1, 5));
+        assert_eq!((r.end - r.start) as usize, g.num_edges());
+    }
+
+    #[test]
+    fn adjacency_groups() {
+        let g = small();
+        // vertex with label 0 has neighbours 1 (two occurrences) and 2.
+        let v0 = g.labels().iter().position(|&l| l == 0).unwrap() as VertexId;
+        let v1 = g.labels().iter().position(|&l| l == 1).unwrap() as VertexId;
+        assert_eq!(g.distinct_degree(v0), 2);
+        assert_eq!(g.temporal_degree(v0), 3);
+        let group = g
+            .neighbors(v0)
+            .find(|gr| gr.neighbor == v1)
+            .expect("neighbour group present");
+        assert_eq!(group.occurrences.len(), 2);
+        assert_eq!(group.earliest_at_or_after(1), Some(group.occurrences[0]));
+        assert_eq!(group.earliest_at_or_after(2).map(|(t, _)| t), Some(4));
+        assert_eq!(group.earliest_at_or_after(5), None);
+        assert_eq!(group.occurrences_in(TimeWindow::new(2, 5)).len(), 1);
+    }
+
+    #[test]
+    fn windowed_degrees() {
+        let g = small();
+        let v0 = g.labels().iter().position(|&l| l == 0).unwrap() as VertexId;
+        assert_eq!(g.distinct_degree_in(v0, TimeWindow::new(1, 5)), 2);
+        assert_eq!(g.distinct_degree_in(v0, TimeWindow::new(4, 5)), 1);
+        assert_eq!(g.distinct_degree_in(v0, TimeWindow::new(5, 5)), 0);
+        assert!(g.average_distinct_degree_in(TimeWindow::new(1, 5)) > 0.0);
+        assert_eq!(g.average_distinct_degree_in(TimeWindow::new(6, 8)), 0.0);
+        assert_eq!(g.distinct_timestamps_in(TimeWindow::new(1, 5)), 5);
+        assert_eq!(g.distinct_timestamps_in(TimeWindow::new(4, 5)), 2);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = TemporalEdge { u: 3, v: 7, t: 1 };
+        assert_eq!(e.other(3), 7);
+        assert_eq!(e.other(7), 3);
+    }
+
+    #[test]
+    fn memory_estimate_positive() {
+        assert!(small().memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Temporal graph substrate for time-range k-core computation.
+//!
+//! A *temporal graph* is an undirected graph in which every edge occurrence
+//! carries a timestamp: `(u, v, t)`.  This crate provides:
+//!
+//! * [`TemporalGraph`] — an immutable, index-backed representation with
+//!   per-timestamp edge buckets and per-vertex adjacency grouped by distinct
+//!   neighbour (each group stores the sorted list of edge occurrences shared
+//!   with that neighbour);
+//! * [`TemporalGraphBuilder`] — label/timestamp normalisation and validation;
+//! * [`TimeWindow`] — inclusive `[start, end]` windows used for projections
+//!   and queries;
+//! * [`loader`] — plain-text edge list reader/writer (SNAP / KONECT style);
+//! * [`generator`] — synthetic temporal graph generators used by the
+//!   evaluation harness.
+//!
+//! The representation follows the conventions of *Accelerating K-Core
+//! Computation in Temporal Graphs* (EDBT 2026): timestamps are normalised to
+//! a continuous range `1..=tmax`, vertices to `0..n`, and multiple edges
+//! between the same pair of vertices are allowed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+pub mod generator;
+mod graph;
+pub mod loader;
+mod window;
+
+pub use builder::{TemporalGraphBuilder, TimestampMode};
+pub use error::TemporalGraphError;
+pub use graph::{NeighborGroup, TemporalEdge, TemporalGraph};
+pub use window::TimeWindow;
+
+/// Internal vertex identifier: dense indices `0..num_vertices()`.
+pub type VertexId = u32;
+
+/// Normalised timestamp. Timestamps are `1..=tmax`; `0` is never a valid
+/// timestamp which lets algorithms use it as a sentinel.
+pub type Timestamp = u32;
+
+/// Identifier of a temporal edge occurrence (index into [`TemporalGraph::edges`]).
+pub type EdgeId = u32;
+
+/// Sentinel timestamp meaning "never" / "no core time" (`+∞` in the paper).
+pub const T_INFINITY: Timestamp = Timestamp::MAX;

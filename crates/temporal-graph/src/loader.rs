@@ -1,0 +1,193 @@
+//! Plain-text temporal edge list loading and saving.
+//!
+//! The format is the one used by SNAP and KONECT temporal datasets: one edge
+//! per line, `u v t`, separated by whitespace or commas.  Lines starting with
+//! `#` or `%` are comments.  Extra trailing fields (e.g. KONECT edge weights)
+//! are ignored when `lenient` parsing is selected.
+
+use crate::{TemporalGraph, TemporalGraphBuilder, TemporalGraphError, TimestampMode};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Options controlling how an edge list is parsed.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Timestamp normalisation mode passed to the builder.
+    pub timestamp_mode: TimestampMode,
+    /// Accept lines with more than three fields (extra fields are ignored).
+    pub lenient: bool,
+    /// Collapse exact duplicate `(u, v, t)` occurrences.
+    pub dedup_exact: bool,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        Self {
+            timestamp_mode: TimestampMode::CompressDistinct,
+            lenient: true,
+            dedup_exact: false,
+        }
+    }
+}
+
+/// Reads a temporal graph from a text edge list file.
+pub fn read_edge_list<P: AsRef<Path>>(path: P) -> Result<TemporalGraph, TemporalGraphError> {
+    read_edge_list_with(path, &LoadOptions::default())
+}
+
+/// Reads a temporal graph from a text edge list file with explicit options.
+pub fn read_edge_list_with<P: AsRef<Path>>(
+    path: P,
+    options: &LoadOptions,
+) -> Result<TemporalGraph, TemporalGraphError> {
+    let file = File::open(path)?;
+    parse_edge_list(BufReader::new(file), options)
+}
+
+/// Parses a temporal graph from any reader.
+pub fn parse_edge_list<R: Read>(
+    reader: R,
+    options: &LoadOptions,
+) -> Result<TemporalGraph, TemporalGraphError> {
+    let mut builder = TemporalGraphBuilder::new()
+        .timestamp_mode(options.timestamp_mode)
+        .dedup_exact_duplicates(options.dedup_exact);
+    let buf = BufReader::new(reader);
+    let mut line_no = 0usize;
+    let mut line = String::new();
+    let mut buf = buf;
+    loop {
+        line.clear();
+        let read = buf.read_line(&mut line)?;
+        if read == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed
+            .split(|c: char| c.is_whitespace() || c == ',')
+            .filter(|s| !s.is_empty())
+            .collect();
+        if fields.len() < 3 || (!options.lenient && fields.len() != 3) {
+            return Err(TemporalGraphError::Parse {
+                line: line_no,
+                message: format!("expected `u v t`, got {} field(s)", fields.len()),
+            });
+        }
+        let parse_u64 = |s: &str, what: &str| {
+            s.parse::<u64>().map_err(|_| TemporalGraphError::Parse {
+                line: line_no,
+                message: format!("invalid {what} `{s}`"),
+            })
+        };
+        let u = parse_u64(fields[0], "source vertex")?;
+        let v = parse_u64(fields[1], "target vertex")?;
+        // Timestamps may be floating point in some exports (e.g. `1082040961.0`).
+        let t_str = fields[2];
+        let t = if let Ok(t) = t_str.parse::<i64>() {
+            t
+        } else if let Ok(t) = t_str.parse::<f64>() {
+            t as i64
+        } else {
+            return Err(TemporalGraphError::Parse {
+                line: line_no,
+                message: format!("invalid timestamp `{t_str}`"),
+            });
+        };
+        builder = builder.add_edge(u, v, t);
+    }
+    builder.build()
+}
+
+/// Writes a temporal graph as a text edge list (`label_u label_v t` per line,
+/// normalised timestamps).
+pub fn write_edge_list<P: AsRef<Path>>(
+    graph: &TemporalGraph,
+    path: P,
+) -> Result<(), TemporalGraphError> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for e in graph.edges() {
+        writeln!(w, "{} {} {}", graph.label(e.u), graph.label(e.v), e.t)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_basic_edge_list() {
+        let input = "# comment\n% another comment\n1 2 10\n2 3 20\n1 3 10\n\n";
+        let g = parse_edge_list(Cursor::new(input), &LoadOptions::default()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.tmax(), 2);
+    }
+
+    #[test]
+    fn parses_commas_and_floats_and_extra_fields() {
+        let input = "1,2,100.0\n2,3,200.5,1\n";
+        let g = parse_edge_list(Cursor::new(input), &LoadOptions::default()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.tmax(), 2);
+    }
+
+    #[test]
+    fn strict_mode_rejects_extra_fields() {
+        let input = "1 2 3 4\n";
+        let opts = LoadOptions {
+            lenient: false,
+            ..LoadOptions::default()
+        };
+        let err = parse_edge_list(Cursor::new(input), &opts).unwrap_err();
+        assert!(matches!(err, TemporalGraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        let input = "1 2 3\nnot an edge\n";
+        let err = parse_edge_list(Cursor::new(input), &LoadOptions::default()).unwrap_err();
+        match err {
+            TemporalGraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_too_few_fields() {
+        let err =
+            parse_edge_list(Cursor::new("1 2\n"), &LoadOptions::default()).unwrap_err();
+        assert!(matches!(err, TemporalGraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn round_trips_through_files() {
+        let g = crate::TemporalGraphBuilder::new()
+            .with_edges([(5u64, 6u64, 3i64), (6, 7, 9), (5, 7, 9)])
+            .build()
+            .unwrap();
+        let dir = std::env::temp_dir().join("tkc-loader-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.txt");
+        write_edge_list(&g, &path).unwrap();
+        let g2 = read_edge_list(&path).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.tmax(), g.tmax());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_edge_list("/definitely/not/a/file.txt").unwrap_err();
+        assert!(matches!(err, TemporalGraphError::Io(_)));
+    }
+}

@@ -1,0 +1,162 @@
+use crate::Timestamp;
+use std::fmt;
+
+/// An inclusive time window `[start, end]`.
+///
+/// Windows are the unit of projection for temporal k-core queries: the
+/// *projected graph* of a window contains exactly the edge occurrences whose
+/// timestamp falls inside the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimeWindow {
+    start: Timestamp,
+    end: Timestamp,
+}
+
+impl TimeWindow {
+    /// Creates the window `[start, end]`.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `start == 0` (timestamps are 1-based).
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        assert!(start >= 1, "timestamps are 1-based, got start = {start}");
+        assert!(start <= end, "invalid window [{start}, {end}]");
+        Self { start, end }
+    }
+
+    /// Creates the window `[start, end]`, returning `None` when it would be empty.
+    pub fn try_new(start: Timestamp, end: Timestamp) -> Option<Self> {
+        if start >= 1 && start <= end {
+            Some(Self { start, end })
+        } else {
+            None
+        }
+    }
+
+    /// Start of the window (inclusive).
+    #[inline]
+    pub fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    /// End of the window (inclusive).
+    #[inline]
+    pub fn end(&self) -> Timestamp {
+        self.end
+    }
+
+    /// Number of timestamps covered by the window (`tmax` of the query range).
+    #[inline]
+    pub fn len(&self) -> u64 {
+        u64::from(self.end) - u64::from(self.start) + 1
+    }
+
+    /// Windows always contain at least one timestamp.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Does the window contain timestamp `t`?
+    #[inline]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Is `other` fully contained in `self` (`other ⊆ self`)?
+    #[inline]
+    pub fn contains_window(&self, other: &TimeWindow) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Is `other` a *proper* sub-window of `self` (`other ⊂ self`)?
+    #[inline]
+    pub fn properly_contains(&self, other: &TimeWindow) -> bool {
+        self.contains_window(other) && self != other
+    }
+
+    /// Intersection of two windows, if non-empty.
+    pub fn intersect(&self, other: &TimeWindow) -> Option<TimeWindow> {
+        TimeWindow::try_new(self.start.max(other.start), self.end.min(other.end))
+    }
+
+    /// Iterates all sub-windows `[ts, te] ⊆ self` (used by naive reference
+    /// implementations; there are `len * (len + 1) / 2` of them).
+    pub fn sub_windows(&self) -> impl Iterator<Item = TimeWindow> + '_ {
+        let (s, e) = (self.start, self.end);
+        (s..=e).flat_map(move |ts| (ts..=e).map(move |te| TimeWindow::new(ts, te)))
+    }
+}
+
+impl fmt::Display for TimeWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let w = TimeWindow::new(2, 5);
+        assert_eq!(w.start(), 2);
+        assert_eq!(w.end(), 5);
+        assert_eq!(w.len(), 4);
+        assert!(!w.is_empty());
+        assert_eq!(w.to_string(), "[2, 5]");
+    }
+
+    #[test]
+    fn contains_and_containment() {
+        let w = TimeWindow::new(2, 6);
+        assert!(w.contains(2));
+        assert!(w.contains(6));
+        assert!(!w.contains(1));
+        assert!(!w.contains(7));
+        assert!(w.contains_window(&TimeWindow::new(3, 5)));
+        assert!(w.contains_window(&TimeWindow::new(2, 6)));
+        assert!(!w.properly_contains(&TimeWindow::new(2, 6)));
+        assert!(w.properly_contains(&TimeWindow::new(2, 5)));
+        assert!(!w.contains_window(&TimeWindow::new(1, 5)));
+    }
+
+    #[test]
+    fn intersect() {
+        let a = TimeWindow::new(2, 6);
+        let b = TimeWindow::new(5, 9);
+        assert_eq!(a.intersect(&b), Some(TimeWindow::new(5, 6)));
+        let c = TimeWindow::new(8, 9);
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn try_new_rejects_invalid() {
+        assert!(TimeWindow::try_new(0, 3).is_none());
+        assert!(TimeWindow::try_new(4, 3).is_none());
+        assert!(TimeWindow::try_new(3, 3).is_some());
+    }
+
+    #[test]
+    fn sub_windows_count() {
+        let w = TimeWindow::new(1, 4);
+        let subs: Vec<_> = w.sub_windows().collect();
+        assert_eq!(subs.len(), 10);
+        assert!(subs.contains(&TimeWindow::new(1, 4)));
+        assert!(subs.contains(&TimeWindow::new(3, 3)));
+        // all returned windows are contained in the parent
+        assert!(subs.iter().all(|s| w.contains_window(s)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_panics_on_zero_start() {
+        let _ = TimeWindow::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_panics_on_inverted() {
+        let _ = TimeWindow::new(5, 4);
+    }
+}

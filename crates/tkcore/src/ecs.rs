@@ -1,0 +1,326 @@
+//! Edge core window skylines (Definition 5, Algorithm 2).
+//!
+//! The *minimal core windows* of a temporal edge `e` are the windows
+//! `[ts, te]` such that `e` belongs to the temporal k-core of `[ts, te]` but
+//! of no proper sub-window.  The set of minimal core windows of an edge is
+//! its *edge core window skyline* (ECS): both start and end times strictly
+//! increase along the skyline, and the skyline compresses the relationship
+//! between the edge and the k-cores of *all* windows (Lemma 3: `e` is in the
+//! core of `[ts, te]` iff some skyline window is contained in `[ts, te]`).
+//!
+//! The skyline of every edge is derived as a byproduct of the vertex core
+//! time sweep ([`crate::CoreTimeSweep`]), exactly as in Algorithm 2 of the
+//! paper: the core time of an edge `(u, v, t)` for start time `ts` is
+//! `max(CT_ts(u), CT_ts(v), t)` (Lemma 1), and whenever it changes between
+//! consecutive start times a minimal core window is emitted (Lemma 2); a
+//! final window is emitted when the edge leaves the shrinking query window.
+
+use crate::vct::CoreTimeSweep;
+use temporal_graph::{EdgeId, TemporalGraph, TimeWindow, Timestamp, T_INFINITY};
+
+/// The edge core window skylines of every temporal edge in the query range.
+#[derive(Debug, Clone)]
+pub struct EdgeCoreSkyline {
+    k: usize,
+    range: TimeWindow,
+    /// Skyline windows per edge, indexed by `edge_id - first_edge`.
+    windows: Vec<Vec<TimeWindow>>,
+    /// First edge id of the query range (edge ids in a range are contiguous).
+    first_edge: EdgeId,
+    total_windows: usize,
+}
+
+impl EdgeCoreSkyline {
+    /// Builds the skylines of all edges in `range` for parameter `k`
+    /// (Algorithm 2: vertex core time sweep with edge core times maintained
+    /// as a byproduct).
+    pub fn build(graph: &TemporalGraph, k: usize, range: TimeWindow) -> Self {
+        let mut sweep = CoreTimeSweep::new(graph, k, range);
+        Self::build_from_sweep(graph, &mut sweep)
+    }
+
+    /// Builds the skylines by driving an already-constructed sweep (useful
+    /// when the caller also wants the VCT index or phase timings).
+    pub fn build_from_sweep(graph: &TemporalGraph, sweep: &mut CoreTimeSweep<'_>) -> Self {
+        let k = sweep.k();
+        let range = sweep.range();
+        let edge_range = graph.edge_ids_in(range);
+        let first_edge = edge_range.start;
+        let num_edges = (edge_range.end - edge_range.start) as usize;
+
+        let mut windows: Vec<Vec<TimeWindow>> = vec![Vec::new(); num_edges];
+        // Current core time of every in-range edge for the sweep's start time.
+        let mut edge_ct: Vec<Timestamp> = vec![T_INFINITY; num_edges];
+
+        // Incident in-range edges per vertex, sorted by timestamp, with a
+        // pointer to the first edge whose timestamp is >= the current start
+        // time (edges below it have left the window).
+        let n = graph.num_vertices();
+        let mut inc_offsets = vec![0u32; n + 1];
+        for id in edge_range.clone() {
+            let e = graph.edge(id);
+            inc_offsets[e.u as usize + 1] += 1;
+            inc_offsets[e.v as usize + 1] += 1;
+        }
+        for i in 1..inc_offsets.len() {
+            inc_offsets[i] += inc_offsets[i - 1];
+        }
+        let mut incident: Vec<EdgeId> = vec![0; inc_offsets[n] as usize];
+        let mut cursor = inc_offsets.clone();
+        // Edge ids are sorted by timestamp, so pushing in id order keeps each
+        // vertex's incident list sorted by timestamp.
+        for id in edge_range.clone() {
+            let e = graph.edge(id);
+            for v in [e.u, e.v] {
+                incident[cursor[v as usize] as usize] = id;
+                cursor[v as usize] += 1;
+            }
+        }
+        let mut inc_ptr: Vec<u32> = inc_offsets[..n].to_vec();
+
+        // Initial edge core times for ts = range.start() (Algorithm 2, line 3).
+        let ct = sweep.core_times();
+        for id in edge_range.clone() {
+            let e = graph.edge(id);
+            let local = (id - first_edge) as usize;
+            edge_ct[local] = edge_core_time(ct[e.u as usize], ct[e.v as usize], e.t);
+        }
+
+        let mut total_windows = 0usize;
+
+        // Sweep start times (Algorithm 2, lines 5-11).
+        loop {
+            let prev_ts = sweep.current_start_time();
+            if sweep.advance().is_none() {
+                // Flush edges that never leave before the range ends
+                // (timestamp == range end).
+                for id in graph.edge_ids_at(prev_ts) {
+                    if id < edge_range.start || id >= edge_range.end {
+                        continue;
+                    }
+                    let local = (id - first_edge) as usize;
+                    if edge_ct[local] != T_INFINITY {
+                        windows[local].push(TimeWindow::new(prev_ts, edge_ct[local]));
+                        total_windows += 1;
+                    }
+                }
+                break;
+            }
+            let ts = sweep.current_start_time();
+
+            // Edges with timestamp `prev_ts` leave the window: their last
+            // minimal core window (if any) starts at `prev_ts`.
+            for id in graph.edge_ids_at(prev_ts) {
+                if id < edge_range.start || id >= edge_range.end {
+                    continue;
+                }
+                let local = (id - first_edge) as usize;
+                if edge_ct[local] != T_INFINITY {
+                    windows[local].push(TimeWindow::new(prev_ts, edge_ct[local]));
+                    total_windows += 1;
+                }
+            }
+
+            // Update the core times of edges incident to changed vertices
+            // (Algorithm 2, lines 6-11).
+            let ct = sweep.core_times();
+            for &u in sweep.changed_vertices() {
+                let mut ptr = inc_ptr[u as usize] as usize;
+                let end = inc_offsets[u as usize + 1] as usize;
+                while ptr < end && graph.edge(incident[ptr]).t < ts {
+                    ptr += 1;
+                }
+                inc_ptr[u as usize] = ptr as u32;
+                for &id in &incident[ptr..end] {
+                    let e = graph.edge(id);
+                    let local = (id - first_edge) as usize;
+                    let new_ct = edge_core_time(ct[e.u as usize], ct[e.v as usize], e.t);
+                    if new_ct > edge_ct[local] {
+                        if edge_ct[local] != T_INFINITY {
+                            // The previous value was the edge's core time for
+                            // start times up to ts - 1, so [ts - 1, old] is a
+                            // minimal core window (Lemma 2).
+                            windows[local].push(TimeWindow::new(ts - 1, edge_ct[local]));
+                            total_windows += 1;
+                        }
+                        edge_ct[local] = new_ct;
+                    }
+                }
+            }
+        }
+
+        Self {
+            k,
+            range,
+            windows,
+            first_edge,
+            total_windows,
+        }
+    }
+
+    /// The query parameter `k` the skylines were built for.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The query range the skylines were built for.
+    #[inline]
+    pub fn range(&self) -> TimeWindow {
+        self.range
+    }
+
+    /// The minimal core windows of a temporal edge, ordered by increasing
+    /// start (and end) time.  Empty when the edge is outside the query range
+    /// or never belongs to a temporal k-core.
+    pub fn windows(&self, edge: EdgeId) -> &[TimeWindow] {
+        if edge < self.first_edge {
+            return &[];
+        }
+        let local = (edge - self.first_edge) as usize;
+        self.windows.get(local).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates `(edge id, skyline)` for every edge with a non-empty skyline.
+    pub fn iter(&self) -> impl Iterator<Item = (EdgeId, &[TimeWindow])> + '_ {
+        self.windows
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !w.is_empty())
+            .map(move |(local, w)| (self.first_edge + local as EdgeId, w.as_slice()))
+    }
+
+    /// Total number of minimal core windows over all edges — the paper's `|ECS|`.
+    #[inline]
+    pub fn total_windows(&self) -> usize {
+        self.total_windows
+    }
+
+    /// Number of edges with at least one minimal core window.
+    pub fn num_edges_with_windows(&self) -> usize {
+        self.windows.iter().filter(|w| !w.is_empty()).count()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.total_windows * std::mem::size_of::<TimeWindow>()
+            + self.windows.len() * std::mem::size_of::<Vec<TimeWindow>>()
+    }
+}
+
+#[inline]
+fn edge_core_time(ct_u: Timestamp, ct_v: Timestamp, t: Timestamp) -> Timestamp {
+    if ct_u == T_INFINITY || ct_v == T_INFINITY {
+        T_INFINITY
+    } else {
+        ct_u.max(ct_v).max(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::edge_in_core_of_window;
+    use temporal_graph::TemporalGraphBuilder;
+
+    fn graph() -> TemporalGraph {
+        TemporalGraphBuilder::new()
+            .with_edges([
+                (0u64, 1u64, 1i64),
+                (1, 2, 2),
+                (0, 2, 3),
+                (2, 3, 4),
+                (3, 4, 5),
+                (2, 4, 6),
+                (0, 1, 6),
+                (1, 2, 7),
+                (0, 2, 7),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    /// Brute-force skyline: all windows in which the edge is in the core and
+    /// no proper sub-window has that property.
+    fn naive_skyline(
+        g: &TemporalGraph,
+        k: usize,
+        range: TimeWindow,
+        edge: EdgeId,
+    ) -> Vec<TimeWindow> {
+        let core_windows: Vec<TimeWindow> = range
+            .sub_windows()
+            .filter(|&w| edge_in_core_of_window(g, k, w, edge))
+            .collect();
+        let mut minimal: Vec<TimeWindow> = core_windows
+            .iter()
+            .copied()
+            .filter(|w| !core_windows.iter().any(|other| w.properly_contains(other)))
+            .collect();
+        minimal.sort();
+        minimal
+    }
+
+    #[test]
+    fn skylines_match_naive_definition() {
+        let g = graph();
+        for k in 1..=3 {
+            for range in [g.span(), TimeWindow::new(2, 6), TimeWindow::new(3, 7)] {
+                let ecs = EdgeCoreSkyline::build(&g, k, range);
+                for id in 0..g.num_edges() as EdgeId {
+                    let mut got = ecs.windows(id).to_vec();
+                    got.sort();
+                    assert_eq!(
+                        got,
+                        naive_skyline(&g, k, range, id),
+                        "k={k} range={range} edge={id}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skyline_windows_strictly_increase() {
+        let g = graph();
+        let ecs = EdgeCoreSkyline::build(&g, 2, g.span());
+        for (_, windows) in ecs.iter() {
+            for pair in windows.windows(2) {
+                assert!(pair[0].start() < pair[1].start());
+                assert!(pair[0].end() < pair[1].end());
+            }
+        }
+        assert_eq!(
+            ecs.total_windows(),
+            ecs.iter().map(|(_, w)| w.len()).sum::<usize>()
+        );
+        assert!(ecs.num_edges_with_windows() <= g.num_edges());
+        assert!(ecs.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn edges_outside_range_have_no_windows() {
+        let g = graph();
+        let range = TimeWindow::new(3, 6);
+        let ecs = EdgeCoreSkyline::build(&g, 2, range);
+        for id in 0..g.num_edges() as EdgeId {
+            let t = g.edge(id).t;
+            if !range.contains(t) {
+                assert!(ecs.windows(id).is_empty(), "edge {id} at t={t}");
+            }
+            for w in ecs.windows(id) {
+                assert!(range.contains_window(w));
+                assert!(w.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn accessors_report_parameters() {
+        let g = graph();
+        let range = TimeWindow::new(2, 7);
+        let ecs = EdgeCoreSkyline::build(&g, 2, range);
+        assert_eq!(ecs.k(), 2);
+        assert_eq!(ecs.range(), range);
+    }
+}

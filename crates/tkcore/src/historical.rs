@@ -1,0 +1,172 @@
+//! Historical k-core queries (the single-window special case).
+//!
+//! The time-range k-core query of the paper generalises the *historical
+//! k-core query* of Yu et al. (VLDB 2021): report the k-core of the snapshot
+//! over one given window `[ts, te]`.  Once the vertex core time index (or
+//! the edge core window skyline) has been built for a query range, any
+//! historical query inside that range can be answered without touching the
+//! graph again:
+//!
+//! * a vertex `u` is in the k-core of `[ts, te]` iff `CT_ts(u) <= te`;
+//! * a temporal edge `(u, v, t)` is in the k-core of `[ts, te]` iff
+//!   `ts <= t` and `max(CT_ts(u), CT_ts(v), t) <= te` (Lemma 1), or
+//!   equivalently iff one of its minimal core windows is contained in
+//!   `[ts, te]` (Lemma 3).
+
+use crate::ecs::EdgeCoreSkyline;
+use crate::result::TemporalKCore;
+use crate::vct::VertexCoreTimeIndex;
+use temporal_graph::{EdgeId, TemporalGraph, TimeWindow, VertexId, T_INFINITY};
+
+/// Answers historical (single-window) k-core queries from a prebuilt
+/// [`VertexCoreTimeIndex`].
+#[derive(Debug, Clone)]
+pub struct HistoricalKCoreIndex<'g> {
+    graph: &'g TemporalGraph,
+    vct: VertexCoreTimeIndex,
+}
+
+impl<'g> HistoricalKCoreIndex<'g> {
+    /// Builds the index for parameter `k` over the query range `range`.
+    pub fn build(graph: &'g TemporalGraph, k: usize, range: TimeWindow) -> Self {
+        Self {
+            graph,
+            vct: VertexCoreTimeIndex::build(graph, k, range),
+        }
+    }
+
+    /// Wraps an existing vertex core time index.
+    pub fn from_vct(graph: &'g TemporalGraph, vct: VertexCoreTimeIndex) -> Self {
+        Self { graph, vct }
+    }
+
+    /// The underlying vertex core time index.
+    pub fn vct(&self) -> &VertexCoreTimeIndex {
+        &self.vct
+    }
+
+    /// Is vertex `u` in the k-core of the snapshot over `window`?
+    ///
+    /// `window` must be contained in the range the index was built for;
+    /// windows outside it conservatively answer `false`.
+    pub fn vertex_in_core(&self, u: VertexId, window: TimeWindow) -> bool {
+        self.vct.core_time(u, window.start()) <= window.end()
+    }
+
+    /// Is the temporal edge with id `e` in the k-core of the snapshot over
+    /// `window`?
+    pub fn edge_in_core(&self, e: EdgeId, window: TimeWindow) -> bool {
+        let edge = self.graph.edge(e);
+        if !window.contains(edge.t) {
+            return false;
+        }
+        let ct_u = self.vct.core_time(edge.u, window.start());
+        let ct_v = self.vct.core_time(edge.v, window.start());
+        ct_u != T_INFINITY && ct_v != T_INFINITY && ct_u.max(ct_v) <= window.end()
+    }
+
+    /// All vertices of the k-core of the snapshot over `window`, sorted.
+    pub fn core_vertices(&self, window: TimeWindow) -> Vec<VertexId> {
+        (0..self.graph.num_vertices() as VertexId)
+            .filter(|&u| self.vertex_in_core(u, window))
+            .collect()
+    }
+
+    /// The temporal k-core of the snapshot over `window` as a result object
+    /// (empty edge set ⇒ `None`).
+    pub fn core_of(&self, window: TimeWindow) -> Option<TemporalKCore> {
+        let edges: Vec<EdgeId> = self
+            .graph
+            .edge_ids_in(window)
+            .filter(|&e| self.edge_in_core(e, window))
+            .collect();
+        if edges.is_empty() {
+            return None;
+        }
+        let min_t = edges.iter().map(|&e| self.graph.edge(e).t).min().unwrap();
+        let max_t = edges.iter().map(|&e| self.graph.edge(e).t).max().unwrap();
+        Some(TemporalKCore::new(TimeWindow::new(min_t, max_t), edges))
+    }
+}
+
+/// Answers the same historical query directly from an edge core window
+/// skyline (Lemma 3): the k-core of `[ts, te]` is the union of all edges
+/// with a minimal core window contained in `[ts, te]`.
+pub fn historical_core_from_skyline(
+    graph: &TemporalGraph,
+    ecs: &EdgeCoreSkyline,
+    window: TimeWindow,
+) -> Option<TemporalKCore> {
+    let edges: Vec<EdgeId> = ecs
+        .iter()
+        .filter(|(_, windows)| windows.iter().any(|w| window.contains_window(w)))
+        .map(|(e, _)| e)
+        .collect();
+    if edges.is_empty() {
+        return None;
+    }
+    let min_t = edges.iter().map(|&e| graph.edge(e).t).min().unwrap();
+    let max_t = edges.iter().map(|&e| graph.edge(e).t).max().unwrap();
+    Some(TemporalKCore::new(TimeWindow::new(min_t, max_t), edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::core_edges_of_window;
+    use crate::paper_example;
+    use temporal_graph::generator;
+
+    #[test]
+    fn matches_per_window_peeling_on_the_paper_example() {
+        let g = paper_example::graph();
+        let range = paper_example::full_range();
+        let index = HistoricalKCoreIndex::build(&g, 2, range);
+        let ecs = EdgeCoreSkyline::build(&g, 2, range);
+        for window in range.sub_windows() {
+            let expected = core_edges_of_window(&g, 2, window);
+            let via_vct = index.core_of(window).map(|c| c.edges).unwrap_or_default();
+            assert_eq!(via_vct, expected, "VCT window {window}");
+            let via_ecs = historical_core_from_skyline(&g, &ecs, window)
+                .map(|c| c.edges)
+                .unwrap_or_default();
+            assert_eq!(via_ecs, expected, "ECS window {window}");
+        }
+    }
+
+    #[test]
+    fn vertex_membership_matches_figure_1() {
+        let g = paper_example::graph();
+        let index = HistoricalKCoreIndex::build(&g, 2, paper_example::full_range());
+        let v1 = paper_example::vertex(&g, 1);
+        // CT_1(v1) = 3: v1 joins the 2-core of [1, te] exactly at te = 3.
+        assert!(!index.vertex_in_core(v1, TimeWindow::new(1, 2)));
+        assert!(index.vertex_in_core(v1, TimeWindow::new(1, 3)));
+        assert!(index.vertex_in_core(v1, TimeWindow::new(1, 7)));
+        let core = index.core_vertices(TimeWindow::new(1, 4));
+        let labels: Vec<u64> = core.into_iter().map(|v| g.label(v)).collect();
+        assert_eq!(labels, vec![1, 2, 3, 4, 9]);
+        assert!(index.vct().size() > 0);
+    }
+
+    #[test]
+    fn matches_peeling_on_random_graphs() {
+        for seed in 0..4 {
+            let g = generator::uniform_random(16, 70, 10, 1000 + seed);
+            let index = HistoricalKCoreIndex::build(&g, 2, g.span());
+            for window in g.span().sub_windows() {
+                let expected = core_edges_of_window(&g, 2, window);
+                let got = index.core_of(window).map(|c| c.edges).unwrap_or_default();
+                assert_eq!(got, expected, "seed {seed} window {window}");
+            }
+        }
+    }
+
+    #[test]
+    fn windows_outside_the_built_range_are_empty() {
+        let g = paper_example::graph();
+        let index = HistoricalKCoreIndex::build(&g, 2, TimeWindow::new(2, 5));
+        assert!(index.core_of(TimeWindow::new(6, 7)).is_none());
+        assert!(!index.vertex_in_core(0, TimeWindow::new(6, 7)));
+    }
+}

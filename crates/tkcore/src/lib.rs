@@ -1,0 +1,60 @@
+//! Time-range temporal k-core enumeration.
+//!
+//! This crate implements the framework of *Accelerating K-Core Computation
+//! in Temporal Graphs* (EDBT 2026): given a temporal graph, an integer `k`
+//! and a query time range `[Ts, Te]`, enumerate every distinct temporal
+//! k-core appearing in the snapshot of any sub-window `[ts, te] ⊆ [Ts, Te]`.
+//!
+//! # Components
+//!
+//! * [`VertexCoreTimeIndex`] / [`CoreTimeSweep`] — vertex core times
+//!   (Definition 4) computed with an incremental start-time sweep;
+//! * [`EdgeCoreSkyline`] — minimal core windows of every edge (Definition 5,
+//!   Algorithm 2), obtained as a byproduct of the sweep;
+//! * [`enumerate`] — the paper's final algorithm (Algorithms 4–5), which
+//!   enumerates all temporal k-cores in time bounded by the result size;
+//! * [`enumerate_base`] — the simpler Algorithm 3 baseline on the same
+//!   framework;
+//! * [`run_otcd`] — the OTCD state-of-the-art competitor (Algorithm 1);
+//! * [`naive_results`] — a brute-force reference used for testing;
+//! * [`TimeRangeKCoreQuery`] — the high-level entry point tying it together.
+//!
+//! # Example
+//!
+//! ```
+//! use tkcore::{TimeRangeKCoreQuery, paper_example};
+//! use temporal_graph::TimeWindow;
+//!
+//! let graph = paper_example::graph();
+//! let query = TimeRangeKCoreQuery::new(2, TimeWindow::new(1, 4));
+//! let cores = query.enumerate(&graph);
+//! assert_eq!(cores.len(), 2); // Figure 2 of the paper
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ecs;
+mod enum_base;
+mod enumerate;
+mod historical;
+pub mod naive;
+mod otcd;
+pub mod paper_example;
+mod query;
+mod result;
+mod sink;
+mod stats;
+mod vct;
+
+pub use ecs::EdgeCoreSkyline;
+pub use enum_base::{enumerate_base, enumerate_base_from_graph, EnumBaseStats};
+pub use enumerate::{enumerate, enumerate_from_graph, EnumStats};
+pub use historical::{historical_core_from_skyline, HistoricalKCoreIndex};
+pub use naive::{core_edges_of_window, enumerate_naive, naive_results};
+pub use otcd::{run_otcd, OtcdStats};
+pub use query::{Algorithm, QueryStats, TimeRangeKCoreQuery};
+pub use result::TemporalKCore;
+pub use sink::{CollectingSink, CountingSink, FnSink, ResultSink};
+pub use stats::FrameworkStats;
+pub use vct::{CoreTimeSweep, VertexCoreTimeIndex};

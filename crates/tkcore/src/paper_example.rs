@@ -1,0 +1,247 @@
+//! The running example of the paper (Figure 1, Tables I and II, Figure 2).
+//!
+//! This module builds the 9-vertex / 14-edge temporal graph `G` of Figure 1
+//! and exposes the expected vertex core time index, edge core window
+//! skylines and query results for `k = 2`, which the golden tests (and the
+//! quickstart example) check against the actual implementations.
+//!
+//! Note: the paper's Table I lists the last entry of `v3` as `[4, ∞]`; the
+//! graph of Figure 1 actually yields core time 7 for start times 4–6, which
+//! is also what the paper's own Table II implies (edge `(v1, v3, 6)` has the
+//! minimal core window `[6, 7]`).  The constants below encode the
+//! self-consistent values.
+
+use temporal_graph::{TemporalGraph, TemporalGraphBuilder, TimeWindow, Timestamp, VertexId, T_INFINITY};
+
+/// The query parameter `k` used throughout the running example.
+pub const K: usize = 2;
+
+/// Builds the temporal graph `G` of Figure 1.  Vertex labels are `1..=9`
+/// (matching `v1..v9`); timestamps are `1..=7`.
+pub fn graph() -> TemporalGraph {
+    TemporalGraphBuilder::new()
+        .with_edges([
+            (2u64, 9u64, 1i64),
+            (1, 4, 2),
+            (2, 3, 2),
+            (1, 2, 3),
+            (2, 4, 3),
+            (3, 9, 4),
+            (4, 8, 4),
+            (1, 6, 5),
+            (1, 7, 5),
+            (2, 8, 5),
+            (6, 7, 5),
+            (1, 3, 6),
+            (3, 5, 6),
+            (1, 5, 7),
+        ])
+        .build()
+        .expect("the paper example graph is valid")
+}
+
+/// The full time span `[1, 7]` of the example graph.
+pub fn full_range() -> TimeWindow {
+    TimeWindow::new(1, 7)
+}
+
+/// The query range `[1, 4]` used in Example 1 / Figure 2.
+pub fn example_query_range() -> TimeWindow {
+    TimeWindow::new(1, 4)
+}
+
+/// Dense vertex id of the vertex labelled `v<label>` in Figure 1.
+pub fn vertex(graph: &TemporalGraph, label: u64) -> VertexId {
+    graph
+        .labels()
+        .iter()
+        .position(|&l| l == label)
+        .expect("label exists in the example graph") as VertexId
+}
+
+/// Expected vertex core time index entries for `k = 2` over `[1, 7]`
+/// (corrected Table I), keyed by vertex label.
+pub fn expected_vct() -> Vec<(u64, Vec<(Timestamp, Timestamp)>)> {
+    vec![
+        (1, vec![(1, 3), (3, 5), (6, 7), (7, T_INFINITY)]),
+        (2, vec![(1, 3), (3, 5), (4, T_INFINITY)]),
+        (3, vec![(1, 4), (2, 6), (3, 7), (7, T_INFINITY)]),
+        (4, vec![(1, 3), (3, 5), (4, T_INFINITY)]),
+        (5, vec![(1, 7), (7, T_INFINITY)]),
+        (6, vec![(1, 5), (6, T_INFINITY)]),
+        (7, vec![(1, 5), (6, T_INFINITY)]),
+        (8, vec![(1, 5), (4, T_INFINITY)]),
+        (9, vec![(1, 4), (2, T_INFINITY)]),
+    ]
+}
+
+/// Expected edge core window skylines for `k = 2` over `[1, 7]` (Table II),
+/// keyed by the edge triple `(u, v, t)` in vertex labels.
+pub fn expected_ecs() -> Vec<((u64, u64, Timestamp), Vec<TimeWindow>)> {
+    vec![
+        ((2, 9, 1), vec![TimeWindow::new(1, 4)]),
+        ((1, 4, 2), vec![TimeWindow::new(2, 3)]),
+        ((2, 3, 2), vec![TimeWindow::new(1, 4), TimeWindow::new(2, 6)]),
+        ((1, 2, 3), vec![TimeWindow::new(2, 3), TimeWindow::new(3, 5)]),
+        ((2, 4, 3), vec![TimeWindow::new(2, 3), TimeWindow::new(3, 5)]),
+        ((3, 9, 4), vec![TimeWindow::new(1, 4)]),
+        ((4, 8, 4), vec![TimeWindow::new(3, 5)]),
+        ((1, 6, 5), vec![TimeWindow::new(5, 5)]),
+        ((1, 7, 5), vec![TimeWindow::new(5, 5)]),
+        ((2, 8, 5), vec![TimeWindow::new(3, 5)]),
+        ((6, 7, 5), vec![TimeWindow::new(5, 5)]),
+        ((1, 3, 6), vec![TimeWindow::new(2, 6), TimeWindow::new(6, 7)]),
+        ((3, 5, 6), vec![TimeWindow::new(6, 7)]),
+        ((1, 5, 7), vec![TimeWindow::new(6, 7)]),
+    ]
+}
+
+/// A temporal k-core of the running example, given as its TTI plus the edge
+/// triples `(u, v, t)` in vertex labels.
+pub type LabeledCore = (TimeWindow, Vec<(u64, u64, Timestamp)>);
+
+/// The two temporal 2-cores of the query range `[1, 4]` (Figure 2), given as
+/// `(TTI, edge triples in vertex labels)`.
+pub fn expected_results_for_example_query() -> Vec<LabeledCore> {
+    vec![
+        (
+            TimeWindow::new(1, 4),
+            vec![
+                (2, 9, 1),
+                (1, 4, 2),
+                (2, 3, 2),
+                (1, 2, 3),
+                (2, 4, 3),
+                (3, 9, 4),
+            ],
+        ),
+        (
+            TimeWindow::new(2, 3),
+            vec![(1, 4, 2), (1, 2, 3), (2, 4, 3)],
+        ),
+    ]
+}
+
+/// Finds the edge id of the temporal edge `(u, v, t)` given in vertex labels.
+pub fn edge_id(graph: &TemporalGraph, u: u64, v: u64, t: Timestamp) -> temporal_graph::EdgeId {
+    let (a, b) = (vertex(graph, u), vertex(graph, v));
+    let (a, b) = if a < b { (a, b) } else { (b, a) };
+    graph
+        .edges()
+        .iter()
+        .position(|e| e.u == a && e.v == b && e.t == t)
+        .expect("edge exists in the example graph") as temporal_graph::EdgeId
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecs::EdgeCoreSkyline;
+    use crate::enum_base::enumerate_base_from_graph;
+    use crate::enumerate::enumerate_from_graph;
+    use crate::naive::naive_results;
+    use crate::otcd::run_otcd;
+    use crate::sink::CollectingSink;
+    use crate::vct::VertexCoreTimeIndex;
+
+    #[test]
+    fn example_graph_matches_figure_1() {
+        let g = graph();
+        assert_eq!(g.num_vertices(), 9);
+        assert_eq!(g.num_edges(), 14);
+        assert_eq!(g.tmax(), 7);
+    }
+
+    #[test]
+    fn vct_matches_corrected_table_1() {
+        let g = graph();
+        let vct = VertexCoreTimeIndex::build(&g, K, full_range());
+        for (label, expected) in expected_vct() {
+            let u = vertex(&g, label);
+            assert_eq!(vct.entries(u), expected.as_slice(), "vertex v{label}");
+        }
+        assert_eq!(
+            vct.size(),
+            expected_vct().iter().map(|(_, e)| e.len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn example_2_core_times_of_v1() {
+        // Example 2 of the paper: CT_1(v1) = 3 and CT_3(v1) = 5.
+        let g = graph();
+        let vct = VertexCoreTimeIndex::build(&g, K, full_range());
+        let v1 = vertex(&g, 1);
+        assert_eq!(vct.core_time(v1, 1), 3);
+        assert_eq!(vct.core_time(v1, 3), 5);
+    }
+
+    #[test]
+    fn ecs_matches_table_2() {
+        let g = graph();
+        let ecs = EdgeCoreSkyline::build(&g, K, full_range());
+        for ((u, v, t), expected) in expected_ecs() {
+            let id = edge_id(&g, u, v, t);
+            assert_eq!(ecs.windows(id), expected.as_slice(), "edge (v{u}, v{v}, {t})");
+        }
+        assert_eq!(
+            ecs.total_windows(),
+            expected_ecs().iter().map(|(_, w)| w.len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn figure_2_results_for_query_1_4() {
+        let g = graph();
+        let expected: Vec<crate::TemporalKCore> = expected_results_for_example_query()
+            .into_iter()
+            .map(|(tti, edges)| {
+                crate::TemporalKCore::new(
+                    tti,
+                    edges.into_iter().map(|(u, v, t)| edge_id(&g, u, v, t)).collect(),
+                )
+            })
+            .collect();
+        let mut expected = expected;
+        expected.sort_by(|a, b| a.tti.cmp(&b.tti).then_with(|| a.edges.cmp(&b.edges)));
+
+        for name in ["enum", "enum_base", "otcd", "naive"] {
+            let mut sink = CollectingSink::default();
+            match name {
+                "enum" => {
+                    enumerate_from_graph(&g, K, example_query_range(), &mut sink);
+                }
+                "enum_base" => {
+                    enumerate_base_from_graph(&g, K, example_query_range(), &mut sink);
+                }
+                "otcd" => {
+                    run_otcd(&g, K, example_query_range(), &mut sink);
+                }
+                _ => {
+                    sink.cores = naive_results(&g, K, example_query_range());
+                }
+            }
+            let got = sink.into_sorted();
+            assert_eq!(got, expected, "algorithm {name}");
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_the_full_range() {
+        let g = graph();
+        let expected = naive_results(&g, K, full_range());
+        assert!(!expected.is_empty());
+
+        let mut a = CollectingSink::default();
+        enumerate_from_graph(&g, K, full_range(), &mut a);
+        assert_eq!(a.into_sorted(), expected);
+
+        let mut b = CollectingSink::default();
+        enumerate_base_from_graph(&g, K, full_range(), &mut b);
+        assert_eq!(b.into_sorted(), expected);
+
+        let mut c = CollectingSink::default();
+        run_otcd(&g, K, full_range(), &mut c);
+        assert_eq!(c.into_sorted(), expected);
+    }
+}

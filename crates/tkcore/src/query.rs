@@ -1,0 +1,247 @@
+//! High-level query API.
+//!
+//! [`TimeRangeKCoreQuery`] bundles the two query parameters of the paper's
+//! problem statement — the integer `k` and the time range `[Ts, Te]` — and
+//! runs any of the implemented algorithms against a [`TemporalGraph`],
+//! reporting per-phase timings and memory estimates.
+
+use crate::ecs::EdgeCoreSkyline;
+use crate::enum_base::enumerate_base;
+use crate::enumerate::enumerate;
+use crate::naive::enumerate_naive;
+use crate::otcd::run_otcd;
+use crate::result::TemporalKCore;
+use crate::sink::{CollectingSink, CountingSink, ResultSink};
+use std::time::{Duration, Instant};
+use temporal_graph::{TemporalGraph, TimeWindow};
+
+/// The algorithms available for time-range temporal k-core enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// The paper's final algorithm: core-time precomputation (Algorithm 2)
+    /// followed by result-size-optimal enumeration (Algorithms 4–5).
+    Enum,
+    /// The paper's baseline on the same framework: skyline precomputation
+    /// followed by the window-scanning enumeration of Algorithm 3.
+    EnumBase,
+    /// The state-of-the-art competitor OTCD (Algorithm 1).
+    Otcd,
+    /// Brute-force reference (per-window peeling); only for small inputs.
+    Naive,
+}
+
+impl Algorithm {
+    /// All algorithms, in the order the paper's figures report them.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Otcd,
+        Algorithm::EnumBase,
+        Algorithm::Enum,
+        Algorithm::Naive,
+    ];
+
+    /// Short display name used by the benchmark harness.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Enum => "Enum",
+            Algorithm::EnumBase => "EnumBase",
+            Algorithm::Otcd => "OTCD",
+            Algorithm::Naive => "Naive",
+        }
+    }
+}
+
+/// Timings, counts and memory estimates of one query execution.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryStats {
+    /// The algorithm that produced these statistics.
+    pub algorithm: Algorithm,
+    /// Number of distinct temporal k-cores.
+    pub num_cores: u64,
+    /// Total number of edges over all cores (the paper's `|R|`).
+    pub total_result_edges: u64,
+    /// Time spent in precomputation (the CoreTime phase building the edge
+    /// core window skyline); zero for OTCD and the naive reference.
+    pub precompute_time: Duration,
+    /// Time spent enumerating results.
+    pub enumerate_time: Duration,
+    /// Estimated peak heap footprint of the algorithm's working structures.
+    pub peak_memory_bytes: usize,
+}
+
+impl QueryStats {
+    /// Total wall-clock time (precomputation plus enumeration).
+    pub fn total_time(&self) -> Duration {
+        self.precompute_time + self.enumerate_time
+    }
+}
+
+/// A time-range temporal k-core query: all distinct temporal k-cores of any
+/// sub-window of `range`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeRangeKCoreQuery {
+    k: usize,
+    range: TimeWindow,
+}
+
+impl TimeRangeKCoreQuery {
+    /// Creates a query for parameter `k` over the given time range.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` (a 0-core is the whole projected graph and is not a
+    /// meaningful cohesive-subgraph query).
+    pub fn new(k: usize, range: TimeWindow) -> Self {
+        assert!(k >= 1, "temporal k-core queries require k >= 1");
+        Self { k, range }
+    }
+
+    /// The query parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The query time range.
+    pub fn range(&self) -> TimeWindow {
+        self.range
+    }
+
+    /// Enumerates all distinct temporal k-cores with the paper's final
+    /// algorithm and returns them in canonical order.
+    pub fn enumerate(&self, graph: &TemporalGraph) -> Vec<TemporalKCore> {
+        let mut sink = CollectingSink::default();
+        self.run_with(graph, Algorithm::Enum, &mut sink);
+        sink.into_sorted()
+    }
+
+    /// Counts results (number of cores and total result size `|R|`) without
+    /// materialising them.
+    pub fn count(&self, graph: &TemporalGraph) -> CountingSink {
+        let mut sink = CountingSink::default();
+        self.run_with(graph, Algorithm::Enum, &mut sink);
+        sink
+    }
+
+    /// Runs the chosen algorithm, streaming results into `sink`.
+    pub fn run_with(
+        &self,
+        graph: &TemporalGraph,
+        algorithm: Algorithm,
+        sink: &mut dyn ResultSink,
+    ) -> QueryStats {
+        let mut stats = QueryStats {
+            algorithm,
+            num_cores: 0,
+            total_result_edges: 0,
+            precompute_time: Duration::ZERO,
+            enumerate_time: Duration::ZERO,
+            peak_memory_bytes: 0,
+        };
+        match algorithm {
+            Algorithm::Enum => {
+                let t0 = Instant::now();
+                let ecs = EdgeCoreSkyline::build(graph, self.k, self.range);
+                stats.precompute_time = t0.elapsed();
+                let t1 = Instant::now();
+                let run = enumerate(graph, &ecs, sink);
+                stats.enumerate_time = t1.elapsed();
+                stats.num_cores = run.num_cores;
+                stats.total_result_edges = run.total_edges;
+                stats.peak_memory_bytes = run.peak_memory_bytes;
+            }
+            Algorithm::EnumBase => {
+                let t0 = Instant::now();
+                let ecs = EdgeCoreSkyline::build(graph, self.k, self.range);
+                stats.precompute_time = t0.elapsed();
+                let t1 = Instant::now();
+                let run = enumerate_base(graph, &ecs, sink);
+                stats.enumerate_time = t1.elapsed();
+                stats.num_cores = run.num_cores;
+                stats.total_result_edges = run.total_edges;
+                stats.peak_memory_bytes = run.peak_memory_bytes;
+            }
+            Algorithm::Otcd => {
+                let t1 = Instant::now();
+                let run = run_otcd(graph, self.k, self.range, sink);
+                stats.enumerate_time = t1.elapsed();
+                stats.num_cores = run.num_cores;
+                stats.total_result_edges = run.total_edges;
+                stats.peak_memory_bytes = run.peak_memory_bytes;
+            }
+            Algorithm::Naive => {
+                let t1 = Instant::now();
+                let mut counter = CountingForwarder { inner: sink, cores: 0, edges: 0 };
+                enumerate_naive(graph, self.k, self.range, &mut counter);
+                stats.enumerate_time = t1.elapsed();
+                stats.num_cores = counter.cores;
+                stats.total_result_edges = counter.edges;
+                stats.peak_memory_bytes = 0;
+            }
+        }
+        stats
+    }
+}
+
+/// Wraps a sink while counting what flows through it (used for the naive
+/// reference, whose entry point does not report statistics itself).
+struct CountingForwarder<'a> {
+    inner: &'a mut dyn ResultSink,
+    cores: u64,
+    edges: u64,
+}
+
+impl ResultSink for CountingForwarder<'_> {
+    fn emit(&mut self, tti: TimeWindow, edges: &[temporal_graph::EdgeId]) {
+        self.cores += 1;
+        self.edges += edges.len() as u64;
+        self.inner.emit(tti, edges);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+
+    #[test]
+    fn enumerate_returns_figure_2_results() {
+        let g = paper_example::graph();
+        let query = TimeRangeKCoreQuery::new(2, paper_example::example_query_range());
+        assert_eq!(query.k(), 2);
+        assert_eq!(query.range(), paper_example::example_query_range());
+        let cores = query.enumerate(&g);
+        assert_eq!(cores.len(), 2);
+        let count = query.count(&g);
+        assert_eq!(count.num_cores, 2);
+        assert_eq!(count.total_edges, 9); // 6 + 3 edges (Figure 2)
+    }
+
+    #[test]
+    fn all_algorithms_produce_identical_counts() {
+        let g = paper_example::graph();
+        let query = TimeRangeKCoreQuery::new(2, paper_example::full_range());
+        let mut counts = Vec::new();
+        for algo in Algorithm::ALL {
+            let mut sink = CountingSink::default();
+            let stats = query.run_with(&g, algo, &mut sink);
+            assert_eq!(stats.num_cores, sink.num_cores, "{}", algo.name());
+            assert_eq!(stats.total_result_edges, sink.total_edges);
+            assert!(stats.total_time() >= stats.enumerate_time);
+            counts.push((sink.num_cores, sink.total_edges));
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "counts: {counts:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_is_rejected() {
+        let _ = TimeRangeKCoreQuery::new(0, TimeWindow::new(1, 5));
+    }
+
+    #[test]
+    fn algorithm_names_are_stable() {
+        assert_eq!(Algorithm::Enum.name(), "Enum");
+        assert_eq!(Algorithm::EnumBase.name(), "EnumBase");
+        assert_eq!(Algorithm::Otcd.name(), "OTCD");
+        assert_eq!(Algorithm::Naive.name(), "Naive");
+        assert_eq!(Algorithm::ALL.len(), 4);
+    }
+}

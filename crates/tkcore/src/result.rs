@@ -1,0 +1,115 @@
+use temporal_graph::{EdgeId, TemporalGraph, TimeWindow, VertexId};
+
+/// A single temporal k-core result.
+///
+/// A temporal k-core is identified by its set of temporal edges (two results
+/// with the same edge set are the same core) and is reported together with
+/// its *Tightest Time Interval* (TTI): the minimal time window containing all
+/// of its edges.  There is a one-to-one correspondence between a temporal
+/// k-core and its TTI (Section V-B of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemporalKCore {
+    /// Tightest time interval of the core.
+    pub tti: TimeWindow,
+    /// Ids of the temporal edges forming the core, sorted ascending.
+    pub edges: Vec<EdgeId>,
+}
+
+impl TemporalKCore {
+    /// Creates a result, normalising the edge order.
+    pub fn new(tti: TimeWindow, mut edges: Vec<EdgeId>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        Self { tti, edges }
+    }
+
+    /// Number of temporal edges in the core (the unit in which the paper
+    /// measures the total result size `|R|`).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The distinct vertices spanned by the core, sorted ascending.
+    pub fn vertices(&self, graph: &TemporalGraph) -> Vec<VertexId> {
+        let mut vs: Vec<VertexId> = self
+            .edges
+            .iter()
+            .flat_map(|&e| {
+                let edge = graph.edge(e);
+                [edge.u, edge.v]
+            })
+            .collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// Does the core contain the given temporal edge?
+    pub fn contains_edge(&self, edge: EdgeId) -> bool {
+        self.edges.binary_search(&edge).is_ok()
+    }
+
+    /// Recomputes the tightest time interval from the edge timestamps and
+    /// checks it matches the stored TTI (used by tests / debug assertions).
+    pub fn tti_is_tight(&self, graph: &TemporalGraph) -> bool {
+        let Some(min_t) = self.edges.iter().map(|&e| graph.edge(e).t).min() else {
+            return false;
+        };
+        let max_t = self.edges.iter().map(|&e| graph.edge(e).t).max().unwrap();
+        self.tti == TimeWindow::new(min_t, max_t)
+    }
+
+    /// Checks the defining property: every vertex of the core has at least
+    /// `k` distinct neighbours within the core (used by tests).
+    pub fn is_valid_k_core(&self, graph: &TemporalGraph, k: usize) -> bool {
+        use std::collections::HashMap;
+        let mut neighbors: HashMap<VertexId, std::collections::HashSet<VertexId>> = HashMap::new();
+        for &e in &self.edges {
+            let edge = graph.edge(e);
+            neighbors.entry(edge.u).or_default().insert(edge.v);
+            neighbors.entry(edge.v).or_default().insert(edge.u);
+        }
+        neighbors.values().all(|ns| ns.len() >= k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temporal_graph::TemporalGraphBuilder;
+
+    fn triangle() -> TemporalGraph {
+        TemporalGraphBuilder::new()
+            .with_edges([(0u64, 1u64, 1i64), (1, 2, 2), (0, 2, 3)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn normalises_edges_and_reports_vertices() {
+        let g = triangle();
+        let core = TemporalKCore::new(TimeWindow::new(1, 3), vec![2, 0, 1, 1]);
+        assert_eq!(core.edges, vec![0, 1, 2]);
+        assert_eq!(core.num_edges(), 3);
+        assert_eq!(core.vertices(&g), vec![0, 1, 2]);
+        assert!(core.contains_edge(1));
+        assert!(!core.contains_edge(5));
+    }
+
+    #[test]
+    fn validity_checks() {
+        let g = triangle();
+        let core = TemporalKCore::new(TimeWindow::new(1, 3), vec![0, 1, 2]);
+        assert!(core.tti_is_tight(&g));
+        assert!(core.is_valid_k_core(&g, 2));
+        assert!(!core.is_valid_k_core(&g, 3));
+
+        let loose = TemporalKCore::new(TimeWindow::new(1, 3), vec![0, 1]);
+        assert!(!loose.tti_is_tight(&g)); // edges span [1, 2] only
+        assert!(!loose.is_valid_k_core(&g, 2));
+
+        let empty = TemporalKCore::new(TimeWindow::new(1, 1), vec![]);
+        assert!(!empty.tti_is_tight(&g));
+    }
+}

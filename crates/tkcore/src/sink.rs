@@ -1,0 +1,102 @@
+use crate::result::TemporalKCore;
+use temporal_graph::{EdgeId, TimeWindow};
+
+/// Receiver for enumerated temporal k-cores.
+///
+/// The enumeration algorithms stream their results through a sink so that
+/// callers can choose between materialising every core ([`CollectingSink`]),
+/// merely counting them ([`CountingSink`] — what the paper's experiments do,
+/// since `|R|` routinely exceeds memory), or any custom processing.
+pub trait ResultSink {
+    /// Called once per distinct temporal k-core, with its tightest time
+    /// interval and the ids of its temporal edges (unsorted, possibly with
+    /// an algorithm-specific order).
+    fn emit(&mut self, tti: TimeWindow, edges: &[EdgeId]);
+}
+
+/// Collects every result as an owned [`TemporalKCore`].
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    /// The collected cores, in emission order.
+    pub cores: Vec<TemporalKCore>,
+}
+
+impl ResultSink for CollectingSink {
+    fn emit(&mut self, tti: TimeWindow, edges: &[EdgeId]) {
+        self.cores.push(TemporalKCore::new(tti, edges.to_vec()));
+    }
+}
+
+impl CollectingSink {
+    /// Consumes the sink and returns the cores sorted by (TTI, edge set),
+    /// which gives a canonical order independent of the producing algorithm.
+    pub fn into_sorted(mut self) -> Vec<TemporalKCore> {
+        self.cores.sort_by(|a, b| a.tti.cmp(&b.tti).then_with(|| a.edges.cmp(&b.edges)));
+        self.cores
+    }
+}
+
+/// Counts results without storing them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Number of distinct temporal k-cores.
+    pub num_cores: u64,
+    /// Total number of edges over all cores — the paper's result size `|R|`.
+    pub total_edges: u64,
+    /// Number of edges in the largest core seen.
+    pub max_core_edges: u64,
+}
+
+impl ResultSink for CountingSink {
+    fn emit(&mut self, _tti: TimeWindow, edges: &[EdgeId]) {
+        self.num_cores += 1;
+        self.total_edges += edges.len() as u64;
+        self.max_core_edges = self.max_core_edges.max(edges.len() as u64);
+    }
+}
+
+/// Adapter that forwards to a closure; convenient in tests and examples.
+pub struct FnSink<F: FnMut(TimeWindow, &[EdgeId])>(pub F);
+
+impl<F: FnMut(TimeWindow, &[EdgeId])> ResultSink for FnSink<F> {
+    fn emit(&mut self, tti: TimeWindow, edges: &[EdgeId]) {
+        (self.0)(tti, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_accumulates() {
+        let mut sink = CountingSink::default();
+        sink.emit(TimeWindow::new(1, 2), &[0, 1, 2]);
+        sink.emit(TimeWindow::new(2, 5), &[3, 4]);
+        assert_eq!(sink.num_cores, 2);
+        assert_eq!(sink.total_edges, 5);
+        assert_eq!(sink.max_core_edges, 3);
+    }
+
+    #[test]
+    fn collecting_sink_sorts_canonically() {
+        let mut sink = CollectingSink::default();
+        sink.emit(TimeWindow::new(3, 4), &[7, 5]);
+        sink.emit(TimeWindow::new(1, 2), &[9]);
+        let sorted = sink.into_sorted();
+        assert_eq!(sorted[0].tti, TimeWindow::new(1, 2));
+        assert_eq!(sorted[1].edges, vec![5, 7]);
+    }
+
+    #[test]
+    fn fn_sink_forwards() {
+        let mut seen = Vec::new();
+        {
+            let mut sink = FnSink(|tti: TimeWindow, edges: &[EdgeId]| {
+                seen.push((tti, edges.len()));
+            });
+            sink.emit(TimeWindow::new(1, 1), &[0]);
+        }
+        assert_eq!(seen, vec![(TimeWindow::new(1, 1), 1)]);
+    }
+}

@@ -1,0 +1,485 @@
+//! Vertex core times (Definition 4) and the Vertex Core Time index (VCT).
+//!
+//! The *core time* `CT_ts(u)` of vertex `u` for a start time `ts` is the
+//! earliest end time `te` such that `u` belongs to the temporal k-core of the
+//! window `[ts, te]`.  The VCT index stores, for every vertex, the distinct
+//! core times over all start times of the query range together with the
+//! earliest start time at which each value holds (the paper's Table I).
+//!
+//! # Computation
+//!
+//! The historical-k-core work the paper builds on ([13]) computes core times
+//! with an `O(|VCT|·deg_avg)` sweep over start times.  We reproduce the same
+//! sweep structure through a *least-fixpoint* characterisation that is easy
+//! to verify and has the same output-sensitive behaviour:
+//!
+//! For a fixed start time `ts`, let `t_uv(ts)` be the earliest timestamp
+//! `>= ts` of an edge between `u` and a distinct neighbour `v` (within the
+//! query range).  Then the core times are the *least* fixpoint of
+//!
+//! ```text
+//! CT(u) = k-th smallest over distinct neighbours v of max(t_uv(ts), CT(v))
+//! ```
+//!
+//! (values above the range end are `∞`).  Any fixpoint's "≤ te" level sets
+//! are k-cores, and the true core times form a fixpoint, so the least
+//! fixpoint is exactly `CT_ts` (see `CoreTimeSweep` docs for the argument).
+//! The least fixpoint is computed by a monotone worklist iteration starting
+//! from the lower bound `k-th smallest t_uv`.  When the start time advances
+//! (`ts → ts+1`), only the endpoints of edges with timestamp `ts` can have
+//! their `t_uv` change; their re-evaluation is propagated through the
+//! worklist, and core times only ever increase.  Every increase corresponds
+//! to one VCT entry and costs a constant number of `O(deg)` neighbourhood
+//! scans, giving the paper's `O(|VCT|·deg_avg)`-style behaviour.
+
+use std::collections::VecDeque;
+use temporal_graph::{TemporalGraph, TimeWindow, Timestamp, VertexId, T_INFINITY};
+
+#[derive(Debug, Clone)]
+struct SweepGroup {
+    neighbor: VertexId,
+    occ_start: u32,
+    occ_end: u32,
+    /// Index of the first occurrence with timestamp >= the current start time
+    /// (advanced lazily while re-evaluating the owning vertex).
+    ptr: u32,
+}
+
+/// Incremental computation of vertex core times over increasing start times.
+///
+/// After construction the sweep holds the core times for `ts = range.start()`;
+/// each call to [`CoreTimeSweep::advance`] moves to the next start time and
+/// reports which vertices changed.  Both the [`VertexCoreTimeIndex`] and the
+/// edge core window skyline (`crate::EdgeCoreSkyline`) are built by driving
+/// this sweep.
+pub struct CoreTimeSweep<'g> {
+    graph: &'g TemporalGraph,
+    k: usize,
+    range: TimeWindow,
+    current_ts: Timestamp,
+    ct: Vec<Timestamp>,
+    group_offsets: Vec<u32>,
+    groups: Vec<SweepGroup>,
+    occ: Vec<Timestamp>,
+    queue: VecDeque<VertexId>,
+    in_queue: Vec<bool>,
+    changed: Vec<VertexId>,
+    changed_mark: Vec<bool>,
+    scratch: Vec<Timestamp>,
+}
+
+impl<'g> CoreTimeSweep<'g> {
+    /// Builds the sweep and computes core times for the first start time
+    /// (`range.start()`).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(graph: &'g TemporalGraph, k: usize, range: TimeWindow) -> Self {
+        assert!(k >= 1, "temporal k-core queries require k >= 1");
+        // Clamp the range end to the graph's last timestamp: windows beyond
+        // it contain no additional edges, so results are unchanged, and the
+        // start-time sweep does not iterate over empty timestamps.
+        let range = TimeWindow::new(
+            range.start(),
+            range.end().min(graph.tmax()).max(range.start()),
+        );
+        let n = graph.num_vertices();
+        let mut group_offsets = vec![0u32; n + 1];
+        let mut groups = Vec::new();
+        let mut occ = Vec::new();
+        for u in 0..n as VertexId {
+            for g in graph.neighbors(u) {
+                let occs = g.occurrences_in(range);
+                if occs.is_empty() {
+                    continue;
+                }
+                let occ_start = occ.len() as u32;
+                occ.extend(occs.iter().map(|&(t, _)| t));
+                groups.push(SweepGroup {
+                    neighbor: g.neighbor,
+                    occ_start,
+                    occ_end: occ.len() as u32,
+                    ptr: occ_start,
+                });
+            }
+            group_offsets[u as usize + 1] = groups.len() as u32;
+        }
+
+        let mut sweep = Self {
+            graph,
+            k,
+            range,
+            current_ts: range.start(),
+            ct: vec![T_INFINITY; n],
+            group_offsets,
+            groups,
+            occ,
+            queue: VecDeque::new(),
+            in_queue: vec![false; n],
+            changed: Vec::new(),
+            changed_mark: vec![false; n],
+            scratch: Vec::new(),
+        };
+
+        // Lower bound: k-th smallest earliest occurrence time per vertex.
+        for u in 0..n as VertexId {
+            let lo = sweep.group_offsets[u as usize] as usize;
+            let hi = sweep.group_offsets[u as usize + 1] as usize;
+            if hi - lo < sweep.k {
+                continue;
+            }
+            sweep.scratch.clear();
+            for gi in lo..hi {
+                let g = &sweep.groups[gi];
+                sweep.scratch.push(sweep.occ[g.occ_start as usize]);
+            }
+            let kth = {
+                let idx = sweep.k - 1;
+                *sweep.scratch.select_nth_unstable(idx).1
+            };
+            sweep.ct[u as usize] = if kth > range.end() { T_INFINITY } else { kth };
+            if sweep.ct[u as usize] != T_INFINITY {
+                sweep.in_queue[u as usize] = true;
+                sweep.queue.push_back(u);
+            }
+        }
+        sweep.run_worklist();
+
+        // Report every vertex with a finite core time as "changed" so that
+        // index builders can record the initial entries.
+        sweep.changed.clear();
+        for u in 0..n as VertexId {
+            if sweep.ct[u as usize] != T_INFINITY {
+                sweep.changed.push(u);
+            }
+        }
+        sweep
+    }
+
+    /// The query parameter `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The query time range.
+    #[inline]
+    pub fn range(&self) -> TimeWindow {
+        self.range
+    }
+
+    /// Start time the current core times refer to.
+    #[inline]
+    pub fn current_start_time(&self) -> Timestamp {
+        self.current_ts
+    }
+
+    /// Core time of every vertex for the current start time
+    /// ([`T_INFINITY`] if the vertex is in no temporal k-core).
+    #[inline]
+    pub fn core_times(&self) -> &[Timestamp] {
+        &self.ct
+    }
+
+    /// Vertices whose core time changed in the most recent step: after
+    /// construction, every vertex with a finite core time; after
+    /// [`Self::advance`], the vertices whose value differs from the previous
+    /// start time.
+    #[inline]
+    pub fn changed_vertices(&self) -> &[VertexId] {
+        &self.changed
+    }
+
+    /// Advances to the next start time, returning it, or `None` when the end
+    /// of the query range has been reached.
+    pub fn advance(&mut self) -> Option<Timestamp> {
+        if self.current_ts >= self.range.end() {
+            return None;
+        }
+        let leaving = self.current_ts;
+        self.current_ts += 1;
+        for &u in &self.changed {
+            self.changed_mark[u as usize] = false;
+        }
+        self.changed.clear();
+
+        // Only the endpoints of edges leaving the window can be directly
+        // affected; everything else changes only through propagation.
+        for e in self.graph.edges_at(leaving) {
+            for u in [e.u, e.v] {
+                if self.ct[u as usize] != T_INFINITY && !self.in_queue[u as usize] {
+                    self.in_queue[u as usize] = true;
+                    self.queue.push_back(u);
+                }
+            }
+        }
+        self.run_worklist();
+        Some(self.current_ts)
+    }
+
+    fn run_worklist(&mut self) {
+        while let Some(u) = self.queue.pop_front() {
+            self.in_queue[u as usize] = false;
+            if self.ct[u as usize] == T_INFINITY {
+                continue;
+            }
+            let new = self.reevaluate(u);
+            debug_assert!(new >= self.ct[u as usize], "core times must not decrease");
+            if new > self.ct[u as usize] {
+                self.ct[u as usize] = new;
+                if !self.changed_mark[u as usize] {
+                    self.changed_mark[u as usize] = true;
+                    self.changed.push(u);
+                }
+                let lo = self.group_offsets[u as usize] as usize;
+                let hi = self.group_offsets[u as usize + 1] as usize;
+                for gi in lo..hi {
+                    let v = self.groups[gi].neighbor;
+                    if self.ct[v as usize] != T_INFINITY && !self.in_queue[v as usize] {
+                        self.in_queue[v as usize] = true;
+                        self.queue.push_back(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies the fixpoint operator at `u`: k-th smallest over available
+    /// distinct neighbours `v` of `max(t_uv, CT(v))`.
+    fn reevaluate(&mut self, u: VertexId) -> Timestamp {
+        let lo = self.group_offsets[u as usize] as usize;
+        let hi = self.group_offsets[u as usize + 1] as usize;
+        self.scratch.clear();
+        for gi in lo..hi {
+            let g = &mut self.groups[gi];
+            let mut ptr = g.ptr as usize;
+            while ptr < g.occ_end as usize && self.occ[ptr] < self.current_ts {
+                ptr += 1;
+            }
+            g.ptr = ptr as u32;
+            if ptr >= g.occ_end as usize {
+                continue;
+            }
+            let t_uv = self.occ[ptr];
+            let ct_v = self.ct[g.neighbor as usize];
+            self.scratch.push(t_uv.max(ct_v));
+        }
+        if self.scratch.len() < self.k {
+            return T_INFINITY;
+        }
+        let idx = self.k - 1;
+        let kth = *self.scratch.select_nth_unstable(idx).1;
+        if kth > self.range.end() {
+            T_INFINITY
+        } else {
+            kth
+        }
+    }
+}
+
+/// The Vertex Core Time index: for every vertex, the list of
+/// `(start time, core time)` pairs at which the core time changes
+/// (the paper's Table I; `∞` entries are represented by [`T_INFINITY`]).
+#[derive(Debug, Clone)]
+pub struct VertexCoreTimeIndex {
+    k: usize,
+    range: TimeWindow,
+    entries: Vec<Vec<(Timestamp, Timestamp)>>,
+}
+
+impl VertexCoreTimeIndex {
+    /// Builds the index for the given `k` and query range.
+    pub fn build(graph: &TemporalGraph, k: usize, range: TimeWindow) -> Self {
+        let mut sweep = CoreTimeSweep::new(graph, k, range);
+        let mut entries = vec![Vec::new(); graph.num_vertices()];
+        loop {
+            let ts = sweep.current_start_time();
+            for &u in sweep.changed_vertices() {
+                entries[u as usize].push((ts, sweep.core_times()[u as usize]));
+            }
+            if sweep.advance().is_none() {
+                break;
+            }
+        }
+        Self { k, range, entries }
+    }
+
+    /// The query parameter `k` the index was built for.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The query range the index was built for.
+    #[inline]
+    pub fn range(&self) -> TimeWindow {
+        self.range
+    }
+
+    /// The `(start time, core time)` entries of vertex `u` (possibly empty).
+    #[inline]
+    pub fn entries(&self, u: VertexId) -> &[(Timestamp, Timestamp)] {
+        &self.entries[u as usize]
+    }
+
+    /// Core time of vertex `u` for start time `ts`, or [`T_INFINITY`] if `u`
+    /// is in no temporal k-core of a window starting at `ts`.
+    pub fn core_time(&self, u: VertexId, ts: Timestamp) -> Timestamp {
+        if ts < self.range.start() || ts > self.range.end() {
+            return T_INFINITY;
+        }
+        let entries = &self.entries[u as usize];
+        let idx = entries.partition_point(|&(start, _)| start <= ts);
+        if idx == 0 {
+            T_INFINITY
+        } else {
+            entries[idx - 1].1
+        }
+    }
+
+    /// Total number of index entries — the paper's `|VCT|`.
+    pub fn size(&self) -> usize {
+        self.entries.iter().map(|e| e.len()).sum()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.size() * std::mem::size_of::<(Timestamp, Timestamp)>()
+            + self.entries.len() * std::mem::size_of::<Vec<(Timestamp, Timestamp)>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::core_edges_of_window;
+    use temporal_graph::TemporalGraphBuilder;
+
+    /// Brute-force core time for cross-checking: the earliest `te` such that
+    /// `u` has an incident edge in the k-core of `[ts, te]`.
+    fn naive_core_time(
+        graph: &TemporalGraph,
+        k: usize,
+        range: TimeWindow,
+        u: VertexId,
+        ts: Timestamp,
+    ) -> Timestamp {
+        for te in ts..=range.end() {
+            let edges = core_edges_of_window(graph, k, TimeWindow::new(ts, te));
+            let in_core = edges.iter().any(|&e| {
+                let edge = graph.edge(e);
+                edge.u == u || edge.v == u
+            });
+            if in_core {
+                return te;
+            }
+        }
+        T_INFINITY
+    }
+
+    fn small_graph() -> TemporalGraph {
+        TemporalGraphBuilder::new()
+            .with_edges([
+                (0u64, 1u64, 1i64),
+                (1, 2, 2),
+                (0, 2, 3),
+                (2, 3, 4),
+                (3, 4, 5),
+                (2, 4, 6),
+                (0, 1, 6),
+                (1, 2, 7),
+                (0, 2, 7),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_naive_core_times_everywhere() {
+        let g = small_graph();
+        let range = g.span();
+        for k in 1..=3 {
+            let vct = VertexCoreTimeIndex::build(&g, k, range);
+            for u in 0..g.num_vertices() as VertexId {
+                for ts in range.start()..=range.end() {
+                    assert_eq!(
+                        vct.core_time(u, ts),
+                        naive_core_time(&g, k, range, u, ts),
+                        "k={k} u={u} ts={ts}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sub_range_queries_are_respected() {
+        let g = small_graph();
+        let range = TimeWindow::new(2, 6);
+        let vct = VertexCoreTimeIndex::build(&g, 2, range);
+        for u in 0..g.num_vertices() as VertexId {
+            for ts in 2..=6 {
+                assert_eq!(vct.core_time(u, ts), naive_core_time(&g, 2, range, u, ts));
+            }
+            // Outside the query range the index answers "infinity".
+            assert_eq!(vct.core_time(u, 1), T_INFINITY);
+            assert_eq!(vct.core_time(u, 7), T_INFINITY);
+        }
+    }
+
+    #[test]
+    fn entries_are_strictly_increasing() {
+        let g = small_graph();
+        let vct = VertexCoreTimeIndex::build(&g, 2, g.span());
+        assert!(vct.size() > 0);
+        for u in 0..g.num_vertices() as VertexId {
+            let entries = vct.entries(u);
+            for pair in entries.windows(2) {
+                assert!(pair[0].0 < pair[1].0, "start times strictly increase");
+                assert!(pair[0].1 < pair[1].1, "core times strictly increase");
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_and_low_degree_vertices_have_no_entries() {
+        let g = TemporalGraphBuilder::new()
+            .with_edges([(0u64, 1u64, 1i64), (1, 2, 2), (0, 2, 3), (3, 4, 2)])
+            .build()
+            .unwrap();
+        let vct = VertexCoreTimeIndex::build(&g, 2, g.span());
+        // Vertices 3 and 4 have a single neighbour, so they are never in a 2-core.
+        let v3 = g.labels().iter().position(|&l| l == 3).unwrap() as VertexId;
+        let v4 = g.labels().iter().position(|&l| l == 4).unwrap() as VertexId;
+        assert!(vct.entries(v3).is_empty());
+        assert!(vct.entries(v4).is_empty());
+        assert_eq!(vct.core_time(v3, 1), T_INFINITY);
+    }
+
+    #[test]
+    fn sweep_reports_changes() {
+        let g = small_graph();
+        let mut sweep = CoreTimeSweep::new(&g, 2, g.span());
+        assert_eq!(sweep.current_start_time(), 1);
+        assert!(!sweep.changed_vertices().is_empty());
+        let mut steps = 0;
+        while sweep.advance().is_some() {
+            steps += 1;
+            // changed vertices always carry a value different from infinity
+            // only when they remain in some core; either way the list is
+            // consistent with the ct array.
+            for &u in sweep.changed_vertices() {
+                let _ = sweep.core_times()[u as usize];
+            }
+        }
+        assert_eq!(steps, g.tmax() - 1);
+        assert_eq!(sweep.current_start_time(), g.tmax());
+    }
+
+    #[test]
+    #[should_panic]
+    fn k_zero_is_rejected() {
+        let g = small_graph();
+        let _ = CoreTimeSweep::new(&g, 0, g.span());
+    }
+}

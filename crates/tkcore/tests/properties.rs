@@ -1,0 +1,155 @@
+//! Property-based tests: the three enumeration algorithms agree with the
+//! brute-force reference on randomized temporal graphs, and the framework's
+//! structural invariants hold.
+
+use proptest::prelude::*;
+use temporal_graph::{EdgeId, TemporalGraph, TemporalGraphBuilder, TimeWindow};
+use tkcore::{
+    enumerate_base_from_graph, enumerate_from_graph, naive_results, run_otcd, CollectingSink,
+    EdgeCoreSkyline, TemporalKCore, VertexCoreTimeIndex,
+};
+
+/// Strategy: a random temporal graph with up to `max_v` vertices, up to
+/// `max_e` edges and up to `max_t` distinct timestamps.
+fn arb_graph(max_v: u64, max_e: usize, max_t: i64) -> impl Strategy<Value = TemporalGraph> {
+    prop::collection::vec((0..max_v, 0..max_v, 1..=max_t), 1..max_e)
+        .prop_filter_map("graph must have at least one non-loop edge", |edges| {
+            let edges: Vec<(u64, u64, i64)> =
+                edges.into_iter().filter(|(u, v, _)| u != v).collect();
+            if edges.is_empty() {
+                return None;
+            }
+            TemporalGraphBuilder::new().with_edges(edges).build().ok()
+        })
+}
+
+fn canonical(mut cores: Vec<TemporalKCore>) -> Vec<TemporalKCore> {
+    cores.sort_by(|a, b| a.tti.cmp(&b.tti).then_with(|| a.edges.cmp(&b.edges)));
+    cores
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The final algorithm, the skyline baseline and OTCD all produce exactly
+    /// the naive reference's result set, for several values of k.
+    #[test]
+    fn all_algorithms_agree_with_naive(g in arb_graph(12, 50, 10), k in 2usize..4) {
+        let range = g.span();
+        let expected = naive_results(&g, k, range);
+
+        let mut s1 = CollectingSink::default();
+        enumerate_from_graph(&g, k, range, &mut s1);
+        prop_assert_eq!(&canonical(s1.cores), &expected);
+
+        let mut s2 = CollectingSink::default();
+        enumerate_base_from_graph(&g, k, range, &mut s2);
+        prop_assert_eq!(&canonical(s2.cores), &expected);
+
+        let mut s3 = CollectingSink::default();
+        run_otcd(&g, k, range, &mut s3);
+        prop_assert_eq!(&canonical(s3.cores), &expected);
+    }
+
+    /// Results from sub-ranges of the span are also identical across
+    /// algorithms (exercises range clamping and active-time bookkeeping).
+    #[test]
+    fn sub_range_queries_agree(g in arb_graph(10, 40, 8), k in 2usize..3, lo in 1u32..4, len in 0u32..6) {
+        let start = lo.min(g.tmax());
+        let end = (start + len).min(g.tmax()).max(start);
+        let range = TimeWindow::new(start, end);
+        let expected = naive_results(&g, k, range);
+
+        let mut s1 = CollectingSink::default();
+        enumerate_from_graph(&g, k, range, &mut s1);
+        prop_assert_eq!(&canonical(s1.cores), &expected);
+
+        let mut s3 = CollectingSink::default();
+        run_otcd(&g, k, range, &mut s3);
+        prop_assert_eq!(&canonical(s3.cores), &expected);
+    }
+
+    /// Every emitted core is a valid k-core, has a tight TTI contained in the
+    /// query range, and no two cores share the same edge set.
+    #[test]
+    fn result_invariants(g in arb_graph(14, 60, 12), k in 2usize..4) {
+        let range = g.span();
+        let mut sink = CollectingSink::default();
+        enumerate_from_graph(&g, k, range, &mut sink);
+        let mut seen = std::collections::HashSet::new();
+        for core in &sink.cores {
+            prop_assert!(core.is_valid_k_core(&g, k));
+            prop_assert!(core.tti_is_tight(&g));
+            prop_assert!(range.contains_window(&core.tti));
+            prop_assert!(seen.insert(core.edges.clone()), "duplicate edge set");
+        }
+    }
+
+    /// Skyline invariants: windows of an edge strictly increase in both
+    /// endpoints, contain the edge's timestamp, and lie within the range;
+    /// moreover the edge really is in the k-core of each minimal window but
+    /// not in the k-core of the two windows obtained by shrinking it.
+    #[test]
+    fn skyline_invariants(g in arb_graph(10, 40, 8), k in 2usize..3) {
+        let range = g.span();
+        let ecs = EdgeCoreSkyline::build(&g, k, range);
+        for (edge, windows) in ecs.iter() {
+            let t = g.edge(edge).t;
+            for pair in windows.windows(2) {
+                prop_assert!(pair[0].start() < pair[1].start());
+                prop_assert!(pair[0].end() < pair[1].end());
+            }
+            for w in windows {
+                prop_assert!(range.contains_window(w));
+                prop_assert!(w.contains(t));
+                prop_assert!(tkcore::naive::edge_in_core_of_window(&g, k, *w, edge));
+                if w.start() < w.end() {
+                    let shrunk_left = TimeWindow::new(w.start() + 1, w.end());
+                    let shrunk_right = TimeWindow::new(w.start(), w.end() - 1);
+                    prop_assert!(!tkcore::naive::edge_in_core_of_window(&g, k, shrunk_left, edge));
+                    prop_assert!(!tkcore::naive::edge_in_core_of_window(&g, k, shrunk_right, edge));
+                }
+            }
+        }
+    }
+
+    /// VCT invariant: the level sets of the index reproduce per-window core
+    /// membership (vertex u is in the k-core of [ts, te] iff its core time
+    /// for ts is at most te).
+    #[test]
+    fn vct_membership_matches_peeling(g in arb_graph(10, 36, 7), k in 2usize..3) {
+        let range = g.span();
+        let vct = VertexCoreTimeIndex::build(&g, k, range);
+        for ts in range.start()..=range.end() {
+            for te in ts..=range.end() {
+                let window = TimeWindow::new(ts, te);
+                let core_edges = tkcore::core_edges_of_window(&g, k, window);
+                let mut in_core = vec![false; g.num_vertices()];
+                for &e in &core_edges {
+                    let edge = g.edge(e);
+                    in_core[edge.u as usize] = true;
+                    in_core[edge.v as usize] = true;
+                }
+                for u in 0..g.num_vertices() as u32 {
+                    let predicted = vct.core_time(u, ts) <= te;
+                    prop_assert_eq!(predicted, in_core[u as usize],
+                        "u={} window={}", u, window);
+                }
+            }
+        }
+    }
+
+    /// The total result size reported by the counting path equals the sum of
+    /// the collected cores' edge counts.
+    #[test]
+    fn counting_equals_collecting(g in arb_graph(12, 50, 10), k in 2usize..3) {
+        let range = g.span();
+        let mut collecting = CollectingSink::default();
+        let stats = enumerate_from_graph(&g, k, range, &mut collecting);
+        let total: usize = collecting.cores.iter().map(|c| c.num_edges()).sum();
+        prop_assert_eq!(stats.total_edges as usize, total);
+        prop_assert_eq!(stats.num_cores as usize, collecting.cores.len());
+        let edge_ids: Vec<EdgeId> = collecting.cores.iter().flat_map(|c| c.edges.clone()).collect();
+        prop_assert!(edge_ids.iter().all(|&e| (e as usize) < g.num_edges()));
+    }
+}

@@ -1,0 +1,83 @@
+//! Contact tracing: finding transmission clusters in a proximity network.
+//!
+//! During an outbreak, interactions between infected individuals peak and
+//! decline over unpredictable durations (Section I of the paper).  A single
+//! fixed analysis window either misses short-lived clusters or drowns them
+//! in unrelated contacts.  Enumerating all temporal k-cores over a query
+//! range reconstructs every tightly interacting group together with the
+//! precise interval in which it was active.
+//!
+//! Run with: `cargo run --release --example contact_tracing`
+
+use temporal_kcore::prelude::*;
+use temporal_kcore::temporal_graph::generator::{planted_bursty_cores, BurstyConfig};
+
+fn main() {
+    // A fortnight of proximity events (1 timestamp = 10 minutes): households,
+    // workplaces and one superspreading event appear as planted bursts.
+    let config = BurstyConfig {
+        num_vertices: 800,
+        background_edges: 4_000,
+        num_bursts: 10,
+        burst_size: 14,
+        burst_duration: 24, // ~4 hours
+        burst_density: 0.65,
+        num_timestamps: 2_016, // 14 days * 144 ten-minute slots
+    };
+    let graph = planted_bursty_cores(&config, 7);
+    println!(
+        "Proximity network: {} people, {} contacts, {} time slots",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.tmax()
+    );
+
+    // Health authorities focus on the three days around the first detected
+    // case; they do not know the exact window of the superspreading event.
+    let day = 144u32;
+    let focus = TimeWindow::new(4 * day, (7 * day).min(graph.tmax()));
+    let k = 4;
+    let query = TimeRangeKCoreQuery::new(k, focus);
+
+    let mut sink = CollectingSink::default();
+    let stats = query.run_with(&graph, Algorithm::Enum, &mut sink);
+    let cores = sink.into_sorted();
+    println!(
+        "\nFound {} candidate transmission clusters (temporal {}-cores) in {} \
+         — precompute {:?}, enumerate {:?}",
+        cores.len(),
+        k,
+        focus,
+        stats.precompute_time,
+        stats.enumerate_time
+    );
+
+    // Rank clusters by how concentrated in time they are: short, dense
+    // windows are the highest-priority follow-ups.
+    let mut ranked: Vec<&TemporalKCore> = cores.iter().collect();
+    ranked.sort_by_key(|c| (c.tti.len(), std::cmp::Reverse(c.num_edges())));
+    println!("Top clusters by temporal concentration:");
+    for core in ranked.iter().take(5) {
+        let people = core.vertices(&graph);
+        let hours = core.tti.len() as f64 / 6.0;
+        println!(
+            "  {:>2} people, {:>3} contacts, active {:>5.1} h within slot window {}",
+            people.len(),
+            core.num_edges(),
+            hours,
+            core.tti
+        );
+    }
+
+    // The same query answered by the OTCD baseline gives identical clusters —
+    // the difference is purely computational cost.
+    let mut counting = CountingSink::default();
+    let otcd_stats = query.run_with(&graph, Algorithm::Otcd, &mut counting);
+    println!(
+        "\nCross-check with OTCD: {} clusters (same as {}), {:?} vs {:?} total",
+        counting.num_cores,
+        cores.len(),
+        otcd_stats.total_time(),
+        stats.total_time()
+    );
+}

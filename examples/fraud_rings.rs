@@ -1,0 +1,91 @@
+//! Detecting transaction rings in a synthetic money-transfer network.
+//!
+//! The paper motivates time-range k-core queries with anti-money-laundering:
+//! tightly connected groups of accounts that transact intensely within short
+//! time windows.  This example plants a few such "smurfing rings" inside a
+//! large background of ordinary transfers and shows how enumerating all
+//! temporal k-cores surfaces each ring together with the exact window in
+//! which it operated — something a single fixed window would miss.
+//!
+//! Run with: `cargo run --release --example fraud_rings`
+
+use temporal_kcore::prelude::*;
+use temporal_kcore::temporal_graph::generator::{planted_bursty_cores, BurstyConfig};
+
+fn main() {
+    // A synthetic transaction network: 2,000 accounts exchanging ordinary
+    // transfers over 3,000 time units (sparse background), plus 6 planted
+    // rings of 12 accounts that transact densely within ~40 time units.
+    let config = BurstyConfig {
+        num_vertices: 2_000,
+        background_edges: 4_000,
+        num_bursts: 6,
+        burst_size: 12,
+        burst_duration: 40,
+        burst_density: 0.7,
+        num_timestamps: 3_000,
+    };
+    let graph = planted_bursty_cores(&config, 2_024);
+    let stats = DatasetStats::compute(&graph);
+    println!(
+        "Transaction network: {} accounts, {} transfers, {} timestamps, kmax = {}",
+        stats.num_vertices, stats.num_edges, stats.tmax, stats.kmax
+    );
+
+    // Ask for all temporal 5-cores anywhere in the full history.  A ring of
+    // 12 accounts at 70% density forms a dense subgraph with minimum degree
+    // well above 5 inside its burst window, while random background activity
+    // almost never does within a short window.  The full result set over a
+    // 3,000-timestamp history is huge, so the results are *streamed*: only
+    // the suspicious ones (cores confined to a short window) are retained.
+    let k = 5;
+    let query = TimeRangeKCoreQuery::new(k, graph.span());
+    let window_cap = 2 * u64::from(config.burst_duration);
+    let t0 = std::time::Instant::now();
+    let mut total_cores = 0u64;
+    let mut suspicious: Vec<TemporalKCore> = Vec::new();
+    {
+        use temporal_kcore::tkcore::FnSink;
+        let mut sink = FnSink(|tti: TimeWindow, edges: &[temporal_graph::EdgeId]| {
+            total_cores += 1;
+            if tti.len() <= window_cap {
+                suspicious.push(TemporalKCore::new(tti, edges.to_vec()));
+            }
+        });
+        query.run_with(&graph, Algorithm::Enum, &mut sink);
+    }
+    println!(
+        "\nEnumerated {} temporal {}-cores in {:?} (streamed, not stored)",
+        total_cores,
+        k,
+        t0.elapsed()
+    );
+
+    suspicious.sort_by_key(|c| c.tti);
+    println!(
+        "{} cores are confined to windows of at most {} time units:",
+        suspicious.len(),
+        window_cap
+    );
+
+    // Deduplicate by account set to present each ring once.
+    let mut seen_rings: Vec<Vec<VertexId>> = Vec::new();
+    for core in &suspicious {
+        let accounts = core.vertices(&graph);
+        if seen_rings.iter().any(|r| r == &accounts) {
+            continue;
+        }
+        println!(
+            "  ring of {:>2} accounts active in {} ({} transfers)",
+            accounts.len(),
+            core.tti,
+            core.num_edges()
+        );
+        seen_rings.push(accounts);
+    }
+    println!(
+        "\n{} distinct suspicious account groups found (planted: {}).",
+        seen_rings.len(),
+        config.num_bursts
+    );
+}

@@ -1,0 +1,74 @@
+//! # temporal-kcore
+//!
+//! A Rust implementation of *time-range temporal k-core enumeration*: given
+//! a temporal graph (edges carry timestamps), an integer `k` and a query
+//! time range, enumerate **every distinct temporal k-core** that appears in
+//! the snapshot of **any** sub-window of the range.
+//!
+//! The library reproduces the framework of *Accelerating K-Core Computation
+//! in Temporal Graphs* (EDBT 2026):
+//!
+//! 1. **CoreTime** — compute the vertex core time index and, as a byproduct,
+//!    the minimal core windows (edge core window skyline) of every edge in
+//!    `O(|VCT| · deg_avg)`;
+//! 2. **Enum** — enumerate all temporal k-cores directly from the skylines
+//!    in time bounded by the total result size, which is optimal.
+//!
+//! The crate also contains the `EnumBase` baseline (Algorithm 3), the OTCD
+//! state-of-the-art competitor (Algorithm 1 of Yang et al., VLDB 2023), a
+//! brute-force reference, dataset/workload generators, and a benchmark
+//! harness that regenerates every table and figure of the paper's
+//! evaluation.
+//!
+//! # Quick start
+//!
+//! ```
+//! use temporal_kcore::prelude::*;
+//!
+//! // A temporal graph: (vertex, vertex, timestamp) triples.
+//! let graph = TemporalGraphBuilder::new()
+//!     .with_edges([
+//!         (1u64, 2u64, 1i64),
+//!         (2, 3, 2),
+//!         (1, 3, 3),
+//!         (3, 4, 4),
+//!         (4, 5, 5),
+//!         (3, 5, 5),
+//!     ])
+//!     .build()
+//!     .unwrap();
+//!
+//! // All temporal 2-cores appearing in any sub-window of [1, 5].
+//! let query = TimeRangeKCoreQuery::new(2, TimeWindow::new(1, 5));
+//! let cores = query.enumerate(&graph);
+//! assert_eq!(cores.len(), 3); // two triangles and their union
+//! for core in &cores {
+//!     println!("TTI {} with {} edges", core.tti, core.num_edges());
+//! }
+//! ```
+//!
+//! See the `examples/` directory for domain-oriented walkthroughs
+//! (transaction-ring detection, contact tracing, misinformation bursts) and
+//! `crates/bench` for the experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use static_kcore;
+pub use temporal_graph;
+pub use tkc_datasets as datasets;
+pub use tkcore;
+
+/// Convenient re-exports of the types most applications need.
+pub mod prelude {
+    pub use static_kcore::{CoreDecomposition, StaticGraph};
+    pub use temporal_graph::{
+        generator, loader, TemporalEdge, TemporalGraph, TemporalGraphBuilder, TimeWindow,
+        Timestamp, VertexId,
+    };
+    pub use tkc_datasets::{DatasetProfile, DatasetStats, QueryWorkload, WorkloadConfig};
+    pub use tkcore::{
+        Algorithm, CollectingSink, CountingSink, EdgeCoreSkyline, FrameworkStats, QueryStats,
+        ResultSink, TemporalKCore, TimeRangeKCoreQuery, VertexCoreTimeIndex,
+    };
+}
