@@ -31,10 +31,14 @@ fn bench_substrates(c: &mut Criterion) {
                 });
             },
         );
-        group.bench_with_input(BenchmarkId::new("window_projection", name), &graph, |b, g| {
-            let span = g.span();
-            b.iter(|| black_box(g.num_edges_in(span)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("window_projection", name),
+            &graph,
+            |b, g| {
+                let span = g.span();
+                b.iter(|| black_box(g.num_edges_in(span)));
+            },
+        );
     }
     group.finish();
 }

@@ -47,7 +47,7 @@ fn main() {
     }
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
         experiments = vec![
-            "table3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+            "table3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "engine",
         ]
         .into_iter()
         .map(String::from)
@@ -65,8 +65,11 @@ fn main() {
             "fig10" => fig10(num_queries),
             "fig11" => fig11(num_queries),
             "fig12" => fig12(),
+            "engine" => engine_batch(num_queries.max(8)),
             other => {
-                eprintln!("unknown experiment `{other}` (expected table3, fig4..fig12, all)");
+                eprintln!(
+                    "unknown experiment `{other}` (expected table3, fig4..fig12, engine, all)"
+                );
                 continue;
             }
         };
@@ -80,7 +83,11 @@ fn main() {
 
 fn default_params(graph: &temporal_graph::TemporalGraph) -> (DatasetStats, usize, u32) {
     let stats = DatasetStats::compute(graph);
-    (stats, stats.k_for_percent(30), stats.range_len_for_percent(10))
+    (
+        stats,
+        stats.k_for_percent(30),
+        stats.range_len_for_percent(10),
+    )
 }
 
 fn ms(d: Duration) -> String {
@@ -182,10 +189,7 @@ fn run_workload(
 }
 
 /// Average precomputation (CoreTime) time over a workload.
-fn coretime_only(
-    graph: &temporal_graph::TemporalGraph,
-    workload: &QueryWorkload,
-) -> Duration {
+fn coretime_only(graph: &temporal_graph::TemporalGraph, workload: &QueryWorkload) -> Duration {
     let mut total = Duration::ZERO;
     for query in workload.queries() {
         let t0 = Instant::now();
@@ -269,13 +273,19 @@ fn varying(
                     edges += count.total_edges;
                 }
                 let n = workload.len().max(1) as u64;
-                report.push(row_label, vec![(cores / n).to_string(), (edges / n).to_string()]);
+                report.push(
+                    row_label,
+                    vec![(cores / n).to_string(), (edges / n).to_string()],
+                );
             } else {
                 let otcd = run_workload(&graph, &workload, Algorithm::Otcd);
                 let enum_base = run_workload(&graph, &workload, Algorithm::EnumBase);
                 let enum_final = run_workload(&graph, &workload, Algorithm::Enum);
                 let cell = |d: Option<Duration>| d.map(ms).unwrap_or_else(|| "TL".into());
-                report.push(row_label, vec![cell(otcd), cell(enum_base), cell(enum_final)]);
+                report.push(
+                    row_label,
+                    vec![cell(otcd), cell(enum_base), cell(enum_final)],
+                );
             }
         }
     }
@@ -374,6 +384,72 @@ fn fig11(num_queries: usize) -> Report {
         &range_sweep,
         true,
     )
+}
+
+/// Engine experiment (not in the paper): cold per-query execution versus
+/// the cached batch-query engine, on the EM/CM profiles.  The warm column
+/// must beat the cold one — the CoreTime phase is amortised to ~zero on
+/// cache hits.
+fn engine_batch(num_queries: usize) -> Report {
+    let mut report = Report::new(
+        format!("Engine: cold per-query vs cached batch execution in ms ({num_queries} queries)"),
+        "dataset",
+        vec![
+            "cold per-query".into(),
+            "engine batch 1 (builds index)".into(),
+            "engine batch warm".into(),
+            "warm speedup".into(),
+            "cache hits".into(),
+        ],
+    );
+    for name in ["EM", "CM"] {
+        let profile = DatasetProfile::by_name(name).expect("profile");
+        let graph = profile.generate();
+        let stats = DatasetStats::compute(&graph);
+        let config = WorkloadConfig::paper_default(&stats, num_queries, profile.seed() ^ 0xE61E);
+        let workload = QueryWorkload::generate(&graph, &config);
+        let queries: Vec<TimeRangeKCoreQuery> = workload.queries().collect();
+
+        let t0 = Instant::now();
+        let mut cold_cores = 0u64;
+        for query in &queries {
+            let mut sink = CountingSink::default();
+            query.run_with(&graph, Algorithm::Enum, &mut sink);
+            cold_cores += sink.num_cores;
+        }
+        let cold = t0.elapsed();
+
+        let engine = tkcore::QueryEngine::new(graph.clone());
+        let t1 = Instant::now();
+        let (_, first) = engine.run_batch(&queries);
+        let first_time = t1.elapsed();
+        let t2 = Instant::now();
+        let (_, warm) = engine.run_batch(&queries);
+        let warm_time = t2.elapsed();
+        assert_eq!(
+            cold_cores, first.total_cores,
+            "cold/warm result mismatch on {name}"
+        );
+        assert_eq!(
+            cold_cores, warm.total_cores,
+            "cold/warm result mismatch on {name}"
+        );
+
+        report.push(
+            name,
+            vec![
+                ms(cold),
+                ms(first_time),
+                ms(warm_time),
+                format!(
+                    "{:.1}x",
+                    cold.as_secs_f64() / warm_time.as_secs_f64().max(1e-9)
+                ),
+                warm.cache.hits.to_string(),
+            ],
+        );
+    }
+    report
 }
 
 /// Figure 12: peak memory estimate per algorithm at default parameters.

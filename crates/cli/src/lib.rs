@@ -42,6 +42,14 @@ USAGE:
       (default: the whole time span), printing each core's tightest time
       interval, vertex count and edge count.
 
+  tkc batch <edge-list> <queries-csv> [--algorithm enum|enum-base|otcd|naive]
+            [--threads <N>] [--budget-mb <M>]
+      Run a batch of queries through the cached query engine: one span-wide
+      core-window index per k, restricted per query and fanned across
+      threads.  The CSV has one query per line, `k,start,end` (or just `k`
+      for the whole time span; `#` starts a comment).  Prints per-query
+      counts plus batch timing and cache statistics.
+
   tkc generate <profile> <output-file>
       Write the scaled synthetic analogue of one of the paper's datasets
       (FB BO CM EM MC MO AU LR EN SU WT WK PL YT) as an edge-list file.
@@ -74,6 +82,19 @@ pub enum Command {
         count_only: bool,
         /// Print at most this many cores.
         limit: usize,
+    },
+    /// `tkc batch <file> <queries.csv> ...`
+    Batch {
+        /// Path of the edge-list file.
+        path: String,
+        /// Path of the query CSV (`k,start,end` per line).
+        queries: String,
+        /// Algorithm to run for every query.
+        algorithm: Algorithm,
+        /// Worker threads (0 = one per CPU).
+        threads: usize,
+        /// Skyline-cache memory budget in MiB.
+        budget_mb: usize,
     },
     /// `tkc generate <profile> <out>`
     Generate {
@@ -115,6 +136,55 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 output: output.clone(),
             })
         }
+        "batch" => {
+            let path = it
+                .next()
+                .ok_or_else(|| CliError("batch requires an edge-list path".into()))?
+                .clone();
+            let queries = it
+                .next()
+                .ok_or_else(|| CliError("batch requires a query CSV path".into()))?
+                .clone();
+            let mut algorithm = Algorithm::Enum;
+            let mut threads = 0usize;
+            let mut budget_mb = 256usize;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let value = |what: &str| -> Result<&String, CliError> {
+                    rest.get(i + 1)
+                        .copied()
+                        .ok_or_else(|| CliError(format!("{what} requires a value")))
+                };
+                match flag {
+                    "--algorithm" => {
+                        algorithm = parse_algorithm(value("--algorithm")?)?;
+                        i += 1;
+                    }
+                    "--threads" => {
+                        threads = parse_num(value("--threads")?, "--threads")?;
+                        i += 1;
+                    }
+                    "--budget-mb" => {
+                        budget_mb = parse_num(value("--budget-mb")?, "--budget-mb")?;
+                        if budget_mb == 0 {
+                            return Err(CliError("--budget-mb must be at least 1".into()));
+                        }
+                        i += 1;
+                    }
+                    other => return Err(CliError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Batch {
+                path,
+                queries,
+                algorithm,
+                threads,
+                budget_mb,
+            })
+        }
         "query" => {
             let path = it
                 .next()
@@ -153,16 +223,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         i += 1;
                     }
                     "--algorithm" => {
-                        algorithm = match value("--algorithm")?.as_str() {
-                            "enum" => Algorithm::Enum,
-                            "enum-base" => Algorithm::EnumBase,
-                            "otcd" => Algorithm::Otcd,
-                            other => {
-                                return Err(CliError(format!(
-                                    "unknown algorithm `{other}` (expected enum, enum-base, otcd)"
-                                )))
-                            }
-                        };
+                        algorithm = parse_algorithm(value("--algorithm")?)?;
                         i += 1;
                     }
                     "--count-only" => count_only = true,
@@ -193,13 +254,76 @@ fn parse_num(s: &str, what: &str) -> Result<usize, CliError> {
         .map_err(|_| CliError(format!("{what}: `{s}` is not a number")))
 }
 
+fn parse_algorithm(s: &str) -> Result<Algorithm, CliError> {
+    match s {
+        "enum" => Ok(Algorithm::Enum),
+        "enum-base" => Ok(Algorithm::EnumBase),
+        "otcd" => Ok(Algorithm::Otcd),
+        "naive" => Ok(Algorithm::Naive),
+        other => Err(CliError(format!(
+            "unknown algorithm `{other}` (expected enum, enum-base, otcd, naive)"
+        ))),
+    }
+}
+
+/// Parses a batch query CSV: one `k[,start,end]` query per line, blank lines
+/// and `#` comments ignored.  `path` labels parse errors.
+fn parse_query_csv(
+    path: &str,
+    content: &str,
+    tmax: u32,
+) -> Result<Vec<tkcore::TimeRangeKCoreQuery>, CliError> {
+    let mut queries = Vec::new();
+    for (lineno, raw) in content.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let err = |msg: String| CliError(format!("{path}, line {}: {msg}", lineno + 1));
+        let k: usize = fields[0]
+            .parse()
+            .map_err(|_| err(format!("`{}` is not a valid k", fields[0])))?;
+        if k == 0 {
+            return Err(err("k must be at least 1".into()));
+        }
+        let range = match fields.len() {
+            1 => temporal_graph::TimeWindow::new(1, tmax.max(1)),
+            3 => {
+                let start: u32 = fields[1]
+                    .parse()
+                    .map_err(|_| err(format!("`{}` is not a valid start", fields[1])))?;
+                let end: u32 = fields[2]
+                    .parse()
+                    .map_err(|_| err(format!("`{}` is not a valid end", fields[2])))?;
+                temporal_graph::TimeWindow::try_new(start, end)
+                    .ok_or_else(|| err(format!("invalid range [{start}, {end}]")))?
+            }
+            n => {
+                return Err(err(format!(
+                    "expected `k` or `k,start,end`, got {n} fields"
+                )))
+            }
+        };
+        queries.push(tkcore::TimeRangeKCoreQuery::new(k, range));
+    }
+    if queries.is_empty() {
+        return Err(CliError("query CSV contains no queries".into()));
+    }
+    Ok(queries)
+}
+
 /// Executes a parsed command, returning the text to print on stdout.
 pub fn run(command: Command) -> Result<String, CliError> {
     let mut out = String::new();
     match command {
         Command::Help => out.push_str(USAGE),
         Command::Profiles => {
-            let _ = writeln!(out, "{:<6} {:<14} {:>8} {:>8} {:>6}", "name", "paper dataset", "|V|", "|E|", "tmax");
+            let _ = writeln!(
+                out,
+                "{:<6} {:<14} {:>8} {:>8} {:>6}",
+                "name", "paper dataset", "|V|", "|E|", "tmax"
+            );
             for p in tkc_datasets::ALL_PROFILES {
                 let _ = writeln!(
                     out,
@@ -222,9 +346,71 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 graph.average_distinct_degree_in(graph.span())
             );
         }
+        Command::Batch {
+            path,
+            queries,
+            algorithm,
+            threads,
+            budget_mb,
+        } => {
+            let graph = temporal_graph::loader::read_edge_list(&path)?;
+            let content = std::fs::read_to_string(&queries)
+                .map_err(|e| CliError(format!("cannot read {queries}: {e}")))?;
+            let parsed = parse_query_csv(&queries, &content, graph.tmax())?;
+            let engine = tkcore::QueryEngine::with_config(
+                graph,
+                tkcore::EngineConfig {
+                    memory_budget_bytes: budget_mb * 1024 * 1024,
+                    num_threads: threads,
+                },
+            );
+            let (results, batch) =
+                engine.run_batch_with(&parsed, algorithm, |_| CountingSink::default());
+            let _ = writeln!(
+                out,
+                "{:<6} {:<14} {:>10} {:>12}",
+                "k", "range", "cores", "|R| (edges)"
+            );
+            for (query, (sink, _)) in parsed.iter().zip(&results) {
+                let _ = writeln!(
+                    out,
+                    "{:<6} {:<14} {:>10} {:>12}",
+                    query.k(),
+                    query.range().to_string(),
+                    sink.num_cores,
+                    sink.total_edges
+                );
+            }
+            let cache = batch.cache;
+            let _ = writeln!(
+                out,
+                "\n{}: {} queries on {} threads in {:?} ({} cores, |R| = {} edges)",
+                algorithm.name(),
+                batch.num_queries,
+                batch.threads,
+                batch.wall_time,
+                batch.total_cores,
+                batch.total_result_edges
+            );
+            let _ = writeln!(
+                out,
+                "precompute {:?} + enumerate {:?} summed across workers",
+                batch.precompute_time, batch.enumerate_time
+            );
+            let _ = writeln!(
+                out,
+                "index cache: {} hits, {} misses, {} evictions, {} indexes resident ({:.2} MiB)",
+                cache.hits,
+                cache.misses,
+                cache.evictions,
+                cache.resident_indexes,
+                cache.resident_bytes as f64 / (1024.0 * 1024.0)
+            );
+        }
         Command::Generate { profile, output } => {
-            let profile = DatasetProfile::by_name(&profile)
-                .ok_or_else(|| CliError(format!("unknown profile `{profile}` (see `tkc profiles`)")))?;
+            let profile = DatasetProfile::by_name(&profile).ok_or_else(|| {
+                CliError(format!("unknown profile `{profile}` (see `tkc profiles`)"))
+            })?;
             let graph = profile.generate();
             temporal_graph::loader::write_edge_list(&graph, &output)?;
             let _ = writeln!(
@@ -307,7 +493,10 @@ mod tests {
     fn parses_help_and_profiles() {
         assert_eq!(parse_args(&[]).unwrap(), Command::Help);
         assert_eq!(parse_args(&strings(&["help"])).unwrap(), Command::Help);
-        assert_eq!(parse_args(&strings(&["profiles"])).unwrap(), Command::Profiles);
+        assert_eq!(
+            parse_args(&strings(&["profiles"])).unwrap(),
+            Command::Profiles
+        );
         assert!(run(Command::Help).unwrap().contains("USAGE"));
         assert!(run(Command::Profiles).unwrap().contains("CollegeMsg"));
     }
@@ -315,8 +504,19 @@ mod tests {
     #[test]
     fn parses_query_flags() {
         let cmd = parse_args(&strings(&[
-            "query", "g.txt", "--k", "3", "--start", "2", "--end", "9", "--algorithm", "otcd",
-            "--count-only", "--limit", "5",
+            "query",
+            "g.txt",
+            "--k",
+            "3",
+            "--start",
+            "2",
+            "--end",
+            "9",
+            "--algorithm",
+            "otcd",
+            "--count-only",
+            "--limit",
+            "5",
         ]))
         .unwrap();
         assert_eq!(
@@ -338,7 +538,15 @@ mod tests {
         assert!(parse_args(&strings(&["query", "g.txt"])).is_err()); // missing --k
         assert!(parse_args(&strings(&["query", "g.txt", "--k", "0"])).is_err());
         assert!(parse_args(&strings(&["query", "g.txt", "--k", "x"])).is_err());
-        assert!(parse_args(&strings(&["query", "g.txt", "--k", "2", "--algorithm", "magic"])).is_err());
+        assert!(parse_args(&strings(&[
+            "query",
+            "g.txt",
+            "--k",
+            "2",
+            "--algorithm",
+            "magic"
+        ]))
+        .is_err());
         assert!(parse_args(&strings(&["frobnicate"])).is_err());
         assert!(parse_args(&strings(&["stats"])).is_err());
         assert!(parse_args(&strings(&["generate", "CM"])).is_err());
@@ -358,7 +566,10 @@ mod tests {
         .unwrap();
         assert!(out.contains("wrote"));
 
-        let out = run(Command::Stats { path: path_str.clone() }).unwrap();
+        let out = run(Command::Stats {
+            path: path_str.clone(),
+        })
+        .unwrap();
         assert!(out.contains("kmax"));
 
         let out = run(Command::Query {
@@ -373,6 +584,97 @@ mod tests {
         .unwrap();
         assert!(out.contains("distinct temporal 3-cores"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parses_batch_flags() {
+        let cmd = parse_args(&strings(&[
+            "batch",
+            "g.txt",
+            "q.csv",
+            "--algorithm",
+            "enum-base",
+            "--threads",
+            "4",
+            "--budget-mb",
+            "64",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Batch {
+                path: "g.txt".into(),
+                queries: "q.csv".into(),
+                algorithm: Algorithm::EnumBase,
+                threads: 4,
+                budget_mb: 64,
+            }
+        );
+        assert!(parse_args(&strings(&["batch", "g.txt"])).is_err());
+        assert!(parse_args(&strings(&["batch", "g.txt", "q.csv", "--budget-mb", "0"])).is_err());
+        assert!(parse_args(&strings(&["batch", "g.txt", "q.csv", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn parse_query_csv_accepts_comments_and_span_queries() {
+        let parsed =
+            parse_query_csv("q.csv", "# header\n2,1,5\n\n3  # whole span\n2, 2, 2\n", 9).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].k(), 2);
+        assert_eq!(parsed[0].range().to_string(), "[1, 5]");
+        assert_eq!(parsed[1].range().to_string(), "[1, 9]");
+        assert_eq!(parsed[2].range().to_string(), "[2, 2]");
+
+        assert!(parse_query_csv("q.csv", "", 9).is_err());
+        assert!(parse_query_csv("q.csv", "0,1,5", 9).is_err());
+        assert!(parse_query_csv("q.csv", "2,5,1", 9).is_err());
+        assert!(parse_query_csv("q.csv", "2,1", 9).is_err());
+        assert!(parse_query_csv("q.csv", "x,1,5", 9).is_err());
+    }
+
+    #[test]
+    fn batch_round_trip_matches_per_query_runs() {
+        let dir = std::env::temp_dir().join("tkc-cli-batch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("fb.txt");
+        let graph_str = graph_path.to_string_lossy().to_string();
+        run(Command::Generate {
+            profile: "FB".into(),
+            output: graph_str.clone(),
+        })
+        .unwrap();
+
+        let csv_path = dir.join("queries.csv");
+        std::fs::write(&csv_path, "3,1,120\n3,40,200\n2\n").unwrap();
+        let out = run(Command::Batch {
+            path: graph_str.clone(),
+            queries: csv_path.to_string_lossy().to_string(),
+            algorithm: Algorithm::Enum,
+            threads: 2,
+            budget_mb: 32,
+        })
+        .unwrap();
+        assert!(out.contains("3 queries"), "{out}");
+        assert!(out.contains("index cache:"), "{out}");
+
+        // Cross-check one query against the one-shot path.
+        let graph = temporal_graph::loader::read_edge_list(&graph_str).unwrap();
+        let mut sink = CountingSink::default();
+        TimeRangeKCoreQuery::new(3, temporal_graph::TimeWindow::new(1, 120)).run_with(
+            &graph,
+            Algorithm::Enum,
+            &mut sink,
+        );
+        let expected_row = format!(
+            "{:<6} {:<14} {:>10} {:>12}",
+            3, "[1, 120]", sink.num_cores, sink.total_edges
+        );
+        assert!(
+            out.contains(expected_row.trim_end()),
+            "missing `{expected_row}` in:\n{out}"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

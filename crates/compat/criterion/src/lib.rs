@@ -1,0 +1,201 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The workspace builds in a sandbox without network access, so this crate
+//! reimplements the small slice of the Criterion API the benches use:
+//! benchmark groups, [`BenchmarkId`], `bench_function` / `bench_with_input`,
+//! [`Bencher::iter`] and the `criterion_group!` / `criterion_main!` macros.
+//! Instead of Criterion's statistical machinery it times `sample_size`
+//! batches around one warm-up call and prints min / mean / max per
+//! iteration — enough to compare algorithms and catch regressions by eye.
+//! Swapping the path dependency for the real crates.io `criterion` restores
+//! full statistics, and the bench sources compile unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group: a function name plus an
+/// optional parameter rendering (`fn_name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Calls `routine` once for warm-up, then `sample_size` timed times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size.max(1) {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{id}: no samples (Bencher::iter never called)");
+            return;
+        }
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{group}/{id}: time [{:.4?} {:.4?} {:.4?}] ({} samples)",
+            min,
+            mean,
+            max,
+            self.samples.len()
+        );
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id.id);
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.id);
+        self
+    }
+
+    /// Ends the group (printing happens eagerly, so this is a no-op kept for
+    /// API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group with the default sample size (10).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("counting", |b| {
+            b.iter(|| calls += 1);
+        });
+        // one warm-up plus three timed samples
+        assert_eq!(calls, 4);
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &21u64, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("algo", "CM");
+        assert_eq!(id.id, "algo/CM");
+        let from_str: BenchmarkId = "plain".into();
+        assert_eq!(from_str.id, "plain");
+    }
+}

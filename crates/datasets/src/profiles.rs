@@ -43,20 +43,118 @@ pub struct DatasetProfile {
 
 /// All fourteen dataset analogues, in the order of the paper's Table III.
 pub const ALL_PROFILES: &[DatasetProfile] = &[
-    DatasetProfile { name: "FB", paper_dataset: "FB-Forum", num_vertices: 200, num_edges: 1_500, num_timestamps: 300, regime: TemporalRegime::Bursty },
-    DatasetProfile { name: "BO", paper_dataset: "BitcoinOtc", num_vertices: 400, num_edges: 1_600, num_timestamps: 320, regime: TemporalRegime::Bursty },
-    DatasetProfile { name: "CM", paper_dataset: "CollegeMsg", num_vertices: 250, num_edges: 2_500, num_timestamps: 400, regime: TemporalRegime::Bursty },
-    DatasetProfile { name: "EM", paper_dataset: "Email", num_vertices: 150, num_edges: 6_000, num_timestamps: 500, regime: TemporalRegime::Accumulating },
-    DatasetProfile { name: "MC", paper_dataset: "Mooc", num_vertices: 500, num_edges: 6_000, num_timestamps: 600, regime: TemporalRegime::Bursty },
-    DatasetProfile { name: "MO", paper_dataset: "MathOverflow", num_vertices: 800, num_edges: 7_000, num_timestamps: 700, regime: TemporalRegime::Bursty },
-    DatasetProfile { name: "AU", paper_dataset: "AskUbuntu", num_vertices: 1_500, num_edges: 9_000, num_timestamps: 800, regime: TemporalRegime::Bursty },
-    DatasetProfile { name: "LR", paper_dataset: "Lkml-reply", num_vertices: 1_000, num_edges: 10_000, num_timestamps: 800, regime: TemporalRegime::Bursty },
-    DatasetProfile { name: "EN", paper_dataset: "Enron", num_vertices: 1_000, num_edges: 11_000, num_timestamps: 400, regime: TemporalRegime::Accumulating },
-    DatasetProfile { name: "SU", paper_dataset: "SuperUser", num_vertices: 1_800, num_edges: 12_000, num_timestamps: 1_000, regime: TemporalRegime::Accumulating },
-    DatasetProfile { name: "WT", paper_dataset: "WikiTalk", num_vertices: 3_000, num_edges: 15_000, num_timestamps: 1_200, regime: TemporalRegime::Accumulating },
-    DatasetProfile { name: "WK", paper_dataset: "Wikipedia", num_vertices: 800, num_edges: 15_000, num_timestamps: 60, regime: TemporalRegime::FewTimestamps },
-    DatasetProfile { name: "PL", paper_dataset: "ProsperLoans", num_vertices: 700, num_edges: 18_000, num_timestamps: 30, regime: TemporalRegime::FewTimestamps },
-    DatasetProfile { name: "YT", paper_dataset: "Youtube", num_vertices: 3_000, num_edges: 20_000, num_timestamps: 12, regime: TemporalRegime::FewTimestamps },
+    DatasetProfile {
+        name: "FB",
+        paper_dataset: "FB-Forum",
+        num_vertices: 200,
+        num_edges: 1_500,
+        num_timestamps: 300,
+        regime: TemporalRegime::Bursty,
+    },
+    DatasetProfile {
+        name: "BO",
+        paper_dataset: "BitcoinOtc",
+        num_vertices: 400,
+        num_edges: 1_600,
+        num_timestamps: 320,
+        regime: TemporalRegime::Bursty,
+    },
+    DatasetProfile {
+        name: "CM",
+        paper_dataset: "CollegeMsg",
+        num_vertices: 250,
+        num_edges: 2_500,
+        num_timestamps: 400,
+        regime: TemporalRegime::Bursty,
+    },
+    DatasetProfile {
+        name: "EM",
+        paper_dataset: "Email",
+        num_vertices: 150,
+        num_edges: 6_000,
+        num_timestamps: 500,
+        regime: TemporalRegime::Accumulating,
+    },
+    DatasetProfile {
+        name: "MC",
+        paper_dataset: "Mooc",
+        num_vertices: 500,
+        num_edges: 6_000,
+        num_timestamps: 600,
+        regime: TemporalRegime::Bursty,
+    },
+    DatasetProfile {
+        name: "MO",
+        paper_dataset: "MathOverflow",
+        num_vertices: 800,
+        num_edges: 7_000,
+        num_timestamps: 700,
+        regime: TemporalRegime::Bursty,
+    },
+    DatasetProfile {
+        name: "AU",
+        paper_dataset: "AskUbuntu",
+        num_vertices: 1_500,
+        num_edges: 9_000,
+        num_timestamps: 800,
+        regime: TemporalRegime::Bursty,
+    },
+    DatasetProfile {
+        name: "LR",
+        paper_dataset: "Lkml-reply",
+        num_vertices: 1_000,
+        num_edges: 10_000,
+        num_timestamps: 800,
+        regime: TemporalRegime::Bursty,
+    },
+    DatasetProfile {
+        name: "EN",
+        paper_dataset: "Enron",
+        num_vertices: 1_000,
+        num_edges: 11_000,
+        num_timestamps: 400,
+        regime: TemporalRegime::Accumulating,
+    },
+    DatasetProfile {
+        name: "SU",
+        paper_dataset: "SuperUser",
+        num_vertices: 1_800,
+        num_edges: 12_000,
+        num_timestamps: 1_000,
+        regime: TemporalRegime::Accumulating,
+    },
+    DatasetProfile {
+        name: "WT",
+        paper_dataset: "WikiTalk",
+        num_vertices: 3_000,
+        num_edges: 15_000,
+        num_timestamps: 1_200,
+        regime: TemporalRegime::Accumulating,
+    },
+    DatasetProfile {
+        name: "WK",
+        paper_dataset: "Wikipedia",
+        num_vertices: 800,
+        num_edges: 15_000,
+        num_timestamps: 60,
+        regime: TemporalRegime::FewTimestamps,
+    },
+    DatasetProfile {
+        name: "PL",
+        paper_dataset: "ProsperLoans",
+        num_vertices: 700,
+        num_edges: 18_000,
+        num_timestamps: 30,
+        regime: TemporalRegime::FewTimestamps,
+    },
+    DatasetProfile {
+        name: "YT",
+        paper_dataset: "Youtube",
+        num_vertices: 3_000,
+        num_edges: 20_000,
+        num_timestamps: 12,
+        regime: TemporalRegime::FewTimestamps,
+    },
 ];
 
 /// The seven representative datasets of Figure 4 (CM EM MC LR EN SU WT).
@@ -111,8 +209,7 @@ impl DatasetProfile {
             TemporalRegime::Accumulating => {
                 // Dense hub-centred activity: preferential attachment plus a
                 // layer of bursts to create time-local cores.
-                let pa_edges_per_vertex =
-                    (self.num_edges / (2 * self.num_vertices)).clamp(2, 8);
+                let pa_edges_per_vertex = (self.num_edges / (2 * self.num_vertices)).clamp(2, 8);
                 let pa = generator::preferential_attachment(
                     self.num_vertices,
                     pa_edges_per_vertex,
@@ -125,7 +222,10 @@ impl DatasetProfile {
                 // at 30–40% of kmax (as they do in the real datasets).
                 let burst_size = 20;
                 let edges_per_burst = (burst_size * (burst_size - 1) / 2) * 85 / 100;
-                let remaining = self.num_edges.saturating_sub(pa.num_edges()).max(edges_per_burst);
+                let remaining = self
+                    .num_edges
+                    .saturating_sub(pa.num_edges())
+                    .max(edges_per_burst);
                 let num_bursts = (remaining / edges_per_burst).max(2);
                 let config = generator::BurstyConfig {
                     num_vertices: self.num_vertices,
@@ -191,7 +291,10 @@ mod tests {
 
     #[test]
     fn lookup_by_name() {
-        assert_eq!(DatasetProfile::by_name("CM").unwrap().paper_dataset, "CollegeMsg");
+        assert_eq!(
+            DatasetProfile::by_name("CM").unwrap().paper_dataset,
+            "CollegeMsg"
+        );
         assert!(DatasetProfile::by_name("nope").is_none());
         for name in FIGURE4_PROFILES.iter().chain(VARYING_PROFILES) {
             assert!(DatasetProfile::by_name(name).is_some(), "{name}");

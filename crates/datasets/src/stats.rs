@@ -95,7 +95,11 @@ mod tests {
     fn profile_graphs_have_usable_kmax() {
         let profile = DatasetProfile::by_name("CM").unwrap();
         let stats = DatasetStats::compute(&profile.generate());
-        assert!(stats.kmax >= 5, "kmax = {} too small for k sweeps", stats.kmax);
+        assert!(
+            stats.kmax >= 5,
+            "kmax = {} too small for k sweeps",
+            stats.kmax
+        );
         assert!(stats.tmax >= 50);
     }
 }

@@ -148,6 +148,9 @@ mod tests {
             .queries()
             .filter(|q| q.count(&g).num_cores > 0)
             .count();
-        assert!(with_core >= workload.len() / 2, "only {with_core} queries have results");
+        assert!(
+            with_core >= workload.len() / 2,
+            "only {with_core} queries have results"
+        );
     }
 }

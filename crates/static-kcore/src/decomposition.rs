@@ -174,7 +174,12 @@ mod tests {
             let n = 30 + (trial % 5) * 10;
             let m = 3 * n;
             let edges: Vec<(VertexId, VertexId)> = (0..m)
-                .map(|_| ((next() % n as u64) as VertexId, (next() % n as u64) as VertexId))
+                .map(|_| {
+                    (
+                        (next() % n as u64) as VertexId,
+                        (next() % n as u64) as VertexId,
+                    )
+                })
                 .collect();
             let g = StaticGraph::from_edges(n, edges);
             let d = CoreDecomposition::compute(&g);

@@ -48,7 +48,16 @@ mod tests {
         // A 4-clique {0,1,2,3} with a pendant path 3-4-5.
         StaticGraph::from_edges(
             6,
-            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ],
         )
     }
 

@@ -295,7 +295,10 @@ mod tests {
         ));
         // only self loops -> still empty
         assert!(matches!(
-            TemporalGraphBuilder::new().add_edge(3, 3, 1).build().unwrap_err(),
+            TemporalGraphBuilder::new()
+                .add_edge(3, 3, 1)
+                .build()
+                .unwrap_err(),
             TemporalGraphError::EmptyGraph
         ));
     }

@@ -1,4 +1,4 @@
-use crate::{EdgeId, Timestamp, TimeWindow, VertexId};
+use crate::{EdgeId, TimeWindow, Timestamp, VertexId};
 use std::ops::Range;
 
 /// A single undirected temporal edge occurrence `(u, v, t)`.
@@ -53,8 +53,12 @@ impl<'a> NeighborGroup<'a> {
     /// Occurrences whose timestamp falls inside `window`.
     #[inline]
     pub fn occurrences_in(&self, window: TimeWindow) -> &'a [(Timestamp, EdgeId)] {
-        let lo = self.occurrences.partition_point(|&(t, _)| t < window.start());
-        let hi = self.occurrences.partition_point(|&(t, _)| t <= window.end());
+        let lo = self
+            .occurrences
+            .partition_point(|&(t, _)| t < window.start());
+        let hi = self
+            .occurrences
+            .partition_point(|&(t, _)| t <= window.end());
         &self.occurrences[lo..hi]
     }
 }
@@ -262,7 +266,13 @@ mod tests {
     fn small() -> TemporalGraph {
         // triangle at t=1..3 plus a pendant edge at t=5, duplicate occurrence (0,1)@4
         TemporalGraphBuilder::new()
-            .with_edges([(0u64, 1u64, 1i64), (1, 2, 2), (0, 2, 3), (0, 1, 4), (2, 3, 5)])
+            .with_edges([
+                (0u64, 1u64, 1i64),
+                (1, 2, 2),
+                (0, 2, 3),
+                (0, 1, 4),
+                (2, 3, 5),
+            ])
             .build()
             .unwrap()
     }

@@ -163,8 +163,7 @@ mod tests {
 
     #[test]
     fn rejects_too_few_fields() {
-        let err =
-            parse_edge_list(Cursor::new("1 2\n"), &LoadOptions::default()).unwrap_err();
+        let err = parse_edge_list(Cursor::new("1 2\n"), &LoadOptions::default()).unwrap_err();
         assert!(matches!(err, TemporalGraphError::Parse { .. }));
     }
 

@@ -6,6 +6,15 @@ use std::fmt;
 /// Windows are the unit of projection for temporal k-core queries: the
 /// *projected graph* of a window contains exactly the edge occurrences whose
 /// timestamp falls inside the window.
+///
+/// # Invariant
+///
+/// `1 <= start <= end` holds for every constructed value — both
+/// [`TimeWindow::new`] and [`TimeWindow::try_new`] enforce it, and no method
+/// mutates the bounds.  A window therefore always covers at least one
+/// timestamp ([`TimeWindow::len`]` >= 1`), and "no window" is represented by
+/// `Option<TimeWindow>` (as [`TimeWindow::intersect`] does), never by an
+/// empty window value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TimeWindow {
     start: Timestamp,
@@ -50,7 +59,11 @@ impl TimeWindow {
         u64::from(self.end) - u64::from(self.start) + 1
     }
 
-    /// Windows always contain at least one timestamp.
+    /// Always `false`: by the type invariant a window covers at least one
+    /// timestamp, so [`TimeWindow::len`] is nonzero by construction.  The
+    /// method exists because clippy's `len_without_is_empty` expects every
+    /// type with `len()` to pair it with `is_empty()`; absence of a window
+    /// is modelled as `Option<TimeWindow>` instead (see the type docs).
     #[inline]
     pub fn is_empty(&self) -> bool {
         false
@@ -126,8 +139,40 @@ mod tests {
         let a = TimeWindow::new(2, 6);
         let b = TimeWindow::new(5, 9);
         assert_eq!(a.intersect(&b), Some(TimeWindow::new(5, 6)));
+        assert_eq!(b.intersect(&a), Some(TimeWindow::new(5, 6)));
         let c = TimeWindow::new(8, 9);
         assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn intersect_with_self_is_identity() {
+        for w in [
+            TimeWindow::new(1, 1),
+            TimeWindow::new(2, 6),
+            TimeWindow::new(7, 7),
+        ] {
+            assert_eq!(w.intersect(&w), Some(w));
+        }
+    }
+
+    #[test]
+    fn single_timestamp_window() {
+        let w = TimeWindow::new(4, 4);
+        assert_eq!(w.len(), 1);
+        assert!(
+            !w.is_empty(),
+            "the invariant start <= end rules out emptiness"
+        );
+        assert!(w.contains(4));
+        assert!(!w.contains(3));
+        assert!(!w.contains(5));
+        assert!(w.contains_window(&w));
+        assert!(!w.properly_contains(&w));
+        assert_eq!(w.sub_windows().collect::<Vec<_>>(), vec![w]);
+        // Intersections with adjacent singletons are empty, with itself full.
+        assert_eq!(w.intersect(&TimeWindow::new(5, 5)), None);
+        assert_eq!(w.intersect(&TimeWindow::new(3, 3)), None);
+        assert_eq!(w.intersect(&TimeWindow::new(1, 9)), Some(w));
     }
 
     #[test]

@@ -35,8 +35,76 @@ impl EdgeCoreSkyline {
     /// (Algorithm 2: vertex core time sweep with edge core times maintained
     /// as a byproduct).
     pub fn build(graph: &TemporalGraph, k: usize, range: TimeWindow) -> Self {
+        // A range lying entirely past the graph's last timestamp projects to
+        // an empty graph: no edges, no minimal core windows.  Return an
+        // empty skyline instead of running a degenerate sweep (which used to
+        // clamp the range to `[start, start]` and walk per-vertex state for
+        // nothing).
+        if range.start() > graph.tmax() || graph.num_edges() == 0 {
+            return Self {
+                k,
+                range,
+                windows: Vec::new(),
+                first_edge: 0,
+                total_windows: 0,
+            };
+        }
         let mut sweep = CoreTimeSweep::new(graph, k, range);
         Self::build_from_sweep(graph, &mut sweep)
+    }
+
+    /// Restricts the skylines to a sub-range of the range they were built
+    /// for, producing exactly the skyline that [`EdgeCoreSkyline::build`]
+    /// would compute for `range` — without re-running the CoreTime sweep.
+    ///
+    /// Minimality of a core window is a property of the graph alone
+    /// (Definition 5), so the skyline for a sub-range is the containment
+    /// filter `{ w ∈ skyline : w ⊆ range }`; and because both endpoints
+    /// strictly increase along an edge's skyline (Lemma 2), that filter is a
+    /// contiguous slice found by two binary searches per edge.  Cost:
+    /// `O(|E_range| + |ECS_range|)`.
+    ///
+    /// This is the primitive behind the query engine's index reuse (see
+    /// [`crate::QueryEngine`]).
+    ///
+    /// # Panics
+    /// Panics if `range` is not contained in [`EdgeCoreSkyline::range`].
+    pub fn restrict(&self, graph: &TemporalGraph, range: TimeWindow) -> Self {
+        assert!(
+            self.range.contains_window(&range),
+            "cannot restrict a skyline built for {} to the non-sub-range {}",
+            self.range,
+            range
+        );
+        let edge_range = graph.edge_ids_in(range);
+        let first_edge = edge_range.start;
+        let num_edges = (edge_range.end - edge_range.start) as usize;
+        let mut windows: Vec<Vec<TimeWindow>> = vec![Vec::new(); num_edges];
+        let mut total_windows = 0usize;
+        for id in edge_range.clone() {
+            let Some(old_local) = id.checked_sub(self.first_edge) else {
+                continue;
+            };
+            let Some(full) = self.windows.get(old_local as usize) else {
+                continue;
+            };
+            // Windows with start >= range.start() form a suffix, windows
+            // with end <= range.end() a prefix; their overlap is the slice
+            // of windows contained in `range`.
+            let lo = full.partition_point(|w| w.start() < range.start());
+            let hi = full.partition_point(|w| w.end() <= range.end());
+            if lo < hi {
+                windows[(id - first_edge) as usize] = full[lo..hi].to_vec();
+                total_windows += hi - lo;
+            }
+        }
+        Self {
+            k: self.k,
+            range,
+            windows,
+            first_edge,
+            total_windows,
+        }
     }
 
     /// Builds the skylines by driving an already-constructed sweep (useful
@@ -313,6 +381,60 @@ mod tests {
                 assert!(w.contains(t));
             }
         }
+    }
+
+    #[test]
+    fn out_of_span_range_yields_an_empty_skyline() {
+        // Regression test: a query range lying entirely past tmax used to be
+        // clamped to the degenerate window [start, start] and swept anyway.
+        let g = graph(); // tmax = 7
+        let empty_tail = TimeWindow::new(8, 42);
+        let ecs = EdgeCoreSkyline::build(&g, 2, empty_tail);
+        assert_eq!(ecs.total_windows(), 0);
+        assert_eq!(ecs.num_edges_with_windows(), 0);
+        assert_eq!(ecs.range(), empty_tail, "requested range is reported back");
+        for id in 0..g.num_edges() as EdgeId {
+            assert!(ecs.windows(id).is_empty());
+        }
+        assert_eq!(ecs.iter().count(), 0);
+        // The enumerators agree: no cores in an empty tail.
+        let mut sink = crate::sink::CountingSink::default();
+        let stats = crate::enumerate(&g, &ecs, &mut sink);
+        assert_eq!(stats.num_cores, 0);
+    }
+
+    #[test]
+    fn restrict_matches_fresh_build_on_every_sub_range() {
+        let g = graph();
+        for k in 1..=3 {
+            let span = EdgeCoreSkyline::build(&g, k, g.span());
+            for sub in g.span().sub_windows() {
+                let restricted = span.restrict(&g, sub);
+                let fresh = EdgeCoreSkyline::build(&g, k, sub);
+                assert_eq!(restricted.k(), fresh.k());
+                assert_eq!(restricted.range(), sub);
+                assert_eq!(
+                    restricted.total_windows(),
+                    fresh.total_windows(),
+                    "k={k} sub={sub}"
+                );
+                for id in 0..g.num_edges() as EdgeId {
+                    assert_eq!(
+                        restricted.windows(id),
+                        fresh.windows(id),
+                        "k={k} sub={sub} edge={id}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-sub-range")]
+    fn restrict_rejects_non_sub_ranges() {
+        let g = graph();
+        let ecs = EdgeCoreSkyline::build(&g, 2, TimeWindow::new(2, 5));
+        let _ = ecs.restrict(&g, TimeWindow::new(1, 5));
     }
 
     #[test]

@@ -1,0 +1,621 @@
+//! Cached batch-query engine with sub-range index reuse.
+//!
+//! The paper's framework splits a time-range temporal k-core query into a
+//! CoreTime precomputation (the [`EdgeCoreSkyline`], Definitions 4–5) and a
+//! result-size-bounded enumeration.  The skyline has a property that the
+//! one-shot [`TimeRangeKCoreQuery`] API cannot exploit: an index built for a
+//! range `R` answers *every* query over a sub-range `r ⊆ R`.  The
+//! [`QueryEngine`] turns that into a serving architecture:
+//!
+//! * it owns the [`TemporalGraph`] and keeps an **LRU cache of span-wide
+//!   skylines keyed by `k`**, bounded by a configurable memory budget
+//!   (measured with [`EdgeCoreSkyline::memory_bytes`]);
+//! * a query for `(k, r)` takes the cached skyline for `k` (building the
+//!   `graph.span()`-wide index once on a cold miss) and **restricts** it to
+//!   `r` with [`EdgeCoreSkyline::restrict`] — a per-edge slice of the
+//!   already-computed minimal core windows — instead of re-running the
+//!   CoreTime sweep;
+//! * [`QueryEngine::run_batch`] fans a slice of queries across OS threads
+//!   with per-query sinks and aggregated [`BatchStats`].
+//!
+//! # Why restriction is exact
+//!
+//! Whether a window `w` is a *minimal core window* of an edge is a property
+//! of the graph alone: `e` is in the temporal k-core of `w` but of neither
+//! window obtained by shrinking `w` on one side (Definition 5).  Building
+//! the skyline for a range `R` merely restricts attention to the minimal
+//! windows contained in `R`; containment in a sub-range `r ⊆ R` is a further
+//! filter.  Hence
+//!
+//! ```text
+//! skyline_r(e) = { w ∈ skyline_R(e) : w ⊆ r }        for every r ⊆ R,
+//! ```
+//!
+//! and since both endpoints strictly increase along an edge's skyline
+//! (Lemma 2), the windows contained in `r` form a *contiguous* subsequence
+//! found by two binary searches.  Restriction therefore costs
+//! `O(|E_r| + |ECS_r|)` with no worklist iteration, and by Lemma 3 the
+//! restricted skyline drives the enumerators to exactly the same results as
+//! an index freshly built for `r` (asserted exhaustively by the
+//! `engine_restriction_matches_fresh_build` property test).
+//!
+//! # Cache policy
+//!
+//! One entry per `k`, always span-wide, evicted least-recently-used when the
+//! summed [`EdgeCoreSkyline::memory_bytes`] exceeds the budget.  The entry
+//! being inserted is never evicted, so a single index larger than the whole
+//! budget still serves its own query (the cache simply holds that one
+//! index).  Lookups and insertions take a [`Mutex`]; index *construction*
+//! happens outside the lock, so concurrent batch workers can build indexes
+//! for different `k` values in parallel.  Two threads racing on the same
+//! cold `k` may both build it; the loser's copy is dropped and the winner's
+//! is shared — wasted work bounded by one build, never wrong results.
+//!
+//! Parallelism note: batching uses `std::thread::scope` workers pulling
+//! query indexes from an atomic counter.  The roadmap's rayon work-stealing
+//! pool is not available in this offline build environment; the scoped-
+//! thread pool has the same sharing structure (immutable graph + `Arc`'d
+//! skylines), so swapping in `rayon::scope` later is a local change.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::ecs::EdgeCoreSkyline;
+use crate::query::{Algorithm, QueryStats, TimeRangeKCoreQuery};
+use crate::sink::{CountingSink, ResultSink};
+use temporal_graph::TemporalGraph;
+
+/// Tuning knobs of a [`QueryEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Maximum summed [`EdgeCoreSkyline::memory_bytes`] of cached indexes
+    /// before least-recently-used entries are evicted.  The entry being
+    /// inserted is exempt, so one oversized index never thrashes.
+    pub memory_budget_bytes: usize,
+    /// Worker threads for [`QueryEngine::run_batch`]; `0` means one per
+    /// available CPU.
+    pub num_threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            memory_budget_bytes: 256 * 1024 * 1024,
+            num_threads: 0,
+        }
+    }
+}
+
+/// Cache effectiveness counters, readable via [`QueryEngine::cache_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from an already-resident skyline.
+    pub hits: u64,
+    /// Queries that had to build a span-wide skyline first.
+    pub misses: u64,
+    /// Skylines evicted to respect the memory budget.
+    pub evictions: u64,
+    /// Summed memory estimate of the currently resident skylines.
+    pub resident_bytes: usize,
+    /// Number of currently resident skylines (distinct `k` values).
+    pub resident_indexes: usize,
+}
+
+struct CacheEntry {
+    skyline: Arc<EdgeCoreSkyline>,
+    last_used: u64,
+}
+
+struct SkylineCache {
+    entries: HashMap<usize, CacheEntry>,
+    clock: u64,
+    resident_bytes: usize,
+    budget: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl SkylineCache {
+    fn new(budget: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            clock: 0,
+            resident_bytes: 0,
+            budget,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, k: usize) -> Option<Arc<EdgeCoreSkyline>> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(&k) {
+            Some(entry) => {
+                entry.last_used = clock;
+                self.hits += 1;
+                Some(Arc::clone(&entry.skyline))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly built skyline unless another thread won the race,
+    /// then evicts LRU entries (never `k` itself) down to the budget.
+    /// Returns the cached skyline to use.
+    fn adopt(&mut self, k: usize, built: Arc<EdgeCoreSkyline>) -> Arc<EdgeCoreSkyline> {
+        self.clock += 1;
+        let clock = self.clock;
+        let skyline = match self.entries.get_mut(&k) {
+            Some(existing) => {
+                existing.last_used = clock;
+                Arc::clone(&existing.skyline)
+            }
+            None => {
+                self.resident_bytes += built.memory_bytes();
+                self.entries.insert(
+                    k,
+                    CacheEntry {
+                        skyline: Arc::clone(&built),
+                        last_used: clock,
+                    },
+                );
+                built
+            }
+        };
+        while self.resident_bytes > self.budget && self.entries.len() > 1 {
+            let Some((&victim, _)) = self
+                .entries
+                .iter()
+                .filter(|(&key, _)| key != k)
+                .min_by_key(|(_, e)| e.last_used)
+            else {
+                break;
+            };
+            let removed = self.entries.remove(&victim).expect("victim present");
+            self.resident_bytes -= removed.skyline.memory_bytes();
+            self.evictions += 1;
+        }
+        skyline
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            resident_bytes: self.resident_bytes,
+            resident_indexes: self.entries.len(),
+        }
+    }
+}
+
+/// Aggregated outcome of one [`QueryEngine::run_batch`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchStats {
+    /// Number of queries executed.
+    pub num_queries: usize,
+    /// Sum of distinct temporal k-cores over all queries.
+    pub total_cores: u64,
+    /// Sum of result edges (`|R|`) over all queries.
+    pub total_result_edges: u64,
+    /// Summed per-query precomputation time (cache lookup + any cold build
+    /// + restriction).  Summed across workers, so it can exceed wall time.
+    pub precompute_time: Duration,
+    /// Summed per-query enumeration time.
+    pub enumerate_time: Duration,
+    /// Wall-clock time of the whole batch.
+    pub wall_time: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Cache counters at the end of the batch (cumulative for the engine).
+    pub cache: CacheStats,
+}
+
+/// A query-serving engine owning a temporal graph and a skyline cache.
+///
+/// See the [module documentation](self) for the cache policy and the
+/// restriction correctness argument.
+///
+/// # Example
+///
+/// ```
+/// use tkcore::{QueryEngine, TimeRangeKCoreQuery, paper_example};
+/// use temporal_graph::TimeWindow;
+///
+/// let engine = QueryEngine::new(paper_example::graph());
+/// let queries = [
+///     TimeRangeKCoreQuery::new(2, TimeWindow::new(1, 4)),
+///     TimeRangeKCoreQuery::new(2, TimeWindow::new(2, 7)),
+/// ];
+/// let (results, stats) = engine.run_batch(&queries);
+/// assert_eq!(results[0].0.num_cores, 2); // Figure 2 of the paper
+/// assert_eq!(stats.num_queries, 2);
+/// // Both queries share one span-wide skyline for k = 2.
+/// assert_eq!(engine.cache_stats().misses, 1);
+/// ```
+pub struct QueryEngine {
+    graph: TemporalGraph,
+    config: EngineConfig,
+    cache: Mutex<SkylineCache>,
+}
+
+impl QueryEngine {
+    /// Creates an engine with the default configuration.
+    pub fn new(graph: TemporalGraph) -> Self {
+        Self::with_config(graph, EngineConfig::default())
+    }
+
+    /// Creates an engine with an explicit configuration.
+    pub fn with_config(graph: TemporalGraph, config: EngineConfig) -> Self {
+        let cache = Mutex::new(SkylineCache::new(config.memory_budget_bytes));
+        Self {
+            graph,
+            config,
+            cache,
+        }
+    }
+
+    /// The graph this engine serves queries against.
+    pub fn graph(&self) -> &TemporalGraph {
+        &self.graph
+    }
+
+    /// Current cache counters (cumulative since construction).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Drops every cached skyline, keeping the counters.
+    pub fn clear_cache(&self) {
+        let mut cache = self.cache.lock().expect("cache lock");
+        cache.entries.clear();
+        cache.resident_bytes = 0;
+    }
+
+    /// Returns the span-wide skyline for `k`, building and caching it on a
+    /// miss.  The build runs outside the cache lock (see module docs).
+    fn span_skyline(&self, k: usize) -> Arc<EdgeCoreSkyline> {
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(k) {
+            return hit;
+        }
+        let built = Arc::new(EdgeCoreSkyline::build(&self.graph, k, self.graph.span()));
+        self.cache.lock().expect("cache lock").adopt(k, built)
+    }
+
+    /// Warms the cache for `k` without running a query; returns whether the
+    /// skyline was already resident.
+    pub fn warm(&self, k: usize) -> bool {
+        let was_resident = self
+            .cache
+            .lock()
+            .expect("cache lock")
+            .entries
+            .contains_key(&k);
+        let _ = self.span_skyline(k);
+        was_resident
+    }
+
+    /// Runs one query with the paper's final algorithm, streaming results
+    /// into `sink`.
+    pub fn run(&self, query: &TimeRangeKCoreQuery, sink: &mut dyn ResultSink) -> QueryStats {
+        self.run_with(query, Algorithm::Enum, sink)
+    }
+
+    /// Runs one query with the chosen algorithm.
+    ///
+    /// `Enum` and `EnumBase` answer from the cached skyline restricted to
+    /// the query range; `Otcd` and `Naive` have no reusable index and run
+    /// exactly as [`TimeRangeKCoreQuery::run_with`] does (they participate
+    /// in batches for comparison runs, not for speed).
+    pub fn run_with(
+        &self,
+        query: &TimeRangeKCoreQuery,
+        algorithm: Algorithm,
+        sink: &mut dyn ResultSink,
+    ) -> QueryStats {
+        let Some(range) = query.range().intersect(&self.graph.span()) else {
+            // The query range lies entirely outside the graph's span: no
+            // edges, no cores (mirrors the out-of-span early return of
+            // `EdgeCoreSkyline::build`).
+            return QueryStats {
+                algorithm,
+                num_cores: 0,
+                total_result_edges: 0,
+                precompute_time: Duration::ZERO,
+                enumerate_time: Duration::ZERO,
+                peak_memory_bytes: 0,
+            };
+        };
+        let clamped = TimeRangeKCoreQuery::new(query.k(), range);
+        match algorithm {
+            Algorithm::Enum | Algorithm::EnumBase => {
+                let t0 = Instant::now();
+                let span_skyline = self.span_skyline(query.k());
+                let restricted = span_skyline.restrict(&self.graph, range);
+                let precompute_time = t0.elapsed();
+                let mut stats = clamped.run_with_skyline(&self.graph, &restricted, algorithm, sink);
+                stats.precompute_time = precompute_time;
+                stats
+            }
+            Algorithm::Otcd | Algorithm::Naive => clamped.run_with(&self.graph, algorithm, sink),
+        }
+    }
+
+    /// Runs a batch of queries with `Enum`, counting results per query.
+    ///
+    /// Convenience wrapper over [`QueryEngine::run_batch_with`] with a
+    /// [`CountingSink`] per query.
+    pub fn run_batch(
+        &self,
+        queries: &[TimeRangeKCoreQuery],
+    ) -> (Vec<(CountingSink, QueryStats)>, BatchStats) {
+        self.run_batch_with(queries, Algorithm::Enum, |_| CountingSink::default())
+    }
+
+    /// Fans `queries` across worker threads, one fresh sink per query.
+    ///
+    /// `make_sink(i)` builds the sink for `queries[i]`; results come back in
+    /// query order together with per-query [`QueryStats`] and aggregated
+    /// [`BatchStats`].  Workers pull the next query index from a shared
+    /// atomic counter, so long and short queries balance automatically.
+    pub fn run_batch_with<S, F>(
+        &self,
+        queries: &[TimeRangeKCoreQuery],
+        algorithm: Algorithm,
+        make_sink: F,
+    ) -> (Vec<(S, QueryStats)>, BatchStats)
+    where
+        S: ResultSink + Send,
+        F: Fn(usize) -> S + Sync,
+    {
+        let t0 = Instant::now();
+        let threads = self.effective_threads(queries.len());
+        let results: Vec<Mutex<Option<(S, QueryStats)>>> =
+            queries.iter().map(|_| Mutex::new(None)).collect();
+        if threads <= 1 {
+            for (i, query) in queries.iter().enumerate() {
+                let mut sink = make_sink(i);
+                let stats = self.run_with(query, algorithm, &mut sink);
+                *results[i].lock().expect("result slot") = Some((sink, stats));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= queries.len() {
+                            break;
+                        }
+                        let mut sink = make_sink(i);
+                        let stats = self.run_with(&queries[i], algorithm, &mut sink);
+                        *results[i].lock().expect("result slot") = Some((sink, stats));
+                    });
+                }
+            });
+        }
+        let per_query: Vec<(S, QueryStats)> = results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("every query index was processed")
+            })
+            .collect();
+        let mut batch = BatchStats {
+            num_queries: per_query.len(),
+            total_cores: 0,
+            total_result_edges: 0,
+            precompute_time: Duration::ZERO,
+            enumerate_time: Duration::ZERO,
+            wall_time: t0.elapsed(),
+            threads,
+            cache: self.cache_stats(),
+        };
+        for (_, stats) in &per_query {
+            batch.total_cores += stats.num_cores;
+            batch.total_result_edges += stats.total_result_edges;
+            batch.precompute_time += stats.precompute_time;
+            batch.enumerate_time += stats.enumerate_time;
+        }
+        (per_query, batch)
+    }
+
+    fn effective_threads(&self, num_queries: usize) -> usize {
+        let configured = if self.config.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.num_threads
+        };
+        configured.clamp(1, num_queries.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+    use crate::sink::CollectingSink;
+    use temporal_graph::{TemporalGraphBuilder, TimeWindow};
+
+    fn graph() -> TemporalGraph {
+        TemporalGraphBuilder::new()
+            .with_edges([
+                (0u64, 1u64, 1i64),
+                (1, 2, 2),
+                (0, 2, 3),
+                (2, 3, 4),
+                (3, 4, 5),
+                (2, 4, 6),
+                (0, 1, 6),
+                (1, 2, 7),
+                (0, 2, 7),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    fn canonical(mut cores: Vec<crate::TemporalKCore>) -> Vec<crate::TemporalKCore> {
+        cores.sort_by(|a, b| a.tti.cmp(&b.tti).then_with(|| a.edges.cmp(&b.edges)));
+        cores
+    }
+
+    #[test]
+    fn cached_answers_match_fresh_for_every_algorithm_and_range() {
+        let g = graph();
+        let engine = QueryEngine::new(g.clone());
+        for k in 1..=3 {
+            for range in [
+                g.span(),
+                TimeWindow::new(2, 6),
+                TimeWindow::new(3, 5),
+                TimeWindow::new(7, 7),
+                TimeWindow::new(1, 200),
+            ] {
+                let query = TimeRangeKCoreQuery::new(k, range);
+                for algo in Algorithm::ALL {
+                    let mut fresh = CollectingSink::default();
+                    query.run_with(&g, algo, &mut fresh);
+                    let mut cached = CollectingSink::default();
+                    engine.run_with(&query, algo, &mut cached);
+                    assert_eq!(
+                        canonical(cached.cores),
+                        canonical(fresh.cores),
+                        "k={k} range={range} algo={}",
+                        algo.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_after_first_query_per_k() {
+        let g = graph();
+        let engine = QueryEngine::new(g.clone());
+        let mut sink = CountingSink::default();
+        engine.run(
+            &TimeRangeKCoreQuery::new(2, TimeWindow::new(2, 5)),
+            &mut sink,
+        );
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        let mut sink = CountingSink::default();
+        engine.run(
+            &TimeRangeKCoreQuery::new(2, TimeWindow::new(3, 6)),
+            &mut sink,
+        );
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.resident_indexes, 1);
+        assert!(stats.resident_bytes > 0);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_keeps_newest() {
+        let g = graph();
+        let one_index_bytes = EdgeCoreSkyline::build(&g, 1, g.span()).memory_bytes();
+        let engine = QueryEngine::with_config(
+            g.clone(),
+            EngineConfig {
+                memory_budget_bytes: one_index_bytes, // room for ~one index
+                num_threads: 1,
+            },
+        );
+        for k in 1..=3 {
+            let mut sink = CountingSink::default();
+            engine.run(&TimeRangeKCoreQuery::new(k, g.span()), &mut sink);
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 3);
+        assert!(stats.evictions >= 1, "evictions: {stats:?}");
+        assert!(stats.resident_indexes >= 1);
+        // The most recent k must have survived.
+        assert!(engine.warm(3), "k=3 evicted despite being newest");
+    }
+
+    #[test]
+    fn out_of_span_queries_return_empty() {
+        let g = graph();
+        let engine = QueryEngine::new(g.clone());
+        let past_the_end = TimeRangeKCoreQuery::new(2, TimeWindow::new(g.tmax() + 1, g.tmax() + 9));
+        for algo in Algorithm::ALL {
+            let mut sink = CountingSink::default();
+            let stats = engine.run_with(&past_the_end, algo, &mut sink);
+            assert_eq!(sink.num_cores, 0, "{}", algo.name());
+            assert_eq!(stats.num_cores, 0);
+        }
+        assert_eq!(
+            engine.cache_stats().misses,
+            0,
+            "no index built for empty ranges"
+        );
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_aggregates() {
+        let g = paper_example::graph();
+        let engine = QueryEngine::new(g.clone());
+        let queries: Vec<TimeRangeKCoreQuery> = (1..=g.tmax())
+            .flat_map(|s| {
+                (s..=g.tmax()).map(move |e| TimeRangeKCoreQuery::new(2, TimeWindow::new(s, e)))
+            })
+            .collect();
+        // Pre-warm so the miss counter below is deterministic even when the
+        // batch fans across several workers (concurrent cold queries for one
+        // k may otherwise each count a miss — the documented build race).
+        engine.warm(2);
+        let (results, batch) = engine.run_batch(&queries);
+        assert_eq!(results.len(), queries.len());
+        assert_eq!(batch.num_queries, queries.len());
+        let mut expected_cores = 0u64;
+        for (query, (sink, stats)) in queries.iter().zip(&results) {
+            let mut fresh = CountingSink::default();
+            query.run_with(&g, Algorithm::Enum, &mut fresh);
+            assert_eq!(sink.num_cores, fresh.num_cores, "{}", query.range());
+            assert_eq!(sink.total_edges, fresh.total_edges, "{}", query.range());
+            assert_eq!(stats.num_cores, sink.num_cores);
+            expected_cores += fresh.num_cores;
+        }
+        assert_eq!(batch.total_cores, expected_cores);
+        assert_eq!(
+            engine.cache_stats().misses,
+            1,
+            "one span-wide build serves the whole batch"
+        );
+        assert!(batch.threads >= 1);
+    }
+
+    #[test]
+    fn batch_with_custom_sinks_and_threads() {
+        let g = paper_example::graph();
+        let engine = QueryEngine::with_config(
+            g.clone(),
+            EngineConfig {
+                num_threads: 3,
+                ..EngineConfig::default()
+            },
+        );
+        let queries = vec![TimeRangeKCoreQuery::new(2, g.span()); 7];
+        let (results, batch) = engine.run_batch_with(&queries, Algorithm::Enum, |i| {
+            let mut sink = CollectingSink::default();
+            sink.cores.reserve(i); // exercise the index argument
+            sink
+        });
+        assert_eq!(batch.threads, 3);
+        let first = canonical(results[0].0.cores.clone());
+        for (sink, _) in &results {
+            assert_eq!(canonical(sink.cores.clone()), first);
+        }
+    }
+}

@@ -90,9 +90,8 @@ pub fn enumerate_base(
         }
     }
 
-    stats.peak_memory_bytes = dedup_bytes
-        + buckets.capacity() * std::mem::size_of::<Vec<EdgeId>>()
-        + ecs.memory_bytes();
+    stats.peak_memory_bytes =
+        dedup_bytes + buckets.capacity() * std::mem::size_of::<Vec<EdgeId>>() + ecs.memory_bytes();
     stats
 }
 

@@ -17,7 +17,9 @@
 //!   framework;
 //! * [`run_otcd`] — the OTCD state-of-the-art competitor (Algorithm 1);
 //! * [`naive_results`] — a brute-force reference used for testing;
-//! * [`TimeRangeKCoreQuery`] — the high-level entry point tying it together.
+//! * [`TimeRangeKCoreQuery`] — the high-level entry point tying it together;
+//! * [`QueryEngine`] — a cached batch-query engine that reuses one span-wide
+//!   skyline per `k` across every sub-range query, with parallel batching.
 //!
 //! # Example
 //!
@@ -35,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod ecs;
+pub mod engine;
 mod enum_base;
 mod enumerate;
 mod historical;
@@ -48,6 +51,7 @@ mod stats;
 mod vct;
 
 pub use ecs::EdgeCoreSkyline;
+pub use engine::{BatchStats, CacheStats, EngineConfig, QueryEngine};
 pub use enum_base::{enumerate_base, enumerate_base_from_graph, EnumBaseStats};
 pub use enumerate::{enumerate, enumerate_from_graph, EnumStats};
 pub use historical::{historical_core_from_skyline, HistoricalKCoreIndex};

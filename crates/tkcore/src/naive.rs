@@ -68,7 +68,9 @@ pub fn edge_in_core_of_window(
     if !window.contains(e.t) {
         return false;
     }
-    core_edges_of_window(graph, k, window).binary_search(&edge).is_ok()
+    core_edges_of_window(graph, k, window)
+        .binary_search(&edge)
+        .is_ok()
 }
 
 /// Enumerates all distinct temporal k-cores of every sub-window of `range`,
@@ -152,8 +154,8 @@ mod tests {
         let g = two_burst_graph();
         assert!(edge_in_core_of_window(&g, 2, TimeWindow::new(1, 2), 0));
         assert!(!edge_in_core_of_window(&g, 2, TimeWindow::new(2, 6), 0)); // t=1 outside window
-        // Bridge edge (0,5,4) has id 3; in [3,5] nothing survives peeling,
-        // in the full range everything does.
+                                                                           // Bridge edge (0,5,4) has id 3; in [3,5] nothing survives peeling,
+                                                                           // in the full range everything does.
         assert!(!edge_in_core_of_window(&g, 2, TimeWindow::new(3, 5), 3));
         assert!(edge_in_core_of_window(&g, 2, TimeWindow::new(1, 6), 3));
     }

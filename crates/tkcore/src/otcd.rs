@@ -199,9 +199,10 @@ impl<'g> CoreSubgraph<'g> {
         if new_end >= self.cur_end {
             return;
         }
-        let remove_from = self
-            .graph
-            .edge_ids_in(TimeWindow::new((new_end + 1).max(self.cur_start), self.cur_end));
+        let remove_from = self.graph.edge_ids_in(TimeWindow::new(
+            (new_end + 1).max(self.cur_start),
+            self.cur_end,
+        ));
         self.cur_end = new_end;
         let mut below_k: Vec<VertexId> = Vec::new();
         for id in remove_from {
@@ -220,9 +221,10 @@ impl<'g> CoreSubgraph<'g> {
         if new_start <= self.cur_start {
             return;
         }
-        let remove_range = self
-            .graph
-            .edge_ids_in(TimeWindow::new(self.cur_start, (new_start - 1).min(self.cur_end)));
+        let remove_range = self.graph.edge_ids_in(TimeWindow::new(
+            self.cur_start,
+            (new_start - 1).min(self.cur_end),
+        ));
         self.cur_start = new_start;
         let mut below_k: Vec<VertexId> = Vec::new();
         for id in remove_range {

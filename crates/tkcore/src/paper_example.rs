@@ -11,7 +11,9 @@
 //! minimal core window `[6, 7]`).  The constants below encode the
 //! self-consistent values.
 
-use temporal_graph::{TemporalGraph, TemporalGraphBuilder, TimeWindow, Timestamp, VertexId, T_INFINITY};
+use temporal_graph::{
+    TemporalGraph, TemporalGraphBuilder, TimeWindow, Timestamp, VertexId, T_INFINITY,
+};
 
 /// The query parameter `k` used throughout the running example.
 pub const K: usize = 2;
@@ -81,16 +83,28 @@ pub fn expected_ecs() -> Vec<((u64, u64, Timestamp), Vec<TimeWindow>)> {
     vec![
         ((2, 9, 1), vec![TimeWindow::new(1, 4)]),
         ((1, 4, 2), vec![TimeWindow::new(2, 3)]),
-        ((2, 3, 2), vec![TimeWindow::new(1, 4), TimeWindow::new(2, 6)]),
-        ((1, 2, 3), vec![TimeWindow::new(2, 3), TimeWindow::new(3, 5)]),
-        ((2, 4, 3), vec![TimeWindow::new(2, 3), TimeWindow::new(3, 5)]),
+        (
+            (2, 3, 2),
+            vec![TimeWindow::new(1, 4), TimeWindow::new(2, 6)],
+        ),
+        (
+            (1, 2, 3),
+            vec![TimeWindow::new(2, 3), TimeWindow::new(3, 5)],
+        ),
+        (
+            (2, 4, 3),
+            vec![TimeWindow::new(2, 3), TimeWindow::new(3, 5)],
+        ),
         ((3, 9, 4), vec![TimeWindow::new(1, 4)]),
         ((4, 8, 4), vec![TimeWindow::new(3, 5)]),
         ((1, 6, 5), vec![TimeWindow::new(5, 5)]),
         ((1, 7, 5), vec![TimeWindow::new(5, 5)]),
         ((2, 8, 5), vec![TimeWindow::new(3, 5)]),
         ((6, 7, 5), vec![TimeWindow::new(5, 5)]),
-        ((1, 3, 6), vec![TimeWindow::new(2, 6), TimeWindow::new(6, 7)]),
+        (
+            (1, 3, 6),
+            vec![TimeWindow::new(2, 6), TimeWindow::new(6, 7)],
+        ),
         ((3, 5, 6), vec![TimeWindow::new(6, 7)]),
         ((1, 5, 7), vec![TimeWindow::new(6, 7)]),
     ]
@@ -115,10 +129,7 @@ pub fn expected_results_for_example_query() -> Vec<LabeledCore> {
                 (3, 9, 4),
             ],
         ),
-        (
-            TimeWindow::new(2, 3),
-            vec![(1, 4, 2), (1, 2, 3), (2, 4, 3)],
-        ),
+        (TimeWindow::new(2, 3), vec![(1, 4, 2), (1, 2, 3), (2, 4, 3)]),
     ]
 }
 
@@ -182,7 +193,11 @@ mod tests {
         let ecs = EdgeCoreSkyline::build(&g, K, full_range());
         for ((u, v, t), expected) in expected_ecs() {
             let id = edge_id(&g, u, v, t);
-            assert_eq!(ecs.windows(id), expected.as_slice(), "edge (v{u}, v{v}, {t})");
+            assert_eq!(
+                ecs.windows(id),
+                expected.as_slice(),
+                "edge (v{u}, v{v}, {t})"
+            );
         }
         assert_eq!(
             ecs.total_windows(),
@@ -198,7 +213,10 @@ mod tests {
             .map(|(tti, edges)| {
                 crate::TemporalKCore::new(
                     tti,
-                    edges.into_iter().map(|(u, v, t)| edge_id(&g, u, v, t)).collect(),
+                    edges
+                        .into_iter()
+                        .map(|(u, v, t)| edge_id(&g, u, v, t))
+                        .collect(),
                 )
             })
             .collect();

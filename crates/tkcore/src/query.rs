@@ -120,6 +120,63 @@ impl TimeRangeKCoreQuery {
         sink
     }
 
+    /// Runs a skyline-based algorithm (`Enum` or `EnumBase`) over an
+    /// already-built [`EdgeCoreSkyline`] for this query's `(k, range)`,
+    /// streaming results into `sink`.
+    ///
+    /// The reported `precompute_time` is zero — the index was paid for
+    /// elsewhere (built directly, or restricted from a cached superset-range
+    /// index by [`crate::QueryEngine`]).
+    ///
+    /// # Panics
+    /// Panics if the skyline's parameters do not match the query, or if
+    /// `algorithm` is not skyline-based (`Otcd` and `Naive` have no
+    /// precomputed index to run from).
+    pub fn run_with_skyline(
+        &self,
+        graph: &TemporalGraph,
+        skyline: &EdgeCoreSkyline,
+        algorithm: Algorithm,
+        sink: &mut dyn ResultSink,
+    ) -> QueryStats {
+        assert_eq!(skyline.k(), self.k, "skyline built for a different k");
+        assert_eq!(
+            skyline.range(),
+            self.range,
+            "skyline built for a different range"
+        );
+        let mut stats = QueryStats {
+            algorithm,
+            num_cores: 0,
+            total_result_edges: 0,
+            precompute_time: Duration::ZERO,
+            enumerate_time: Duration::ZERO,
+            peak_memory_bytes: 0,
+        };
+        let t0 = Instant::now();
+        let run = match algorithm {
+            Algorithm::Enum => enumerate(graph, skyline, sink),
+            Algorithm::EnumBase => {
+                let base = enumerate_base(graph, skyline, sink);
+                crate::enumerate::EnumStats {
+                    num_cores: base.num_cores,
+                    total_edges: base.total_edges,
+                    skyline_windows: skyline.total_windows() as u64,
+                    peak_memory_bytes: base.peak_memory_bytes,
+                }
+            }
+            other => panic!(
+                "run_with_skyline requires a skyline-based algorithm, got {}",
+                other.name()
+            ),
+        };
+        stats.enumerate_time = t0.elapsed();
+        stats.num_cores = run.num_cores;
+        stats.total_result_edges = run.total_edges;
+        stats.peak_memory_bytes = run.peak_memory_bytes;
+        stats
+    }
+
     /// Runs the chosen algorithm, streaming results into `sink`.
     pub fn run_with(
         &self,
@@ -168,7 +225,11 @@ impl TimeRangeKCoreQuery {
             }
             Algorithm::Naive => {
                 let t1 = Instant::now();
-                let mut counter = CountingForwarder { inner: sink, cores: 0, edges: 0 };
+                let mut counter = CountingForwarder {
+                    inner: sink,
+                    cores: 0,
+                    edges: 0,
+                };
                 enumerate_naive(graph, self.k, self.range, &mut counter);
                 stats.enumerate_time = t1.elapsed();
                 stats.num_cores = counter.cores;
@@ -227,7 +288,10 @@ mod tests {
             assert!(stats.total_time() >= stats.enumerate_time);
             counts.push((sink.num_cores, sink.total_edges));
         }
-        assert!(counts.windows(2).all(|w| w[0] == w[1]), "counts: {counts:?}");
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "counts: {counts:?}"
+        );
     }
 
     #[test]

@@ -31,7 +31,8 @@ impl CollectingSink {
     /// Consumes the sink and returns the cores sorted by (TTI, edge set),
     /// which gives a canonical order independent of the producing algorithm.
     pub fn into_sorted(mut self) -> Vec<TemporalKCore> {
-        self.cores.sort_by(|a, b| a.tti.cmp(&b.tti).then_with(|| a.edges.cmp(&b.edges)));
+        self.cores
+            .sort_by(|a, b| a.tti.cmp(&b.tti).then_with(|| a.edges.cmp(&b.edges)));
         self.cores
     }
 }

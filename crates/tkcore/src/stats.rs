@@ -54,7 +54,8 @@ impl FrameworkStats {
             result_size: counter.total_edges,
             vct_bytes: vct.memory_bytes(),
             ecs_bytes: ecs.memory_bytes(),
-            result_bytes: counter.total_edges * std::mem::size_of::<temporal_graph::EdgeId>() as u64,
+            result_bytes: counter.total_edges
+                * std::mem::size_of::<temporal_graph::EdgeId>() as u64,
         }
     }
 }

@@ -5,22 +5,25 @@
 use proptest::prelude::*;
 use temporal_graph::{EdgeId, TemporalGraph, TemporalGraphBuilder, TimeWindow};
 use tkcore::{
-    enumerate_base_from_graph, enumerate_from_graph, naive_results, run_otcd, CollectingSink,
-    EdgeCoreSkyline, TemporalKCore, VertexCoreTimeIndex,
+    enumerate_base_from_graph, enumerate_from_graph, naive_results, run_otcd, Algorithm,
+    CollectingSink, EdgeCoreSkyline, QueryEngine, TemporalKCore, TimeRangeKCoreQuery,
+    VertexCoreTimeIndex,
 };
 
 /// Strategy: a random temporal graph with up to `max_v` vertices, up to
 /// `max_e` edges and up to `max_t` distinct timestamps.
 fn arb_graph(max_v: u64, max_e: usize, max_t: i64) -> impl Strategy<Value = TemporalGraph> {
-    prop::collection::vec((0..max_v, 0..max_v, 1..=max_t), 1..max_e)
-        .prop_filter_map("graph must have at least one non-loop edge", |edges| {
+    prop::collection::vec((0..max_v, 0..max_v, 1..=max_t), 1..max_e).prop_filter_map(
+        "graph must have at least one non-loop edge",
+        |edges| {
             let edges: Vec<(u64, u64, i64)> =
                 edges.into_iter().filter(|(u, v, _)| u != v).collect();
             if edges.is_empty() {
                 return None;
             }
             TemporalGraphBuilder::new().with_edges(edges).build().ok()
-        })
+        },
+    )
 }
 
 fn canonical(mut cores: Vec<TemporalKCore>) -> Vec<TemporalKCore> {
@@ -137,6 +140,40 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Query-engine equivalence: for random `(k, sub-range)` pairs and every
+    /// algorithm, answers served from the engine's cached span-wide skyline
+    /// (restricted to the sub-range) are identical — same cores, same `|R|`,
+    /// same canonical order — to answers from a skyline freshly built for
+    /// that sub-range.
+    #[test]
+    fn engine_restriction_matches_fresh_build(
+        g in arb_graph(12, 50, 10),
+        k in 2usize..4,
+        raw_lo in 1u32..12,
+        raw_len in 0u32..12,
+    ) {
+        let lo = raw_lo.min(g.tmax());
+        let range = TimeWindow::new(lo, (lo + raw_len).min(g.tmax()).max(lo));
+        let engine = QueryEngine::new(g.clone());
+        let query = TimeRangeKCoreQuery::new(k, range);
+        for algorithm in Algorithm::ALL {
+            let mut fresh = CollectingSink::default();
+            let fresh_stats = query.run_with(&g, algorithm, &mut fresh);
+            let mut cached = CollectingSink::default();
+            let cached_stats = engine.run_with(&query, algorithm, &mut cached);
+            prop_assert_eq!(cached_stats.num_cores, fresh_stats.num_cores,
+                "{} k={} range={}", algorithm.name(), k, range);
+            prop_assert_eq!(cached_stats.total_result_edges, fresh_stats.total_result_edges,
+                "{} k={} range={}", algorithm.name(), k, range);
+            prop_assert_eq!(&canonical(cached.cores), &canonical(fresh.cores),
+                "{} k={} range={}", algorithm.name(), k, range);
+        }
+        // The skyline-based algorithms shared one span-wide index.
+        let stats = engine.cache_stats();
+        prop_assert_eq!(stats.misses, 1, "cache misses: {:?}", stats);
+        prop_assert!(stats.hits >= 1, "cache hits: {:?}", stats);
     }
 
     /// The total result size reported by the counting path equals the sum of

@@ -37,7 +37,11 @@ fn main() {
     let k = 6;
     let query = TimeRangeKCoreQuery::new(k, graph.span());
     let cores = query.enumerate(&graph);
-    println!("\n{} temporal {}-cores across the whole week", cores.len(), k);
+    println!(
+        "\n{} temporal {}-cores across the whole week",
+        cores.len(),
+        k
+    );
 
     // Group cores by their account set to expose *recurring* campaigns:
     // the same group surfacing in separated windows is a strong signal of

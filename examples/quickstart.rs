@@ -22,7 +22,10 @@ fn main() {
     // The time-range k-core query of Example 1: k = 2, range [1, 4].
     let query = TimeRangeKCoreQuery::new(2, TimeWindow::new(1, 4));
     let cores = query.enumerate(&graph);
-    println!("\nTemporal 2-cores in range [1, 4] (Figure 2): {}", cores.len());
+    println!(
+        "\nTemporal 2-cores in range [1, 4] (Figure 2): {}",
+        cores.len()
+    );
     for core in &cores {
         let vertex_labels: Vec<String> = core
             .vertices(&graph)
@@ -39,7 +42,10 @@ fn main() {
 
     // The two index structures behind the fast enumeration.
     let vct = VertexCoreTimeIndex::build(&graph, 2, graph.span());
-    println!("\nVertex core time index (Table I), |VCT| = {}:", vct.size());
+    println!(
+        "\nVertex core time index (Table I), |VCT| = {}:",
+        vct.size()
+    );
     for label in 1..=9u64 {
         let u = graph
             .labels()

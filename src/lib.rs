@@ -68,7 +68,8 @@ pub mod prelude {
     };
     pub use tkc_datasets::{DatasetProfile, DatasetStats, QueryWorkload, WorkloadConfig};
     pub use tkcore::{
-        Algorithm, CollectingSink, CountingSink, EdgeCoreSkyline, FrameworkStats, QueryStats,
-        ResultSink, TemporalKCore, TimeRangeKCoreQuery, VertexCoreTimeIndex,
+        Algorithm, BatchStats, CacheStats, CollectingSink, CountingSink, EdgeCoreSkyline,
+        EngineConfig, FrameworkStats, QueryEngine, QueryStats, ResultSink, TemporalKCore,
+        TimeRangeKCoreQuery, VertexCoreTimeIndex,
     };
 }

@@ -51,7 +51,10 @@ fn exact_equality_on_planted_bursts() {
     query.run_with(&graph, Algorithm::Otcd, &mut b);
     let a = a.into_sorted();
     let b = b.into_sorted();
-    assert!(!a.is_empty(), "planted bursts must produce temporal 3-cores");
+    assert!(
+        !a.is_empty(),
+        "planted bursts must produce temporal 3-cores"
+    );
     assert_eq!(a, b);
     for core in &a {
         assert!(core.is_valid_k_core(&graph, 3));

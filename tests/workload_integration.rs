@@ -66,7 +66,11 @@ fn workloads_drive_all_algorithms_within_budget() {
             let mut sink = CountingSink::default();
             let run = query.run_with(&graph, algo, &mut sink);
             assert_eq!(run.num_cores, sink.num_cores);
-            assert!(run.peak_memory_bytes < 1 << 30, "{} unexpectedly large", algo.name());
+            assert!(
+                run.peak_memory_bytes < 1 << 30,
+                "{} unexpectedly large",
+                algo.name()
+            );
         }
     }
 }
