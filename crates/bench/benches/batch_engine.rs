@@ -42,7 +42,7 @@ fn bench_batch_engine(c: &mut Criterion) {
         engine.warm(workload.k);
         group.bench_with_input(BenchmarkId::new("warm_batched", name), &engine, |b, eng| {
             b.iter(|| {
-                let (_, batch) = eng.run_batch(&queries);
+                let (_, batch) = eng.run_batch(&queries).expect("valid workload");
                 black_box(batch.total_cores)
             });
         });
@@ -60,7 +60,7 @@ fn bench_batch_engine(c: &mut Criterion) {
             &sequential,
             |b, eng| {
                 b.iter(|| {
-                    let (_, batch) = eng.run_batch(&queries);
+                    let (_, batch) = eng.run_batch(&queries).expect("valid workload");
                     black_box(batch.total_cores)
                 });
             },

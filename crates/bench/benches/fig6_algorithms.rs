@@ -19,7 +19,7 @@ fn bench_fig6(c: &mut Criterion) {
         let workload = QueryWorkload::generate(&graph, &config);
         let range = workload.ranges[0];
         let k = workload.k;
-        let query = TimeRangeKCoreQuery::new(k, range);
+        let query = TimeRangeKCoreQuery::new(k, range).expect("workload k >= 1");
 
         group.bench_with_input(BenchmarkId::new("CoreTime", name), &graph, |b, g| {
             b.iter(|| black_box(EdgeCoreSkyline::build(g, k, range)));

@@ -18,7 +18,7 @@ fn bench_vary_k(c: &mut Criterion) {
 
     for percent in [10u32, 20, 30, 40] {
         let k = stats.k_for_percent(percent);
-        let query = TimeRangeKCoreQuery::new(k, range);
+        let query = TimeRangeKCoreQuery::new(k, range).expect("workload k >= 1");
         for algo in [Algorithm::Enum, Algorithm::Otcd] {
             group.bench_with_input(
                 BenchmarkId::new(algo.name(), format!("k={percent}%")),

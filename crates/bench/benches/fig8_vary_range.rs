@@ -19,7 +19,7 @@ fn bench_vary_range(c: &mut Criterion) {
     for percent in [5u32, 10, 20, 40] {
         let len = stats.range_len_for_percent(percent).min(graph.tmax());
         let range = temporal_graph::TimeWindow::new(1, len);
-        let query = TimeRangeKCoreQuery::new(k, range);
+        let query = TimeRangeKCoreQuery::new(k, range).expect("workload k >= 1");
         for algo in [Algorithm::Enum, Algorithm::Otcd] {
             group.bench_with_input(
                 BenchmarkId::new(algo.name(), format!("range={percent}%")),

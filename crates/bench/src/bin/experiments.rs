@@ -268,7 +268,8 @@ fn varying(
                 let mut cores = 0u64;
                 let mut edges = 0u64;
                 for query in workload.queries() {
-                    let count = query.count(&graph);
+                    let mut count = CountingSink::default();
+                    query.run_with(&graph, Algorithm::Enum, &mut count);
                     cores += count.num_cores;
                     edges += count.total_edges;
                 }
@@ -353,7 +354,8 @@ fn fig9(num_queries: usize) -> Report {
         let mut cores = 0u64;
         let mut edges = 0u64;
         for query in workload.queries() {
-            let count = query.count(&graph);
+            let mut count = CountingSink::default();
+            query.run_with(&graph, Algorithm::Enum, &mut count);
             cores += count.num_cores;
             edges += count.total_edges;
         }
@@ -421,10 +423,14 @@ fn engine_batch(num_queries: usize) -> Report {
 
         let engine = tkcore::QueryEngine::new(graph.clone());
         let t1 = Instant::now();
-        let (_, first) = engine.run_batch(&queries);
+        let (_, first) = engine
+            .run_batch(&queries)
+            .expect("workload queries are valid");
         let first_time = t1.elapsed();
         let t2 = Instant::now();
-        let (_, warm) = engine.run_batch(&queries);
+        let (_, warm) = engine
+            .run_batch(&queries)
+            .expect("workload queries are valid");
         let warm_time = t2.elapsed();
         assert_eq!(
             cold_cores, first.total_cores,
@@ -467,7 +473,7 @@ fn fig12() -> Report {
         let Some(range) = workload.ranges.first().copied() else {
             continue;
         };
-        let query = TimeRangeKCoreQuery::new(workload.k, range);
+        let query = TimeRangeKCoreQuery::new(workload.k, range).expect("workload k >= 1");
         let mb = |bytes: usize| format!("{:.2}", bytes as f64 / (1024.0 * 1024.0));
         let mut cells = Vec::new();
         for algo in [Algorithm::Otcd, Algorithm::EnumBase, Algorithm::Enum] {

@@ -2,13 +2,21 @@
 //!
 //! The binary is a thin wrapper around [`run`]; keeping the logic in a
 //! library makes the argument parsing and command dispatch unit-testable.
+//! Queries are executed through the unified `tkcore` request API
+//! ([`tkcore::QueryRequest`] / [`tkcore::CoreBackend`]), so malformed input
+//! surfaces as a rendered [`tkcore::TkError`] and a nonzero exit code, never
+//! a panic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use tkc_datasets::{DatasetProfile, DatasetStats};
-use tkcore::{Algorithm, CollectingSink, CountingSink, TimeRangeKCoreQuery};
+use tkcore::{
+    Algorithm, CachedBackend, CoreBackend, CountingSink, KOutput, QueryEngine, QueryRequest,
+    TkError,
+};
 
 /// Errors reported to the CLI user.
 #[derive(Debug)]
@@ -28,6 +36,12 @@ impl From<temporal_graph::TemporalGraphError> for CliError {
     }
 }
 
+impl From<TkError> for CliError {
+    fn from(e: TkError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
 /// Usage text printed by `tkc help` and on argument errors.
 pub const USAGE: &str = "\
 tkc — time-range temporal k-core queries
@@ -36,13 +50,17 @@ USAGE:
   tkc stats <edge-list>
       Print |V|, |E|, tmax and kmax of a temporal edge-list file (`u v t` per line).
 
-  tkc query <edge-list> --k <K> [--start <TS>] [--end <TE>]
-            [--algorithm enum|enum-base|otcd] [--count-only] [--limit <N>]
+  tkc query <edge-list> (--k <K> | --k-range <MIN>..=<MAX>)
+            [--start <TS>] [--end <TE>] [--algo enum|enum-base|otcd|naive]
+            [--output count|full] [--limit <N>]
       Enumerate all distinct temporal k-cores in the range [TS, TE]
-      (default: the whole time span), printing each core's tightest time
-      interval, vertex count and edge count.
+      (default: the whole time span).  `--k-range` sweeps every k in the
+      inclusive range through one cached engine, building at most one
+      core-window index per k.  `--output count` reports counts only;
+      `--output full` (default) prints each core's tightest time interval,
+      vertex count and edge count.
 
-  tkc batch <edge-list> <queries-csv> [--algorithm enum|enum-base|otcd|naive]
+  tkc batch <edge-list> <queries-csv> [--algo enum|enum-base|otcd|naive]
             [--threads <N>] [--budget-mb <M>]
       Run a batch of queries through the cached query engine: one span-wide
       core-window index per k, restricted per query and fanned across
@@ -58,6 +76,24 @@ USAGE:
       List the available dataset profiles.
 ";
 
+/// What `tkc query` prints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputKind {
+    /// Counts only (cores and `|R|`), no materialisation.
+    Count,
+    /// Materialise and print each core (up to `--limit`).
+    Full,
+}
+
+/// Which `k` values a `tkc query` covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KSpec {
+    /// `--k K`
+    Single(usize),
+    /// `--k-range MIN..=MAX` (inclusive).
+    Range(usize, usize),
+}
+
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
@@ -70,17 +106,17 @@ pub enum Command {
     Query {
         /// Path of the edge-list file.
         path: String,
-        /// Query parameter `k`.
-        k: usize,
+        /// Query parameter(s): one `k` or an inclusive sweep.
+        ks: KSpec,
         /// Query range start (defaults to 1).
         start: Option<u32>,
         /// Query range end (defaults to the last timestamp).
         end: Option<u32>,
         /// Algorithm to run.
         algorithm: Algorithm,
-        /// Only report counts, do not materialise cores.
-        count_only: bool,
-        /// Print at most this many cores.
+        /// What to print.
+        output: OutputKind,
+        /// Print at most this many cores per `k`.
         limit: usize,
     },
     /// `tkc batch <file> <queries.csv> ...`
@@ -158,8 +194,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .ok_or_else(|| CliError(format!("{what} requires a value")))
                 };
                 match flag {
-                    "--algorithm" => {
-                        algorithm = parse_algorithm(value("--algorithm")?)?;
+                    "--algo" | "--algorithm" => {
+                        algorithm = value(flag)?.parse::<Algorithm>()?;
                         i += 1;
                     }
                     "--threads" => {
@@ -191,10 +227,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .ok_or_else(|| CliError("query requires an edge-list path".into()))?
                 .clone();
             let mut k: Option<usize> = None;
+            let mut k_range: Option<(usize, usize)> = None;
             let mut start = None;
             let mut end = None;
             let mut algorithm = Algorithm::Enum;
-            let mut count_only = false;
+            let mut output: Option<OutputKind> = None;
             let mut limit = 20usize;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
@@ -210,6 +247,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         k = Some(parse_num(value("--k")?, "--k")?);
                         i += 1;
                     }
+                    "--k-range" => {
+                        k_range = Some(parse_k_range(value("--k-range")?)?);
+                        i += 1;
+                    }
                     "--start" => {
                         start = Some(parse_num(value("--start")?, "--start")? as u32);
                         i += 1;
@@ -222,26 +263,46 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         limit = parse_num(value("--limit")?, "--limit")?;
                         i += 1;
                     }
-                    "--algorithm" => {
-                        algorithm = parse_algorithm(value("--algorithm")?)?;
+                    "--algo" | "--algorithm" => {
+                        algorithm = value(flag)?.parse::<Algorithm>()?;
                         i += 1;
                     }
-                    "--count-only" => count_only = true,
+                    "--output" => {
+                        output = Some(match value("--output")?.as_str() {
+                            "count" => OutputKind::Count,
+                            "full" => OutputKind::Full,
+                            other => {
+                                return Err(CliError(format!(
+                                    "--output: `{other}` is not count or full"
+                                )))
+                            }
+                        });
+                        i += 1;
+                    }
+                    "--count-only" => output = Some(OutputKind::Count),
                     other => return Err(CliError(format!("unknown flag `{other}`"))),
                 }
                 i += 1;
             }
-            let k = k.ok_or_else(|| CliError("query requires --k <K>".into()))?;
-            if k == 0 {
-                return Err(CliError("--k must be at least 1".into()));
-            }
+            let ks = match (k, k_range) {
+                (Some(_), Some(_)) => {
+                    return Err(CliError("--k and --k-range are mutually exclusive".into()))
+                }
+                (Some(k), None) => KSpec::Single(k),
+                (None, Some((lo, hi))) => KSpec::Range(lo, hi),
+                (None, None) => {
+                    return Err(CliError(
+                        "query requires --k <K> or --k-range <MIN>..=<MAX>".into(),
+                    ))
+                }
+            };
             Ok(Command::Query {
                 path,
-                k,
+                ks,
                 start,
                 end,
                 algorithm,
-                count_only,
+                output: output.unwrap_or(OutputKind::Full),
                 limit,
             })
         }
@@ -254,16 +315,26 @@ fn parse_num(s: &str, what: &str) -> Result<usize, CliError> {
         .map_err(|_| CliError(format!("{what}: `{s}` is not a number")))
 }
 
-fn parse_algorithm(s: &str) -> Result<Algorithm, CliError> {
-    match s {
-        "enum" => Ok(Algorithm::Enum),
-        "enum-base" => Ok(Algorithm::EnumBase),
-        "otcd" => Ok(Algorithm::Otcd),
-        "naive" => Ok(Algorithm::Naive),
-        other => Err(CliError(format!(
-            "unknown algorithm `{other}` (expected enum, enum-base, otcd, naive)"
-        ))),
+/// Parses an inclusive `k` range: `2..=5`, `2..5` or `2-5` all mean
+/// `{2, 3, 4, 5}`.
+fn parse_k_range(s: &str) -> Result<(usize, usize), CliError> {
+    let (lo, hi) = s
+        .split_once("..=")
+        .or_else(|| s.split_once(".."))
+        .or_else(|| s.split_once('-'))
+        .ok_or_else(|| {
+            CliError(format!(
+                "--k-range: `{s}` is not of the form MIN..=MAX (e.g. 2..=5)"
+            ))
+        })?;
+    let lo = parse_num(lo.trim(), "--k-range min")?;
+    let hi = parse_num(hi.trim(), "--k-range max")?;
+    if lo == 0 || lo > hi {
+        return Err(CliError(format!(
+            "--k-range: [{lo}, {hi}] is not a non-empty range of k >= 1"
+        )));
     }
+    Ok((lo, hi))
 }
 
 /// Parses a batch query CSV: one `k[,start,end]` query per line, blank lines
@@ -284,9 +355,6 @@ fn parse_query_csv(
         let k: usize = fields[0]
             .parse()
             .map_err(|_| err(format!("`{}` is not a valid k", fields[0])))?;
-        if k == 0 {
-            return Err(err("k must be at least 1".into()));
-        }
         let range = match fields.len() {
             1 => temporal_graph::TimeWindow::new(1, tmax.max(1)),
             3 => {
@@ -296,6 +364,11 @@ fn parse_query_csv(
                 let end: u32 = fields[2]
                     .parse()
                     .map_err(|_| err(format!("`{}` is not a valid end", fields[2])))?;
+                if start > tmax {
+                    return Err(err(format!(
+                        "range starts at {start}, past the graph's last timestamp {tmax}"
+                    )));
+                }
                 temporal_graph::TimeWindow::try_new(start, end)
                     .ok_or_else(|| err(format!("invalid range [{start}, {end}]")))?
             }
@@ -305,7 +378,7 @@ fn parse_query_csv(
                 )))
             }
         };
-        queries.push(tkcore::TimeRangeKCoreQuery::new(k, range));
+        queries.push(tkcore::TimeRangeKCoreQuery::new(k, range).map_err(|e| err(e.to_string()))?);
     }
     if queries.is_empty() {
         return Err(CliError("query CSV contains no queries".into()));
@@ -357,7 +430,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
             let content = std::fs::read_to_string(&queries)
                 .map_err(|e| CliError(format!("cannot read {queries}: {e}")))?;
             let parsed = parse_query_csv(&queries, &content, graph.tmax())?;
-            let engine = tkcore::QueryEngine::with_config(
+            let engine = QueryEngine::with_config(
                 graph,
                 tkcore::EngineConfig {
                     memory_budget_bytes: budget_mb * 1024 * 1024,
@@ -365,7 +438,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 },
             );
             let (results, batch) =
-                engine.run_batch_with(&parsed, algorithm, |_| CountingSink::default());
+                engine.run_batch_with(&parsed, algorithm, |_| CountingSink::default())?;
             let _ = writeln!(
                 out,
                 "{:<6} {:<14} {:>10} {:>12}",
@@ -385,7 +458,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
             let _ = writeln!(
                 out,
                 "\n{}: {} queries on {} threads in {:?} ({} cores, |R| = {} edges)",
-                algorithm.name(),
+                algorithm,
                 batch.num_queries,
                 batch.threads,
                 batch.wall_time,
@@ -423,58 +496,90 @@ pub fn run(command: Command) -> Result<String, CliError> {
         }
         Command::Query {
             path,
-            k,
+            ks,
             start,
             end,
             algorithm,
-            count_only,
+            output,
             limit,
         } => {
             let graph = temporal_graph::loader::read_edge_list(&path)?;
-            let range = temporal_graph::TimeWindow::try_new(
-                start.unwrap_or(1),
-                end.unwrap_or(graph.tmax()).min(graph.tmax()),
-            )
-            .ok_or_else(|| CliError("invalid query range".into()))?;
-            let query = TimeRangeKCoreQuery::new(k, range);
-            if count_only {
-                let mut sink = CountingSink::default();
-                let stats = query.run_with(&graph, algorithm, &mut sink);
+            let start = start.unwrap_or(1);
+            let end = end.unwrap_or_else(|| graph.tmax());
+            let request = match ks {
+                KSpec::Single(k) => QueryRequest::single(k, start, end),
+                KSpec::Range(lo, hi) => QueryRequest::sweep(lo..=hi, start, end),
+            };
+            let request = match output {
+                OutputKind::Count => request.count(),
+                OutputKind::Full => request.materialize(),
+            };
+            // A k-range sweep reuses one cached span-wide index per k; a
+            // single-k query runs the algorithm directly.
+            let (response, cache) = match ks {
+                KSpec::Range(..) => {
+                    let engine = Arc::new(QueryEngine::new(graph.clone()));
+                    let backend = CachedBackend::with_algorithm(Arc::clone(&engine), algorithm);
+                    // Run against the engine's own graph so the backend's
+                    // O(1) identity fast path applies.
+                    let response = request.run(engine.graph(), &backend)?;
+                    (response, Some(engine.cache_stats()))
+                }
+                KSpec::Single(_) => (request.run(&graph, &algorithm as &dyn CoreBackend)?, None),
+            };
+            for outcome in &response.outcomes {
+                let k = outcome.k;
+                match &outcome.output {
+                    KOutput::Counts(counts) => {
+                        let _ = writeln!(
+                            out,
+                            "{}: {} distinct temporal {}-cores in {}, |R| = {} edges ({:?})",
+                            algorithm,
+                            counts.num_cores,
+                            k,
+                            response.window,
+                            counts.total_edges,
+                            outcome.stats.total_time()
+                        );
+                    }
+                    KOutput::Cores(cores) => {
+                        let _ = writeln!(
+                            out,
+                            "{}: {} distinct temporal {}-cores in {} ({:?})",
+                            algorithm,
+                            cores.len(),
+                            k,
+                            response.window,
+                            outcome.stats.total_time()
+                        );
+                        for core in cores.iter().take(limit) {
+                            let _ = writeln!(
+                                out,
+                                "  TTI {:<12} {:>5} vertices {:>6} edges",
+                                core.tti.to_string(),
+                                core.vertices(&graph).len(),
+                                core.num_edges()
+                            );
+                        }
+                        if cores.len() > limit {
+                            let _ = writeln!(
+                                out,
+                                "  ... and {} more (use --limit)",
+                                cores.len() - limit
+                            );
+                        }
+                    }
+                    KOutput::Streamed => unreachable!("the CLI never requests streaming"),
+                }
+            }
+            if let Some(cache) = cache {
                 let _ = writeln!(
                     out,
-                    "{}: {} distinct temporal {}-cores in {}, |R| = {} edges ({:?})",
-                    algorithm.name(),
-                    sink.num_cores,
-                    k,
-                    range,
-                    sink.total_edges,
-                    stats.total_time()
+                    "index cache: {} misses over {} k values ({} hits)",
+                    cache.misses,
+                    response.outcomes.len(),
+                    cache.hits
                 );
-            } else {
-                let mut sink = CollectingSink::default();
-                let stats = query.run_with(&graph, algorithm, &mut sink);
-                let cores = sink.into_sorted();
-                let _ = writeln!(
-                    out,
-                    "{}: {} distinct temporal {}-cores in {} ({:?})",
-                    algorithm.name(),
-                    cores.len(),
-                    k,
-                    range,
-                    stats.total_time()
-                );
-                for core in cores.iter().take(limit) {
-                    let _ = writeln!(
-                        out,
-                        "  TTI {:<12} {:>5} vertices {:>6} edges",
-                        core.tti.to_string(),
-                        core.vertices(&graph).len(),
-                        core.num_edges()
-                    );
-                }
-                if cores.len() > limit {
-                    let _ = writeln!(out, "  ... and {} more (use --limit)", cores.len() - limit);
-                }
             }
         }
     }
@@ -504,52 +609,113 @@ mod tests {
     #[test]
     fn parses_query_flags() {
         let cmd = parse_args(&strings(&[
-            "query",
-            "g.txt",
-            "--k",
-            "3",
-            "--start",
-            "2",
-            "--end",
-            "9",
-            "--algorithm",
-            "otcd",
-            "--count-only",
-            "--limit",
-            "5",
+            "query", "g.txt", "--k", "3", "--start", "2", "--end", "9", "--algo", "otcd",
+            "--output", "count", "--limit", "5",
         ]))
         .unwrap();
         assert_eq!(
             cmd,
             Command::Query {
                 path: "g.txt".into(),
-                k: 3,
+                ks: KSpec::Single(3),
                 start: Some(2),
                 end: Some(9),
                 algorithm: Algorithm::Otcd,
-                count_only: true,
+                output: OutputKind::Count,
                 limit: 5,
+            }
+        );
+        // --algorithm and --count-only remain as aliases.
+        let legacy = parse_args(&strings(&[
+            "query",
+            "g.txt",
+            "--k",
+            "3",
+            "--algorithm",
+            "enum-base",
+            "--count-only",
+        ]))
+        .unwrap();
+        assert_eq!(
+            legacy,
+            Command::Query {
+                path: "g.txt".into(),
+                ks: KSpec::Single(3),
+                start: None,
+                end: None,
+                algorithm: Algorithm::EnumBase,
+                output: OutputKind::Count,
+                limit: 20,
             }
         );
     }
 
     #[test]
-    fn rejects_bad_arguments() {
-        assert!(parse_args(&strings(&["query", "g.txt"])).is_err()); // missing --k
-        assert!(parse_args(&strings(&["query", "g.txt", "--k", "0"])).is_err());
-        assert!(parse_args(&strings(&["query", "g.txt", "--k", "x"])).is_err());
+    fn parses_k_range_flag() {
+        for spelled in ["2..=5", "2..5", "2-5", " 2 ..= 5 "] {
+            let cmd = parse_args(&strings(&["query", "g.txt", "--k-range", spelled])).unwrap();
+            assert_eq!(
+                cmd,
+                Command::Query {
+                    path: "g.txt".into(),
+                    ks: KSpec::Range(2, 5),
+                    start: None,
+                    end: None,
+                    algorithm: Algorithm::Enum,
+                    output: OutputKind::Full,
+                    limit: 20,
+                },
+                "{spelled}"
+            );
+        }
+        assert!(parse_args(&strings(&["query", "g.txt", "--k-range", "5..=2"])).is_err());
+        assert!(parse_args(&strings(&["query", "g.txt", "--k-range", "0..=2"])).is_err());
+        assert!(parse_args(&strings(&["query", "g.txt", "--k-range", "7"])).is_err());
         assert!(parse_args(&strings(&[
             "query",
             "g.txt",
             "--k",
             "2",
-            "--algorithm",
-            "magic"
+            "--k-range",
+            "2..=3"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        assert!(parse_args(&strings(&["query", "g.txt"])).is_err()); // missing --k
+        assert!(parse_args(&strings(&["query", "g.txt", "--k", "x"])).is_err());
+        assert!(parse_args(&strings(&["query", "g.txt", "--k", "2", "--algo", "magic"])).is_err());
+        assert!(parse_args(&strings(&["query", "g.txt", "--k", "2", "--output", "wat"])).is_err());
         assert!(parse_args(&strings(&["frobnicate"])).is_err());
         assert!(parse_args(&strings(&["stats"])).is_err());
         assert!(parse_args(&strings(&["generate", "CM"])).is_err());
+    }
+
+    #[test]
+    fn zero_k_is_a_rendered_tk_error_not_a_panic() {
+        let dir = std::env::temp_dir().join("tkc-cli-zero-k");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fb.txt");
+        let path_str = path.to_string_lossy().to_string();
+        run(Command::Generate {
+            profile: "FB".into(),
+            output: path_str.clone(),
+        })
+        .unwrap();
+        let err = run(Command::Query {
+            path: path_str,
+            ks: KSpec::Single(0),
+            start: None,
+            end: None,
+            algorithm: Algorithm::Enum,
+            output: OutputKind::Count,
+            limit: 10,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("k = 0"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -574,15 +740,38 @@ mod tests {
 
         let out = run(Command::Query {
             path: path_str.clone(),
-            k: 3,
+            ks: KSpec::Single(3),
             start: None,
             end: None,
             algorithm: Algorithm::Enum,
-            count_only: true,
+            output: OutputKind::Count,
             limit: 10,
         })
         .unwrap();
         assert!(out.contains("distinct temporal 3-cores"));
+
+        // A k-range sweep prints one line per k plus the cache summary, and
+        // builds each index exactly once.
+        let out = run(Command::Query {
+            path: path_str.clone(),
+            ks: KSpec::Range(2, 4),
+            start: None,
+            end: None,
+            algorithm: Algorithm::Enum,
+            output: OutputKind::Count,
+            limit: 10,
+        })
+        .unwrap();
+        for k in 2..=4 {
+            assert!(
+                out.contains(&format!("distinct temporal {k}-cores")),
+                "{out}"
+            );
+        }
+        assert!(
+            out.contains("index cache: 3 misses over 3 k values"),
+            "{out}"
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -592,7 +781,7 @@ mod tests {
             "batch",
             "g.txt",
             "q.csv",
-            "--algorithm",
+            "--algo",
             "enum-base",
             "--threads",
             "4",
@@ -630,6 +819,12 @@ mod tests {
         assert!(parse_query_csv("q.csv", "2,5,1", 9).is_err());
         assert!(parse_query_csv("q.csv", "2,1", 9).is_err());
         assert!(parse_query_csv("q.csv", "x,1,5", 9).is_err());
+
+        // A past-tmax row is caught at parse time with the offending line,
+        // instead of failing the whole batch later without context.
+        let err = parse_query_csv("q.csv", "2,1,5\n2,50,60\n", 9).unwrap_err();
+        assert!(err.0.contains("line 2"), "{err}");
+        assert!(err.0.contains("past the graph"), "{err}");
     }
 
     #[test]
@@ -660,11 +855,9 @@ mod tests {
         // Cross-check one query against the one-shot path.
         let graph = temporal_graph::loader::read_edge_list(&graph_str).unwrap();
         let mut sink = CountingSink::default();
-        TimeRangeKCoreQuery::new(3, temporal_graph::TimeWindow::new(1, 120)).run_with(
-            &graph,
-            Algorithm::Enum,
-            &mut sink,
-        );
+        tkcore::TimeRangeKCoreQuery::new(3, temporal_graph::TimeWindow::new(1, 120))
+            .unwrap()
+            .run_with(&graph, Algorithm::Enum, &mut sink);
         let expected_row = format!(
             "{:<6} {:<14} {:>10} {:>12}",
             3, "[1, 120]", sink.num_cores, sink.total_edges

@@ -3,7 +3,7 @@
 //!
 //! The workspace builds in a sandbox without network access, so this crate
 //! reimplements the subset of the proptest API used by the test suites:
-//! the [`Strategy`] trait with range / tuple / `collection::vec` strategies
+//! the [`strategy::Strategy`] trait with range / tuple / `collection::vec` strategies
 //! and the `prop_filter_map` / `prop_map` adapters, the `proptest!` macro
 //! (including the `#![proptest_config(...)]` header), and the
 //! `prop_assert*` macros.
@@ -250,7 +250,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Number-of-elements specification for [`vec`].
+    /// Number-of-elements specification for [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

@@ -86,7 +86,9 @@ impl QueryWorkload {
 
     fn has_result(graph: &TemporalGraph, k: usize, range: TimeWindow) -> bool {
         let mut sink = CountingSink::default();
-        TimeRangeKCoreQuery::new(k, range).run_with(graph, tkcore::Algorithm::Enum, &mut sink);
+        TimeRangeKCoreQuery::new(k, range)
+            .expect("workload k >= 1")
+            .run_with(graph, tkcore::Algorithm::Enum, &mut sink);
         sink.num_cores > 0
     }
 
@@ -104,7 +106,7 @@ impl QueryWorkload {
     pub fn queries(&self) -> impl Iterator<Item = TimeRangeKCoreQuery> + '_ {
         self.ranges
             .iter()
-            .map(move |&r| TimeRangeKCoreQuery::new(self.k, r))
+            .map(move |&r| TimeRangeKCoreQuery::new(self.k, r).expect("workload k >= 1"))
     }
 }
 
@@ -146,7 +148,11 @@ mod tests {
         let workload = QueryWorkload::generate(&g, &config);
         let with_core = workload
             .queries()
-            .filter(|q| q.count(&g).num_cores > 0)
+            .filter(|q| {
+                let mut sink = CountingSink::default();
+                q.run_with(&g, tkcore::Algorithm::Enum, &mut sink);
+                sink.num_cores > 0
+            })
             .count();
         assert!(
             with_core >= workload.len() / 2,

@@ -1,0 +1,285 @@
+//! Pluggable query execution: the [`CoreBackend`] trait.
+//!
+//! The repository historically exposed three parallel entry points — free
+//! functions per algorithm, [`crate::TimeRangeKCoreQuery`] methods, and
+//! [`crate::QueryEngine`] — each with its own calling convention.
+//! `CoreBackend` unifies them behind one fallible seam: *something that can
+//! execute a validated `(k, window)` query against a graph, streaming cores
+//! into a sink*.  Callers and tests select execution by value instead of
+//! match-dispatching free functions:
+//!
+//! * every [`Algorithm`] variant is itself a backend (`Enum`, `EnumBase`,
+//!   `Otcd`, `Naive`) that builds whatever per-query state it needs;
+//! * [`CachedBackend`] wraps a shared [`QueryEngine`] so the same call shape
+//!   answers from the engine's span-wide skyline cache.
+//!
+//! [`crate::QueryRequest`] drives a backend for multi-`k` and `k`-range
+//! requests; [`crate::CoreService`] puts a queue in front of one.
+
+use std::sync::Arc;
+
+use crate::engine::QueryEngine;
+use crate::error::TkError;
+use crate::query::{Algorithm, QueryStats, TimeRangeKCoreQuery};
+use crate::sink::ResultSink;
+use temporal_graph::{TemporalGraph, TimeWindow};
+
+/// A query executor: runs one `(k, window)` time-range temporal k-core query
+/// against a graph, streaming every distinct core into `sink`.
+///
+/// Implementations validate their inputs and return a typed [`TkError`]
+/// instead of panicking: `k == 0` is [`TkError::KOutOfRange`] and a window
+/// starting past the graph's last timestamp is [`TkError::WindowPastTmax`].
+/// Windows overhanging the end of the span are clamped, matching the
+/// semantics of [`crate::QueryRequest::validate`].
+pub trait CoreBackend {
+    /// Short human-readable name for reports and error messages.
+    fn name(&self) -> &str;
+
+    /// Executes the query, returning per-phase statistics.
+    ///
+    /// # Errors
+    /// [`TkError::KOutOfRange`] for `k == 0`; [`TkError::WindowPastTmax`]
+    /// when `window` starts after `graph.tmax()`; backend-specific errors
+    /// such as [`TkError::GraphMismatch`] for [`CachedBackend`].
+    fn execute(
+        &self,
+        graph: &TemporalGraph,
+        k: usize,
+        window: TimeWindow,
+        sink: &mut dyn ResultSink,
+    ) -> Result<QueryStats, TkError>;
+}
+
+/// Validates `(k, window)` against `graph` and returns the window clamped to
+/// the graph span — the shared admission rule of every backend.
+pub(crate) fn validate_query(
+    graph: &TemporalGraph,
+    k: usize,
+    window: TimeWindow,
+) -> Result<TimeWindow, TkError> {
+    if k == 0 {
+        return Err(TkError::KOutOfRange { k });
+    }
+    // A constructed graph always has at least one edge, so tmax() >= 1;
+    // the max(1) below only guards the TimeWindow invariant.
+    let tmax = graph.tmax();
+    if window.start() > tmax.max(1) {
+        return Err(TkError::WindowPastTmax {
+            start: window.start(),
+            tmax,
+        });
+    }
+    Ok(TimeWindow::new(
+        window.start(),
+        window.end().min(tmax.max(1)),
+    ))
+}
+
+impl CoreBackend for Algorithm {
+    fn name(&self) -> &str {
+        Algorithm::name(self)
+    }
+
+    fn execute(
+        &self,
+        graph: &TemporalGraph,
+        k: usize,
+        window: TimeWindow,
+        sink: &mut dyn ResultSink,
+    ) -> Result<QueryStats, TkError> {
+        let clamped = validate_query(graph, k, window)?;
+        Ok(TimeRangeKCoreQuery::validated(k, clamped).run_with(graph, *self, sink))
+    }
+}
+
+/// A backend answering from a shared [`QueryEngine`]'s skyline cache.
+///
+/// Skyline-based algorithms reuse the engine's span-wide index per `k`
+/// (built at most once, asserted via [`crate::CacheStats`]); `Otcd` and
+/// `Naive` pass through to per-query execution.  Because cached skylines are
+/// graph-specific, [`CoreBackend::execute`] refuses with
+/// [`TkError::GraphMismatch`] when handed a graph other than
+/// [`QueryEngine::graph`].
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use tkcore::{paper_example, CachedBackend, CoreBackend, CountingSink, QueryEngine};
+/// use temporal_graph::TimeWindow;
+///
+/// let engine = Arc::new(QueryEngine::new(paper_example::graph()));
+/// let backend = CachedBackend::new(Arc::clone(&engine));
+/// let mut sink = CountingSink::default();
+/// let stats = backend
+///     .execute(engine.graph(), 2, TimeWindow::new(1, 4), &mut sink)
+///     .unwrap();
+/// assert_eq!(stats.num_cores, 2); // Figure 2 of the paper
+/// assert_eq!(engine.cache_stats().misses, 1);
+/// ```
+#[derive(Clone)]
+pub struct CachedBackend {
+    engine: Arc<QueryEngine>,
+    algorithm: Algorithm,
+}
+
+impl CachedBackend {
+    /// A cached backend running the paper's final algorithm (`Enum`).
+    pub fn new(engine: Arc<QueryEngine>) -> Self {
+        Self::with_algorithm(engine, Algorithm::Enum)
+    }
+
+    /// A cached backend running the chosen algorithm.
+    pub fn with_algorithm(engine: Arc<QueryEngine>, algorithm: Algorithm) -> Self {
+        Self { engine, algorithm }
+    }
+
+    /// The engine this backend answers from.
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// The algorithm this backend runs.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Is `graph` the graph this backend's engine serves?  Pointer identity
+    /// is the O(1) fast path — pass [`QueryEngine::graph`] to `execute` to
+    /// hit it.  An equal clone is also accepted, but proving equality costs
+    /// a full O(|E|) edge comparison per call, so hot paths should not rely
+    /// on it.
+    fn serves(&self, graph: &TemporalGraph) -> bool {
+        let own = self.engine.graph();
+        std::ptr::eq(own, graph)
+            || (own.num_vertices() == graph.num_vertices()
+                && own.num_edges() == graph.num_edges()
+                && own.tmax() == graph.tmax()
+                && own.edges() == graph.edges())
+    }
+}
+
+impl CoreBackend for CachedBackend {
+    fn name(&self) -> &str {
+        match self.algorithm {
+            Algorithm::Enum => "Cached(Enum)",
+            Algorithm::EnumBase => "Cached(EnumBase)",
+            Algorithm::Otcd => "Cached(OTCD)",
+            Algorithm::Naive => "Cached(Naive)",
+        }
+    }
+
+    fn execute(
+        &self,
+        graph: &TemporalGraph,
+        k: usize,
+        window: TimeWindow,
+        sink: &mut dyn ResultSink,
+    ) -> Result<QueryStats, TkError> {
+        if !self.serves(graph) {
+            return Err(TkError::GraphMismatch);
+        }
+        let clamped = validate_query(graph, k, window)?;
+        self.engine.run_with(
+            &TimeRangeKCoreQuery::validated(k, clamped),
+            self.algorithm,
+            sink,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+    use crate::sink::{CollectingSink, CountingSink};
+    use crate::TemporalKCore;
+
+    fn canonical(mut cores: Vec<TemporalKCore>) -> Vec<TemporalKCore> {
+        cores.sort_by(|a, b| a.tti.cmp(&b.tti).then_with(|| a.edges.cmp(&b.edges)));
+        cores
+    }
+
+    #[test]
+    fn every_algorithm_backend_matches_naive_on_the_paper_example() {
+        let g = paper_example::graph();
+        let expected = crate::naive::naive_results(&g, 2, paper_example::full_range());
+        for algo in Algorithm::ALL {
+            let mut sink = CollectingSink::default();
+            let stats = algo
+                .execute(&g, 2, paper_example::full_range(), &mut sink)
+                .unwrap();
+            assert_eq!(stats.num_cores as usize, expected.len(), "{algo}");
+            assert_eq!(canonical(sink.cores), expected, "{algo}");
+        }
+    }
+
+    #[test]
+    fn backends_reject_malformed_input_with_typed_errors() {
+        let g = paper_example::graph();
+        let mut sink = CountingSink::default();
+        assert!(matches!(
+            Algorithm::Enum.execute(&g, 0, paper_example::full_range(), &mut sink),
+            Err(TkError::KOutOfRange { k: 0 })
+        ));
+        let past = TimeWindow::new(g.tmax() + 1, g.tmax() + 5);
+        assert!(matches!(
+            Algorithm::Otcd.execute(&g, 2, past, &mut sink),
+            Err(TkError::WindowPastTmax { .. })
+        ));
+    }
+
+    #[test]
+    fn overhanging_windows_are_clamped_not_rejected() {
+        let g = paper_example::graph();
+        let mut overhang = CountingSink::default();
+        let stats = Algorithm::Enum
+            .execute(&g, 2, TimeWindow::new(1, 500), &mut overhang)
+            .unwrap();
+        let mut exact = CountingSink::default();
+        Algorithm::Enum
+            .execute(&g, 2, paper_example::full_range(), &mut exact)
+            .unwrap();
+        assert_eq!(overhang, exact);
+        assert_eq!(stats.num_cores, exact.num_cores);
+    }
+
+    #[test]
+    fn cached_backend_matches_direct_execution_and_caches() {
+        let g = paper_example::graph();
+        let engine = Arc::new(QueryEngine::new(g.clone()));
+        let backend = CachedBackend::new(Arc::clone(&engine));
+        assert_eq!(backend.algorithm(), Algorithm::Enum);
+        assert_eq!(backend.name(), "Cached(Enum)");
+        for window in [
+            paper_example::example_query_range(),
+            paper_example::full_range(),
+        ] {
+            let mut cached = CollectingSink::default();
+            backend.execute(&g, 2, window, &mut cached).unwrap();
+            let mut direct = CollectingSink::default();
+            Algorithm::Enum.execute(&g, 2, window, &mut direct).unwrap();
+            assert_eq!(canonical(cached.cores), canonical(direct.cores), "{window}");
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1, "one span-wide build for both windows");
+        assert!(stats.hits >= 1);
+    }
+
+    #[test]
+    fn cached_backend_refuses_a_foreign_graph() {
+        let g = paper_example::graph();
+        let engine = Arc::new(QueryEngine::new(g));
+        let backend = CachedBackend::new(engine);
+        let other = temporal_graph::TemporalGraphBuilder::new()
+            .with_edges([(0u64, 1u64, 1i64), (1, 2, 2), (0, 2, 2)])
+            .build()
+            .unwrap();
+        let mut sink = CountingSink::default();
+        assert!(matches!(
+            backend.execute(&other, 2, TimeWindow::new(1, 2), &mut sink),
+            Err(TkError::GraphMismatch)
+        ));
+    }
+}

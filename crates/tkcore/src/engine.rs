@@ -63,7 +63,9 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::ecs::EdgeCoreSkyline;
+use crate::error::TkError;
 use crate::query::{Algorithm, QueryStats, TimeRangeKCoreQuery};
+use crate::request::QueryRequest;
 use crate::sink::{CountingSink, ResultSink};
 use temporal_graph::TemporalGraph;
 
@@ -232,10 +234,10 @@ pub struct BatchStats {
 ///
 /// let engine = QueryEngine::new(paper_example::graph());
 /// let queries = [
-///     TimeRangeKCoreQuery::new(2, TimeWindow::new(1, 4)),
-///     TimeRangeKCoreQuery::new(2, TimeWindow::new(2, 7)),
+///     TimeRangeKCoreQuery::new(2, TimeWindow::new(1, 4)).unwrap(),
+///     TimeRangeKCoreQuery::new(2, TimeWindow::new(2, 7)).unwrap(),
 /// ];
-/// let (results, stats) = engine.run_batch(&queries);
+/// let (results, stats) = engine.run_batch(&queries).unwrap();
 /// assert_eq!(results[0].0.num_cores, 2); // Figure 2 of the paper
 /// assert_eq!(stats.num_queries, 2);
 /// // Both queries share one span-wide skyline for k = 2.
@@ -305,7 +307,14 @@ impl QueryEngine {
 
     /// Runs one query with the paper's final algorithm, streaming results
     /// into `sink`.
-    pub fn run(&self, query: &TimeRangeKCoreQuery, sink: &mut dyn ResultSink) -> QueryStats {
+    ///
+    /// # Errors
+    /// See [`QueryEngine::run_with`].
+    pub fn run(
+        &self,
+        query: &TimeRangeKCoreQuery,
+        sink: &mut dyn ResultSink,
+    ) -> Result<QueryStats, TkError> {
         self.run_with(query, Algorithm::Enum, sink)
     }
 
@@ -315,33 +324,45 @@ impl QueryEngine {
     /// the query range; `Otcd` and `Naive` have no reusable index and run
     /// exactly as [`TimeRangeKCoreQuery::run_with`] does (they participate
     /// in batches for comparison runs, not for speed).
+    ///
+    /// The query is routed through [`QueryRequest::validate`] first, so a
+    /// range starting past the graph's last timestamp is refused with
+    /// [`TkError::WindowPastTmax`] instead of silently producing an empty
+    /// stats row; a range merely overhanging the end is clamped.
+    ///
+    /// # Errors
+    /// The validation errors of [`QueryRequest::validate`].
     pub fn run_with(
         &self,
         query: &TimeRangeKCoreQuery,
         algorithm: Algorithm,
         sink: &mut dyn ResultSink,
+    ) -> Result<QueryStats, TkError> {
+        let range = query.range();
+        let validated =
+            QueryRequest::single(query.k(), range.start(), range.end()).validate(&self.graph)?;
+        Ok(self.run_validated(query.k(), validated.window(), algorithm, sink))
+    }
+
+    /// Executes a query whose parameters already passed validation (`k >= 1`,
+    /// window inside the graph span).
+    fn run_validated(
+        &self,
+        k: usize,
+        range: temporal_graph::TimeWindow,
+        algorithm: Algorithm,
+        sink: &mut dyn ResultSink,
     ) -> QueryStats {
-        let Some(range) = query.range().intersect(&self.graph.span()) else {
-            // The query range lies entirely outside the graph's span: no
-            // edges, no cores (mirrors the out-of-span early return of
-            // `EdgeCoreSkyline::build`).
-            return QueryStats {
-                algorithm,
-                num_cores: 0,
-                total_result_edges: 0,
-                precompute_time: Duration::ZERO,
-                enumerate_time: Duration::ZERO,
-                peak_memory_bytes: 0,
-            };
-        };
-        let clamped = TimeRangeKCoreQuery::new(query.k(), range);
+        let clamped = TimeRangeKCoreQuery::validated(k, range);
         match algorithm {
             Algorithm::Enum | Algorithm::EnumBase => {
                 let t0 = Instant::now();
-                let span_skyline = self.span_skyline(query.k());
+                let span_skyline = self.span_skyline(k);
                 let restricted = span_skyline.restrict(&self.graph, range);
                 let precompute_time = t0.elapsed();
-                let mut stats = clamped.run_with_skyline(&self.graph, &restricted, algorithm, sink);
+                let mut stats = clamped
+                    .run_with_skyline(&self.graph, &restricted, algorithm, sink)
+                    .expect("restricted skyline matches the clamped query by construction");
                 stats.precompute_time = precompute_time;
                 stats
             }
@@ -353,10 +374,13 @@ impl QueryEngine {
     ///
     /// Convenience wrapper over [`QueryEngine::run_batch_with`] with a
     /// [`CountingSink`] per query.
+    ///
+    /// # Errors
+    /// See [`QueryEngine::run_batch_with`].
     pub fn run_batch(
         &self,
         queries: &[TimeRangeKCoreQuery],
-    ) -> (Vec<(CountingSink, QueryStats)>, BatchStats) {
+    ) -> Result<(Vec<(CountingSink, QueryStats)>, BatchStats), TkError> {
         self.run_batch_with(queries, Algorithm::Enum, |_| CountingSink::default())
     }
 
@@ -366,24 +390,39 @@ impl QueryEngine {
     /// query order together with per-query [`QueryStats`] and aggregated
     /// [`BatchStats`].  Workers pull the next query index from a shared
     /// atomic counter, so long and short queries balance automatically.
+    ///
+    /// # Errors
+    /// Every query is validated up front (same rules as
+    /// [`QueryEngine::run_with`]); the first invalid query fails the whole
+    /// batch before any work starts, so a partially-executed batch is never
+    /// observable.
     pub fn run_batch_with<S, F>(
         &self,
         queries: &[TimeRangeKCoreQuery],
         algorithm: Algorithm,
         make_sink: F,
-    ) -> (Vec<(S, QueryStats)>, BatchStats)
+    ) -> Result<(Vec<(S, QueryStats)>, BatchStats), TkError>
     where
         S: ResultSink + Send,
         F: Fn(usize) -> S + Sync,
     {
         let t0 = Instant::now();
-        let threads = self.effective_threads(queries.len());
+        let validated: Vec<(usize, temporal_graph::TimeWindow)> = queries
+            .iter()
+            .map(|query| {
+                let range = query.range();
+                QueryRequest::single(query.k(), range.start(), range.end())
+                    .validate(&self.graph)
+                    .map(|v| (query.k(), v.window()))
+            })
+            .collect::<Result<_, TkError>>()?;
+        let threads = self.effective_threads(validated.len());
         let results: Vec<Mutex<Option<(S, QueryStats)>>> =
-            queries.iter().map(|_| Mutex::new(None)).collect();
+            validated.iter().map(|_| Mutex::new(None)).collect();
         if threads <= 1 {
-            for (i, query) in queries.iter().enumerate() {
+            for (i, &(k, window)) in validated.iter().enumerate() {
                 let mut sink = make_sink(i);
-                let stats = self.run_with(query, algorithm, &mut sink);
+                let stats = self.run_validated(k, window, algorithm, &mut sink);
                 *results[i].lock().expect("result slot") = Some((sink, stats));
             }
         } else {
@@ -392,11 +431,12 @@ impl QueryEngine {
                 for _ in 0..threads {
                     scope.spawn(|| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= queries.len() {
+                        if i >= validated.len() {
                             break;
                         }
+                        let (k, window) = validated[i];
                         let mut sink = make_sink(i);
-                        let stats = self.run_with(&queries[i], algorithm, &mut sink);
+                        let stats = self.run_validated(k, window, algorithm, &mut sink);
                         *results[i].lock().expect("result slot") = Some((sink, stats));
                     });
                 }
@@ -426,7 +466,7 @@ impl QueryEngine {
             batch.precompute_time += stats.precompute_time;
             batch.enumerate_time += stats.enumerate_time;
         }
-        (per_query, batch)
+        Ok((per_query, batch))
     }
 
     fn effective_threads(&self, num_queries: usize) -> usize {
@@ -482,12 +522,12 @@ mod tests {
                 TimeWindow::new(7, 7),
                 TimeWindow::new(1, 200),
             ] {
-                let query = TimeRangeKCoreQuery::new(k, range);
+                let query = TimeRangeKCoreQuery::new(k, range).unwrap();
                 for algo in Algorithm::ALL {
                     let mut fresh = CollectingSink::default();
                     query.run_with(&g, algo, &mut fresh);
                     let mut cached = CollectingSink::default();
-                    engine.run_with(&query, algo, &mut cached);
+                    engine.run_with(&query, algo, &mut cached).unwrap();
                     assert_eq!(
                         canonical(cached.cores),
                         canonical(fresh.cores),
@@ -504,17 +544,21 @@ mod tests {
         let g = graph();
         let engine = QueryEngine::new(g.clone());
         let mut sink = CountingSink::default();
-        engine.run(
-            &TimeRangeKCoreQuery::new(2, TimeWindow::new(2, 5)),
-            &mut sink,
-        );
+        engine
+            .run(
+                &TimeRangeKCoreQuery::new(2, TimeWindow::new(2, 5)).unwrap(),
+                &mut sink,
+            )
+            .unwrap();
         let stats = engine.cache_stats();
         assert_eq!((stats.hits, stats.misses), (0, 1));
         let mut sink = CountingSink::default();
-        engine.run(
-            &TimeRangeKCoreQuery::new(2, TimeWindow::new(3, 6)),
-            &mut sink,
-        );
+        engine
+            .run(
+                &TimeRangeKCoreQuery::new(2, TimeWindow::new(3, 6)).unwrap(),
+                &mut sink,
+            )
+            .unwrap();
         let stats = engine.cache_stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
         assert_eq!(stats.resident_indexes, 1);
@@ -534,7 +578,9 @@ mod tests {
         );
         for k in 1..=3 {
             let mut sink = CountingSink::default();
-            engine.run(&TimeRangeKCoreQuery::new(k, g.span()), &mut sink);
+            engine
+                .run(&TimeRangeKCoreQuery::new(k, g.span()).unwrap(), &mut sink)
+                .unwrap();
         }
         let stats = engine.cache_stats();
         assert_eq!(stats.misses, 3);
@@ -545,21 +591,37 @@ mod tests {
     }
 
     #[test]
-    fn out_of_span_queries_return_empty() {
+    fn out_of_span_queries_are_refused_with_a_typed_error() {
         let g = graph();
         let engine = QueryEngine::new(g.clone());
-        let past_the_end = TimeRangeKCoreQuery::new(2, TimeWindow::new(g.tmax() + 1, g.tmax() + 9));
+        let past_the_end =
+            TimeRangeKCoreQuery::new(2, TimeWindow::new(g.tmax() + 1, g.tmax() + 9)).unwrap();
         for algo in Algorithm::ALL {
             let mut sink = CountingSink::default();
-            let stats = engine.run_with(&past_the_end, algo, &mut sink);
+            let err = engine.run_with(&past_the_end, algo, &mut sink).unwrap_err();
+            assert!(
+                matches!(err, TkError::WindowPastTmax { start, tmax }
+                    if start == g.tmax() + 1 && tmax == g.tmax()),
+                "{}: {err}",
+                algo.name()
+            );
             assert_eq!(sink.num_cores, 0, "{}", algo.name());
-            assert_eq!(stats.num_cores, 0);
         }
         assert_eq!(
             engine.cache_stats().misses,
             0,
-            "no index built for empty ranges"
+            "no index built for refused queries"
         );
+        // A batch containing one bad query fails up front, executing nothing.
+        let queries = [
+            TimeRangeKCoreQuery::new(2, TimeWindow::new(1, 3)).unwrap(),
+            past_the_end,
+        ];
+        assert!(matches!(
+            engine.run_batch(&queries),
+            Err(TkError::WindowPastTmax { .. })
+        ));
+        assert_eq!(engine.cache_stats().misses, 0);
     }
 
     #[test]
@@ -568,14 +630,15 @@ mod tests {
         let engine = QueryEngine::new(g.clone());
         let queries: Vec<TimeRangeKCoreQuery> = (1..=g.tmax())
             .flat_map(|s| {
-                (s..=g.tmax()).map(move |e| TimeRangeKCoreQuery::new(2, TimeWindow::new(s, e)))
+                (s..=g.tmax())
+                    .map(move |e| TimeRangeKCoreQuery::new(2, TimeWindow::new(s, e)).unwrap())
             })
             .collect();
         // Pre-warm so the miss counter below is deterministic even when the
         // batch fans across several workers (concurrent cold queries for one
         // k may otherwise each count a miss — the documented build race).
         engine.warm(2);
-        let (results, batch) = engine.run_batch(&queries);
+        let (results, batch) = engine.run_batch(&queries).unwrap();
         assert_eq!(results.len(), queries.len());
         assert_eq!(batch.num_queries, queries.len());
         let mut expected_cores = 0u64;
@@ -606,12 +669,14 @@ mod tests {
                 ..EngineConfig::default()
             },
         );
-        let queries = vec![TimeRangeKCoreQuery::new(2, g.span()); 7];
-        let (results, batch) = engine.run_batch_with(&queries, Algorithm::Enum, |i| {
-            let mut sink = CollectingSink::default();
-            sink.cores.reserve(i); // exercise the index argument
-            sink
-        });
+        let queries = vec![TimeRangeKCoreQuery::new(2, g.span()).unwrap(); 7];
+        let (results, batch) = engine
+            .run_batch_with(&queries, Algorithm::Enum, |i| {
+                let mut sink = CollectingSink::default();
+                sink.cores.reserve(i); // exercise the index argument
+                sink
+            })
+            .unwrap();
         assert_eq!(batch.threads, 3);
         let first = canonical(results[0].0.cores.clone());
         for (sink, _) in &results {

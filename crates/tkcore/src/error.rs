@@ -1,0 +1,197 @@
+//! Structured errors for the fallible query API.
+//!
+//! Every public entry point of the unified query surface —
+//! [`crate::QueryRequest::validate`], [`crate::CoreBackend::execute`],
+//! [`crate::QueryEngine::run_with`], [`crate::CoreService::submit`] — returns
+//! `Result<_, TkError>` instead of panicking or silently clamping degenerate
+//! input.  The variants mirror the ways a `(k, [Ts, Te])` query can be
+//! malformed or refused, so callers (the CLI, a serving layer) can render or
+//! route them without string matching.
+
+use crate::query::Algorithm;
+use std::fmt;
+use temporal_graph::Timestamp;
+
+/// Error type of the unified time-range temporal k-core query API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TkError {
+    /// The query parameter `k` is outside the meaningful range (`k >= 1`; a
+    /// 0-core is the whole projected graph, not a cohesive-subgraph query).
+    KOutOfRange {
+        /// The rejected value.
+        k: usize,
+    },
+    /// A multi-`k` request selected no `k` at all (an empty set, or an
+    /// inverted `k` range such as `4..=2`).
+    EmptyKSelection,
+    /// The requested window `[start, end]` covers no timestamp: `start`
+    /// is zero (timestamps are 1-based) or exceeds `end`.
+    EmptyWindow {
+        /// Requested window start.
+        start: Timestamp,
+        /// Requested window end.
+        end: Timestamp,
+    },
+    /// The requested window starts after the graph's last timestamp, so no
+    /// edge occurrence can fall inside it.
+    WindowPastTmax {
+        /// Requested window start.
+        start: Timestamp,
+        /// The graph's last timestamp.
+        tmax: Timestamp,
+    },
+    /// An admission-control budget was hit; the request was refused rather
+    /// than queued or executed.
+    BudgetExceeded {
+        /// The exhausted resource (`"request queue"`, `"cache memory"`).
+        resource: &'static str,
+        /// The configured limit in the resource's natural unit.
+        limit: usize,
+    },
+    /// A precomputed [`crate::EdgeCoreSkyline`] was supplied for different
+    /// query parameters than the query being executed.
+    SkylineMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// The chosen algorithm cannot perform the requested operation (e.g.
+    /// `Otcd` and `Naive` cannot run from a precomputed skyline).
+    UnsupportedAlgorithm {
+        /// The algorithm that was asked to do the work.
+        algorithm: Algorithm,
+        /// The operation it does not support.
+        operation: &'static str,
+    },
+    /// An algorithm name did not parse (see [`Algorithm`]'s `FromStr`).
+    UnknownAlgorithm {
+        /// The unparseable input.
+        name: String,
+    },
+    /// A [`crate::CachedBackend`] was handed a graph other than the one its
+    /// engine serves; cached skylines would be silently wrong for it.
+    GraphMismatch,
+    /// The [`crate::CoreService`] worker has shut down; the request cannot
+    /// be accepted or its reply was dropped.
+    ServiceStopped,
+    /// An I/O error while loading inputs or persisting outputs.
+    Io {
+        /// The rendered underlying error.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TkError::KOutOfRange { k } => {
+                write!(
+                    f,
+                    "k = {k} is out of range (temporal k-core queries require k >= 1)"
+                )
+            }
+            TkError::EmptyKSelection => write!(f, "the request selects no k at all"),
+            TkError::EmptyWindow { start, end } => write!(
+                f,
+                "window [{start}, {end}] is empty (timestamps are 1-based and start <= end)"
+            ),
+            TkError::WindowPastTmax { start, tmax } => write!(
+                f,
+                "window starts at {start}, past the graph's last timestamp {tmax}"
+            ),
+            TkError::BudgetExceeded { resource, limit } => {
+                write!(
+                    f,
+                    "{resource} budget exceeded (limit {limit}); request rejected"
+                )
+            }
+            TkError::SkylineMismatch { detail } => {
+                write!(f, "skyline does not match the query: {detail}")
+            }
+            TkError::UnsupportedAlgorithm {
+                algorithm,
+                operation,
+            } => write!(f, "algorithm {algorithm} does not support {operation}"),
+            TkError::UnknownAlgorithm { name } => write!(
+                f,
+                "unknown algorithm `{name}` (expected enum, enum-base, otcd or naive)"
+            ),
+            TkError::GraphMismatch => {
+                write!(
+                    f,
+                    "backend executed against a different graph than it serves"
+                )
+            }
+            TkError::ServiceStopped => write!(f, "the query service has shut down"),
+            TkError::Io { detail } => write!(f, "I/O error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TkError {}
+
+impl From<std::io::Error> for TkError {
+    fn from(e: std::io::Error) -> Self {
+        TkError::Io {
+            detail: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let cases: Vec<(TkError, &str)> = vec![
+            (TkError::KOutOfRange { k: 0 }, "k = 0"),
+            (TkError::EmptyKSelection, "no k"),
+            (TkError::EmptyWindow { start: 5, end: 2 }, "[5, 2]"),
+            (
+                TkError::WindowPastTmax { start: 9, tmax: 7 },
+                "past the graph",
+            ),
+            (
+                TkError::BudgetExceeded {
+                    resource: "request queue",
+                    limit: 1,
+                },
+                "request queue",
+            ),
+            (
+                TkError::UnsupportedAlgorithm {
+                    algorithm: Algorithm::Otcd,
+                    operation: "skyline execution",
+                },
+                "OTCD",
+            ),
+            (
+                TkError::UnknownAlgorithm {
+                    name: "magic".into(),
+                },
+                "`magic`",
+            ),
+            (TkError::GraphMismatch, "different graph"),
+            (TkError::ServiceStopped, "shut down"),
+            (
+                TkError::Io {
+                    detail: "gone".into(),
+                },
+                "gone",
+            ),
+        ];
+        for (err, needle) in cases {
+            let rendered = err.to_string();
+            assert!(rendered.contains(needle), "{rendered:?} vs {needle:?}");
+        }
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err: TkError = io.into();
+        assert!(matches!(err, TkError::Io { .. }));
+        assert!(err.to_string().contains("missing"));
+    }
+}

@@ -5,7 +5,54 @@
 //! and a query time range `[Ts, Te]`, enumerate every distinct temporal
 //! k-core appearing in the snapshot of any sub-window `[ts, te] ⊆ [Ts, Te]`.
 //!
-//! # Components
+//! # The unified query surface
+//!
+//! All execution goes through three pieces:
+//!
+//! * [`QueryRequest`] — a typed, fallible request builder covering the
+//!   paper's single-`k` query plus multi-`k` sets and `k`-range sweeps,
+//!   crossed with an [`OutputMode`] (materialize / count / stream).
+//!   [`QueryRequest::validate`] turns malformed input into a structured
+//!   [`TkError`] instead of a panic;
+//! * [`CoreBackend`] — pluggable execution: every [`Algorithm`] variant
+//!   (`Enum`, `EnumBase`, `Otcd`, `Naive`) is a backend, and
+//!   [`CachedBackend`] answers from a shared [`QueryEngine`]'s span-wide
+//!   skyline cache so repeated and swept queries build each index at most
+//!   once;
+//! * [`CoreService`] — a thread-backed serving front end with a bounded
+//!   request queue, admission control ([`TkError::BudgetExceeded`]), and
+//!   per-request [`RequestId`] + latency accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use tkcore::{paper_example, Algorithm, KOutput, QueryRequest};
+//!
+//! let graph = paper_example::graph();
+//! // The paper's query: all temporal 2-cores in any sub-window of [1, 4].
+//! let response = QueryRequest::single(2, 1, 4)
+//!     .materialize()
+//!     .run(&graph, &Algorithm::Enum)
+//!     .unwrap();
+//! let KOutput::Cores(cores) = &response.outcomes[0].output else { unreachable!() };
+//! assert_eq!(cores.len(), 2); // Figure 2 of the paper
+//! ```
+//!
+//! A `k`-range sweep served from the cache, one skyline build per `k`:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tkcore::{paper_example, CachedBackend, QueryEngine, QueryRequest};
+//!
+//! let graph = paper_example::graph();
+//! let engine = Arc::new(QueryEngine::new(graph.clone()));
+//! let backend = CachedBackend::new(Arc::clone(&engine));
+//! let response = QueryRequest::sweep(1..=3, 1, 7).run(&graph, &backend).unwrap();
+//! assert_eq!(response.outcomes.len(), 3);           // per-k stats
+//! assert_eq!(engine.cache_stats().misses, 3);       // ≤ 1 build per k
+//! ```
+//!
+//! # Algorithmic components
 //!
 //! * [`VertexCoreTimeIndex`] / [`CoreTimeSweep`] — vertex core times
 //!   (Definition 4) computed with an incremental start-time sweep;
@@ -17,48 +64,49 @@
 //!   framework;
 //! * [`run_otcd`] — the OTCD state-of-the-art competitor (Algorithm 1);
 //! * [`naive_results`] — a brute-force reference used for testing;
-//! * [`TimeRangeKCoreQuery`] — the high-level entry point tying it together;
-//! * [`QueryEngine`] — a cached batch-query engine that reuses one span-wide
-//!   skyline per `k` across every sub-range query, with parallel batching.
+//! * [`QueryEngine`] — the cached batch-query engine underneath
+//!   [`CachedBackend`] and [`CoreService`].
 //!
-//! # Example
-//!
-//! ```
-//! use tkcore::{TimeRangeKCoreQuery, paper_example};
-//! use temporal_graph::TimeWindow;
-//!
-//! let graph = paper_example::graph();
-//! let query = TimeRangeKCoreQuery::new(2, TimeWindow::new(1, 4));
-//! let cores = query.enumerate(&graph);
-//! assert_eq!(cores.len(), 2); // Figure 2 of the paper
-//! ```
+//! The pre-redesign entry points [`TimeRangeKCoreQuery::enumerate`] and
+//! [`TimeRangeKCoreQuery::count`] remain as deprecated shims for one
+//! release; see `CHANGES.md` for the migration table.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod ecs;
 pub mod engine;
 mod enum_base;
 mod enumerate;
+mod error;
 mod historical;
 pub mod naive;
 mod otcd;
 pub mod paper_example;
 mod query;
+mod request;
 mod result;
+pub mod service;
 mod sink;
 mod stats;
 mod vct;
 
+pub use backend::{CachedBackend, CoreBackend};
 pub use ecs::EdgeCoreSkyline;
 pub use engine::{BatchStats, CacheStats, EngineConfig, QueryEngine};
 pub use enum_base::{enumerate_base, enumerate_base_from_graph, EnumBaseStats};
 pub use enumerate::{enumerate, enumerate_from_graph, EnumStats};
+pub use error::TkError;
 pub use historical::{historical_core_from_skyline, HistoricalKCoreIndex};
 pub use naive::{core_edges_of_window, enumerate_naive, naive_results};
 pub use otcd::{run_otcd, OtcdStats};
 pub use query::{Algorithm, QueryStats, TimeRangeKCoreQuery};
+pub use request::{
+    KOutcome, KOutput, KSelection, OutputMode, QueryRequest, QueryResponse, ValidatedRequest,
+};
 pub use result::TemporalKCore;
+pub use service::{CoreService, RequestId, ServiceConfig, ServiceReply, ServiceStats, Ticket};
 pub use sink::{CollectingSink, CountingSink, FnSink, ResultSink};
 pub use stats::FrameworkStats;
 pub use vct::{CoreTimeSweep, VertexCoreTimeIndex};

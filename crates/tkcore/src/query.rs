@@ -1,17 +1,22 @@
-//! High-level query API.
+//! Query parameters and per-execution statistics.
 //!
 //! [`TimeRangeKCoreQuery`] bundles the two query parameters of the paper's
 //! problem statement — the integer `k` and the time range `[Ts, Te]` — and
 //! runs any of the implemented algorithms against a [`TemporalGraph`],
-//! reporting per-phase timings and memory estimates.
+//! reporting per-phase timings and memory estimates.  It is the low-level
+//! carrier used by [`crate::QueryEngine`]; application code should prefer the
+//! richer, fallible [`crate::QueryRequest`] front end.
 
 use crate::ecs::EdgeCoreSkyline;
 use crate::enum_base::enumerate_base;
 use crate::enumerate::enumerate;
+use crate::error::TkError;
 use crate::naive::enumerate_naive;
 use crate::otcd::run_otcd;
 use crate::result::TemporalKCore;
 use crate::sink::{CollectingSink, CountingSink, ResultSink};
+use std::fmt;
+use std::str::FromStr;
 use std::time::{Duration, Instant};
 use temporal_graph::{TemporalGraph, TimeWindow};
 
@@ -50,6 +55,34 @@ impl Algorithm {
     }
 }
 
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Algorithm {
+    type Err = TkError;
+
+    /// Parses an algorithm name case-insensitively, ignoring `-` and `_`
+    /// separators: `enum`, `Enum-Base`, `enumbase`, `OTCD`, `naive` all work,
+    /// so every [`Algorithm::name`] round-trips.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let folded: String = s
+            .chars()
+            .filter(|c| *c != '-' && *c != '_')
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        match folded.as_str() {
+            "enum" => Ok(Algorithm::Enum),
+            "enumbase" => Ok(Algorithm::EnumBase),
+            "otcd" => Ok(Algorithm::Otcd),
+            "naive" => Ok(Algorithm::Naive),
+            _ => Err(TkError::UnknownAlgorithm { name: s.into() }),
+        }
+    }
+}
+
 /// Timings, counts and memory estimates of one query execution.
 #[derive(Debug, Clone, Copy)]
 pub struct QueryStats {
@@ -73,6 +106,17 @@ impl QueryStats {
     pub fn total_time(&self) -> Duration {
         self.precompute_time + self.enumerate_time
     }
+
+    pub(crate) fn zeroed(algorithm: Algorithm) -> Self {
+        QueryStats {
+            algorithm,
+            num_cores: 0,
+            total_result_edges: 0,
+            precompute_time: Duration::ZERO,
+            enumerate_time: Duration::ZERO,
+            peak_memory_bytes: 0,
+        }
+    }
 }
 
 /// A time-range temporal k-core query: all distinct temporal k-cores of any
@@ -86,11 +130,20 @@ pub struct TimeRangeKCoreQuery {
 impl TimeRangeKCoreQuery {
     /// Creates a query for parameter `k` over the given time range.
     ///
-    /// # Panics
-    /// Panics if `k == 0` (a 0-core is the whole projected graph and is not a
-    /// meaningful cohesive-subgraph query).
-    pub fn new(k: usize, range: TimeWindow) -> Self {
-        assert!(k >= 1, "temporal k-core queries require k >= 1");
+    /// # Errors
+    /// Returns [`TkError::KOutOfRange`] if `k == 0` (a 0-core is the whole
+    /// projected graph and is not a meaningful cohesive-subgraph query).
+    pub fn new(k: usize, range: TimeWindow) -> Result<Self, TkError> {
+        if k == 0 {
+            return Err(TkError::KOutOfRange { k });
+        }
+        Ok(Self { k, range })
+    }
+
+    /// Internal constructor for parameters already validated elsewhere
+    /// (`k >= 1` guaranteed by the caller).
+    pub(crate) fn validated(k: usize, range: TimeWindow) -> Self {
+        debug_assert!(k >= 1);
         Self { k, range }
     }
 
@@ -106,6 +159,11 @@ impl TimeRangeKCoreQuery {
 
     /// Enumerates all distinct temporal k-cores with the paper's final
     /// algorithm and returns them in canonical order.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `QueryRequest::single(k, start, end).run(graph, &Algorithm::Enum)` \
+                and read `QueryResponse` instead"
+    )]
     pub fn enumerate(&self, graph: &TemporalGraph) -> Vec<TemporalKCore> {
         let mut sink = CollectingSink::default();
         self.run_with(graph, Algorithm::Enum, &mut sink);
@@ -114,6 +172,11 @@ impl TimeRangeKCoreQuery {
 
     /// Counts results (number of cores and total result size `|R|`) without
     /// materialising them.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `QueryRequest::single(k, start, end).count().run(graph, &Algorithm::Enum)` \
+                and read `QueryResponse` instead"
+    )]
     pub fn count(&self, graph: &TemporalGraph) -> CountingSink {
         let mut sink = CountingSink::default();
         self.run_with(graph, Algorithm::Enum, &mut sink);
@@ -128,8 +191,9 @@ impl TimeRangeKCoreQuery {
     /// elsewhere (built directly, or restricted from a cached superset-range
     /// index by [`crate::QueryEngine`]).
     ///
-    /// # Panics
-    /// Panics if the skyline's parameters do not match the query, or if
+    /// # Errors
+    /// Returns [`TkError::SkylineMismatch`] if the skyline's parameters do
+    /// not match the query, and [`TkError::UnsupportedAlgorithm`] if
     /// `algorithm` is not skyline-based (`Otcd` and `Naive` have no
     /// precomputed index to run from).
     pub fn run_with_skyline(
@@ -138,21 +202,26 @@ impl TimeRangeKCoreQuery {
         skyline: &EdgeCoreSkyline,
         algorithm: Algorithm,
         sink: &mut dyn ResultSink,
-    ) -> QueryStats {
-        assert_eq!(skyline.k(), self.k, "skyline built for a different k");
-        assert_eq!(
-            skyline.range(),
-            self.range,
-            "skyline built for a different range"
-        );
-        let mut stats = QueryStats {
-            algorithm,
-            num_cores: 0,
-            total_result_edges: 0,
-            precompute_time: Duration::ZERO,
-            enumerate_time: Duration::ZERO,
-            peak_memory_bytes: 0,
-        };
+    ) -> Result<QueryStats, TkError> {
+        if skyline.k() != self.k {
+            return Err(TkError::SkylineMismatch {
+                detail: format!(
+                    "skyline built for k = {}, query has k = {}",
+                    skyline.k(),
+                    self.k
+                ),
+            });
+        }
+        if skyline.range() != self.range {
+            return Err(TkError::SkylineMismatch {
+                detail: format!(
+                    "skyline built for range {}, query has range {}",
+                    skyline.range(),
+                    self.range
+                ),
+            });
+        }
+        let mut stats = QueryStats::zeroed(algorithm);
         let t0 = Instant::now();
         let run = match algorithm {
             Algorithm::Enum => enumerate(graph, skyline, sink),
@@ -165,33 +234,33 @@ impl TimeRangeKCoreQuery {
                     peak_memory_bytes: base.peak_memory_bytes,
                 }
             }
-            other => panic!(
-                "run_with_skyline requires a skyline-based algorithm, got {}",
-                other.name()
-            ),
+            other => {
+                return Err(TkError::UnsupportedAlgorithm {
+                    algorithm: other,
+                    operation: "execution from a precomputed skyline",
+                })
+            }
         };
         stats.enumerate_time = t0.elapsed();
         stats.num_cores = run.num_cores;
         stats.total_result_edges = run.total_edges;
         stats.peak_memory_bytes = run.peak_memory_bytes;
-        stats
+        Ok(stats)
     }
 
     /// Runs the chosen algorithm, streaming results into `sink`.
+    ///
+    /// This never panics: the constructor guarantees `k >= 1`, and ranges
+    /// reaching past the graph's last timestamp simply yield no results (the
+    /// skyline build returns an empty index for them).  For typed rejection
+    /// of degenerate windows, go through [`crate::QueryRequest`] instead.
     pub fn run_with(
         &self,
         graph: &TemporalGraph,
         algorithm: Algorithm,
         sink: &mut dyn ResultSink,
     ) -> QueryStats {
-        let mut stats = QueryStats {
-            algorithm,
-            num_cores: 0,
-            total_result_edges: 0,
-            precompute_time: Duration::ZERO,
-            enumerate_time: Duration::ZERO,
-            peak_memory_bytes: 0,
-        };
+        let mut stats = QueryStats::zeroed(algorithm);
         match algorithm {
             Algorithm::Enum => {
                 let t0 = Instant::now();
@@ -263,13 +332,15 @@ mod tests {
     use crate::paper_example;
 
     #[test]
-    fn enumerate_returns_figure_2_results() {
+    fn deprecated_shims_still_return_figure_2_results() {
         let g = paper_example::graph();
-        let query = TimeRangeKCoreQuery::new(2, paper_example::example_query_range());
+        let query = TimeRangeKCoreQuery::new(2, paper_example::example_query_range()).unwrap();
         assert_eq!(query.k(), 2);
         assert_eq!(query.range(), paper_example::example_query_range());
+        #[allow(deprecated)]
         let cores = query.enumerate(&g);
         assert_eq!(cores.len(), 2);
+        #[allow(deprecated)]
         let count = query.count(&g);
         assert_eq!(count.num_cores, 2);
         assert_eq!(count.total_edges, 9); // 6 + 3 edges (Figure 2)
@@ -278,7 +349,7 @@ mod tests {
     #[test]
     fn all_algorithms_produce_identical_counts() {
         let g = paper_example::graph();
-        let query = TimeRangeKCoreQuery::new(2, paper_example::full_range());
+        let query = TimeRangeKCoreQuery::new(2, paper_example::full_range()).unwrap();
         let mut counts = Vec::new();
         for algo in Algorithm::ALL {
             let mut sink = CountingSink::default();
@@ -295,9 +366,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn zero_k_is_rejected() {
-        let _ = TimeRangeKCoreQuery::new(0, TimeWindow::new(1, 5));
+    fn zero_k_is_a_typed_error() {
+        let err = TimeRangeKCoreQuery::new(0, TimeWindow::new(1, 5)).unwrap_err();
+        assert_eq!(err, TkError::KOutOfRange { k: 0 });
+    }
+
+    #[test]
+    fn run_with_skyline_rejects_mismatches_and_indexless_algorithms() {
+        let g = paper_example::graph();
+        let skyline = EdgeCoreSkyline::build(&g, 2, paper_example::full_range());
+        let wrong_k = TimeRangeKCoreQuery::new(3, paper_example::full_range()).unwrap();
+        let mut sink = CountingSink::default();
+        assert!(matches!(
+            wrong_k.run_with_skyline(&g, &skyline, Algorithm::Enum, &mut sink),
+            Err(TkError::SkylineMismatch { .. })
+        ));
+        let wrong_range =
+            TimeRangeKCoreQuery::new(2, paper_example::example_query_range()).unwrap();
+        assert!(matches!(
+            wrong_range.run_with_skyline(&g, &skyline, Algorithm::Enum, &mut sink),
+            Err(TkError::SkylineMismatch { .. })
+        ));
+        let matching = TimeRangeKCoreQuery::new(2, paper_example::full_range()).unwrap();
+        assert!(matches!(
+            matching.run_with_skyline(&g, &skyline, Algorithm::Otcd, &mut sink),
+            Err(TkError::UnsupportedAlgorithm { .. })
+        ));
+        assert!(matching
+            .run_with_skyline(&g, &skyline, Algorithm::Enum, &mut sink)
+            .is_ok());
     }
 
     #[test]
@@ -307,5 +404,34 @@ mod tests {
         assert_eq!(Algorithm::Otcd.name(), "OTCD");
         assert_eq!(Algorithm::Naive.name(), "Naive");
         assert_eq!(Algorithm::ALL.len(), 4);
+    }
+
+    #[test]
+    fn algorithm_display_round_trips_through_from_str() {
+        for algo in Algorithm::ALL {
+            let rendered = algo.to_string();
+            assert_eq!(rendered, algo.name());
+            assert_eq!(rendered.parse::<Algorithm>().unwrap(), algo, "{rendered}");
+        }
+    }
+
+    #[test]
+    fn algorithm_parsing_is_case_and_separator_insensitive() {
+        for (input, expected) in [
+            ("enum", Algorithm::Enum),
+            ("ENUM", Algorithm::Enum),
+            ("enum-base", Algorithm::EnumBase),
+            ("enum_base", Algorithm::EnumBase),
+            ("EnumBase", Algorithm::EnumBase),
+            ("otcd", Algorithm::Otcd),
+            ("OTCD", Algorithm::Otcd),
+            ("Naive", Algorithm::Naive),
+        ] {
+            assert_eq!(input.parse::<Algorithm>().unwrap(), expected, "{input}");
+        }
+        assert!(matches!(
+            "magic".parse::<Algorithm>(),
+            Err(TkError::UnknownAlgorithm { name }) if name == "magic"
+        ));
     }
 }

@@ -1,0 +1,508 @@
+//! A thread-backed serving front end: [`CoreService`].
+//!
+//! The ROADMAP's sharded / async serving layer needs a seam between clients
+//! and the [`QueryEngine`]: a bounded queue with admission control, typed
+//! rejection, and per-request accounting.  `CoreService` is that seam in its
+//! simplest correct form — one worker OS thread draining a bounded FIFO of
+//! validated requests:
+//!
+//! * [`CoreService::submit`] **validates synchronously** (malformed requests
+//!   never occupy queue capacity) and then applies **admission control**:
+//!   when the queue already holds [`ServiceConfig::queue_depth`] requests, or
+//!   the engine's skyline cache sits above
+//!   [`ServiceConfig::admission_memory_bytes`], the request is refused with
+//!   [`TkError::BudgetExceeded`] instead of being queued;
+//! * every admitted request gets a [`RequestId`] and a [`Ticket`]; the reply
+//!   carries queue-wait and execution latency alongside the
+//!   [`QueryResponse`];
+//! * multi-`k` requests fan across the engine's batch path
+//!   ([`QueryEngine::run_batch_with`]), so a `k`-range sweep still costs at
+//!   most one span-wide skyline build per `k`.
+//!
+//! Swapping the worker thread for an async executor, or the single queue for
+//! per-shard queues, changes this module only — the admission and accounting
+//! surface is the contract the roadmap items plug into.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::engine::{EngineConfig, QueryEngine};
+use crate::error::TkError;
+use crate::query::{Algorithm, TimeRangeKCoreQuery};
+use crate::request::{KOutcome, KOutput, OutputMode, QueryRequest, QueryResponse};
+use crate::sink::{CollectingSink, CountingSink};
+use temporal_graph::TemporalGraph;
+
+/// Tuning knobs of a [`CoreService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Maximum number of requests waiting in the queue (not counting the one
+    /// currently executing).  Submissions beyond this depth are refused with
+    /// [`TkError::BudgetExceeded`].
+    pub queue_depth: usize,
+    /// Refuse new requests while the engine's skyline cache holds more than
+    /// this many resident bytes (`None` disables the memory gate; the
+    /// engine's own LRU budget still bounds the cache itself).
+    pub admission_memory_bytes: Option<usize>,
+    /// Configuration of the underlying [`QueryEngine`].
+    pub engine: EngineConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            queue_depth: 64,
+            admission_memory_bytes: None,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// Identifier of one admitted request, unique per service instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req-{}", self.0)
+    }
+}
+
+/// The completed reply to an admitted request.
+#[derive(Debug)]
+pub struct ServiceReply {
+    /// The id handed out at submission.
+    pub id: RequestId,
+    /// The request's results, one outcome per `k`.
+    pub response: QueryResponse,
+    /// Time the request spent queued before the worker picked it up.
+    pub queue_wait: Duration,
+    /// Wall-clock execution time on the worker.
+    pub execute_time: Duration,
+}
+
+/// Handle to one admitted request; redeem it with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    /// The id of the admitted request.
+    pub id: RequestId,
+    rx: mpsc::Receiver<Result<ServiceReply, TkError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes (or the service shuts down, which
+    /// yields [`TkError::ServiceStopped`]).
+    ///
+    /// # Errors
+    /// Whatever the execution produced, or [`TkError::ServiceStopped`] if
+    /// the worker exited before replying.
+    pub fn wait(self) -> Result<ServiceReply, TkError> {
+        self.rx.recv().unwrap_or(Err(TkError::ServiceStopped))
+    }
+
+    /// Non-blocking probe: `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<ServiceReply, TkError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Cumulative request accounting, readable via [`CoreService::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Requests refused by admission control ([`TkError::BudgetExceeded`]).
+    pub rejected: u64,
+    /// Requests fully executed and replied to.
+    pub completed: u64,
+    /// Summed queue wait of completed requests.
+    pub queue_wait_total: Duration,
+    /// Summed execution time of completed requests.
+    pub execute_total: Duration,
+    /// High-water mark of the queue depth.
+    pub max_queue_depth: usize,
+}
+
+struct Job {
+    id: RequestId,
+    request: crate::request::ValidatedRequest,
+    algorithm: Algorithm,
+    enqueued_at: Instant,
+    reply: mpsc::Sender<Result<ServiceReply, TkError>>,
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    open: bool,
+    stats: ServiceStats,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_ready: Condvar,
+}
+
+/// A query-serving front end: bounded queue + admission control over a
+/// [`QueryEngine`], processed by a dedicated worker thread.
+///
+/// # Example
+///
+/// ```
+/// use tkcore::{paper_example, Algorithm, CoreService, QueryRequest, ServiceConfig};
+///
+/// let service = CoreService::start(paper_example::graph(), ServiceConfig::default());
+/// let ticket = service
+///     .submit(QueryRequest::sweep(1..=3, 1, 7))
+///     .unwrap();
+/// let reply = ticket.wait().unwrap();
+/// assert_eq!(reply.response.outcomes.len(), 3); // one outcome per k
+/// // Each k of the sweep built its span-wide skyline at most once.
+/// assert_eq!(service.engine().cache_stats().misses, 3);
+/// service.shutdown();
+/// ```
+pub struct CoreService {
+    engine: Arc<QueryEngine>,
+    shared: Arc<Shared>,
+    config: ServiceConfig,
+    next_id: AtomicU64,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl CoreService {
+    /// Starts a service owning `graph`, with its worker thread running.
+    pub fn start(graph: TemporalGraph, config: ServiceConfig) -> Self {
+        Self::over(
+            Arc::new(QueryEngine::with_config(graph, config.engine)),
+            config,
+        )
+    }
+
+    /// Starts a service over an existing (possibly shared) engine.
+    pub fn over(engine: Arc<QueryEngine>, config: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                open: true,
+                stats: ServiceStats::default(),
+            }),
+            work_ready: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker_engine = Arc::clone(&engine);
+        let worker = std::thread::Builder::new()
+            .name("tkcore-service".into())
+            .spawn(move || worker_loop(worker_engine, worker_shared))
+            .expect("spawn service worker");
+        Self {
+            engine,
+            shared,
+            config,
+            next_id: AtomicU64::new(1),
+            worker: Some(worker),
+        }
+    }
+
+    /// The engine this service executes on (for cache statistics, warming…).
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// Cumulative admission and latency counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.state.lock().expect("service state").stats
+    }
+
+    /// Submits a request running the paper's final algorithm (`Enum`).
+    ///
+    /// # Errors
+    /// See [`CoreService::submit_with`].
+    pub fn submit(&self, request: QueryRequest) -> Result<Ticket, TkError> {
+        self.submit_with(request, Algorithm::Enum)
+    }
+
+    /// Validates `request`, applies admission control, and enqueues it for
+    /// the chosen algorithm.
+    ///
+    /// # Errors
+    /// * the validation errors of [`QueryRequest::validate`] (checked
+    ///   synchronously — malformed requests never consume queue capacity);
+    /// * [`TkError::BudgetExceeded`] when the queue is at
+    ///   [`ServiceConfig::queue_depth`] or the skyline cache exceeds
+    ///   [`ServiceConfig::admission_memory_bytes`];
+    /// * [`TkError::ServiceStopped`] after [`CoreService::shutdown`].
+    pub fn submit_with(
+        &self,
+        request: QueryRequest,
+        algorithm: Algorithm,
+    ) -> Result<Ticket, TkError> {
+        let validated = request.validate(self.engine.graph())?;
+        // Reading cache statistics takes the engine's cache mutex; doing it
+        // before the state lock keeps the two locks unnested.
+        let resident_over_budget = self
+            .config
+            .admission_memory_bytes
+            .map(|budget| self.engine.cache_stats().resident_bytes > budget);
+        let mut state = self.shared.state.lock().expect("service state");
+        if !state.open {
+            // A stopped service is ServiceStopped, never BudgetExceeded.
+            return Err(TkError::ServiceStopped);
+        }
+        if resident_over_budget == Some(true) {
+            state.stats.rejected += 1;
+            return Err(TkError::BudgetExceeded {
+                resource: "cache memory",
+                limit: self
+                    .config
+                    .admission_memory_bytes
+                    .expect("gate only fires when configured"),
+            });
+        }
+        if state.queue.len() >= self.config.queue_depth {
+            state.stats.rejected += 1;
+            return Err(TkError::BudgetExceeded {
+                resource: "request queue",
+                limit: self.config.queue_depth,
+            });
+        }
+        let id = RequestId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = mpsc::channel();
+        state.queue.push_back(Job {
+            id,
+            request: validated,
+            algorithm,
+            enqueued_at: Instant::now(),
+            reply: tx,
+        });
+        state.stats.admitted += 1;
+        state.stats.max_queue_depth = state.stats.max_queue_depth.max(state.queue.len());
+        drop(state);
+        self.shared.work_ready.notify_one();
+        Ok(Ticket { id, rx })
+    }
+
+    /// Stops accepting requests, drains the queue, and joins the worker.
+    /// Dropping the service does the same.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("service state");
+            state.open = false;
+        }
+        self.shared.work_ready.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for CoreService {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop(engine: Arc<QueryEngine>, shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("service state");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                if !state.open {
+                    return; // closed and drained
+                }
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .expect("service state poisoned");
+            }
+        };
+        let queue_wait = job.enqueued_at.elapsed();
+        let t0 = Instant::now();
+        let result = execute_job(&engine, job.request, job.algorithm);
+        let execute_time = t0.elapsed();
+        {
+            let mut state = shared.state.lock().expect("service state");
+            state.stats.completed += 1;
+            state.stats.queue_wait_total += queue_wait;
+            state.stats.execute_total += execute_time;
+        }
+        let reply = result.map(|response| ServiceReply {
+            id: job.id,
+            response,
+            queue_wait,
+            execute_time,
+        });
+        // The submitter may have dropped its ticket; that is not an error.
+        let _ = job.reply.send(reply);
+    }
+}
+
+/// Executes one validated request on the engine.  Count and materialize
+/// modes fan the per-`k` queries across [`QueryEngine::run_batch_with`];
+/// stream mode runs sequentially because all `k` values share one sink.
+fn execute_job(
+    engine: &Arc<QueryEngine>,
+    request: crate::request::ValidatedRequest,
+    algorithm: Algorithm,
+) -> Result<QueryResponse, TkError> {
+    let window = request.window();
+    let queries: Vec<TimeRangeKCoreQuery> = request
+        .ks()
+        .iter()
+        .map(|&k| TimeRangeKCoreQuery::validated(k, window))
+        .collect();
+    match request.mode() {
+        OutputMode::Stream(_) => {
+            // Sequential: the one caller sink sees every k in order, still
+            // answered from the engine's skyline cache.
+            let backend =
+                crate::backend::CachedBackend::with_algorithm(Arc::clone(engine), algorithm);
+            request.execute(engine.graph(), &backend)
+        }
+        OutputMode::Materialize => {
+            let (results, _batch) =
+                engine.run_batch_with(&queries, algorithm, |_| CollectingSink::default())?;
+            let outcomes = queries
+                .iter()
+                .zip(results)
+                .map(|(query, (sink, stats))| KOutcome {
+                    k: query.k(),
+                    stats,
+                    output: KOutput::Cores(sink.into_sorted()),
+                })
+                .collect();
+            Ok(QueryResponse {
+                window,
+                outcomes,
+                sink: None,
+            })
+        }
+        OutputMode::Count => {
+            let (results, _batch) =
+                engine.run_batch_with(&queries, algorithm, |_| CountingSink::default())?;
+            let outcomes = queries
+                .iter()
+                .zip(results)
+                .map(|(query, (sink, stats))| KOutcome {
+                    k: query.k(),
+                    stats,
+                    output: KOutput::Counts(sink),
+                })
+                .collect();
+            Ok(QueryResponse {
+                window,
+                outcomes,
+                sink: None,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+    use crate::request::KOutput;
+
+    #[test]
+    fn submitted_requests_complete_with_latency_accounting() {
+        let service = CoreService::start(paper_example::graph(), ServiceConfig::default());
+        let ticket = service.submit(QueryRequest::single(2, 1, 4)).unwrap();
+        let id = ticket.id;
+        let reply = ticket.wait().unwrap();
+        assert_eq!(reply.id, id);
+        assert_eq!(reply.response.total_cores(), 2);
+        let stats = service.stats();
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.rejected, 0);
+        assert!(stats.execute_total >= reply.execute_time);
+        service.shutdown();
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_synchronously() {
+        let service = CoreService::start(paper_example::graph(), ServiceConfig::default());
+        assert!(matches!(
+            service.submit(QueryRequest::single(0, 1, 4)),
+            Err(TkError::KOutOfRange { k: 0 })
+        ));
+        assert!(matches!(
+            service.submit(QueryRequest::single(2, 9, 12)),
+            Err(TkError::WindowPastTmax { .. })
+        ));
+        let stats = service.stats();
+        assert_eq!(stats.admitted, 0, "invalid requests never hit the queue");
+    }
+
+    #[test]
+    fn sweep_requests_report_per_k_outcomes() {
+        let service = CoreService::start(paper_example::graph(), ServiceConfig::default());
+        let reply = service
+            .submit(QueryRequest::sweep(1..=3, 1, 7))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let ks: Vec<usize> = reply.response.outcomes.iter().map(|o| o.k).collect();
+        assert_eq!(ks, vec![1, 2, 3]);
+        for outcome in &reply.response.outcomes {
+            assert!(matches!(outcome.output, KOutput::Counts(_)));
+        }
+        assert_eq!(service.engine().cache_stats().misses, 3);
+        service.shutdown();
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_refused() {
+        let graph = paper_example::graph();
+        let engine = Arc::new(QueryEngine::new(graph));
+        engine.warm(2); // make the memory gate eligible to fire
+        let mut service = CoreService::over(
+            Arc::clone(&engine),
+            ServiceConfig {
+                admission_memory_bytes: Some(0),
+                ..ServiceConfig::default()
+            },
+        );
+        service.close_and_join();
+        // Stopped beats over-budget: the caller must learn the service is
+        // gone, not be told to back off and retry.
+        assert!(matches!(
+            service.submit(QueryRequest::single(2, 1, 4)),
+            Err(TkError::ServiceStopped)
+        ));
+        assert_eq!(service.stats().rejected, 0);
+    }
+
+    #[test]
+    fn memory_admission_gate_rejects_when_cache_is_over_budget() {
+        let graph = paper_example::graph();
+        let engine = Arc::new(QueryEngine::new(graph));
+        engine.warm(2); // make the cache non-empty
+        assert!(engine.cache_stats().resident_bytes > 0);
+        let service = CoreService::over(
+            Arc::clone(&engine),
+            ServiceConfig {
+                admission_memory_bytes: Some(0),
+                ..ServiceConfig::default()
+            },
+        );
+        let err = service.submit(QueryRequest::single(2, 1, 4)).unwrap_err();
+        assert!(matches!(
+            err,
+            TkError::BudgetExceeded {
+                resource: "cache memory",
+                ..
+            }
+        ));
+        assert_eq!(service.stats().rejected, 1);
+    }
+}

@@ -3,11 +3,12 @@
 //! structural invariants hold.
 
 use proptest::prelude::*;
+use std::sync::Arc;
 use temporal_graph::{EdgeId, TemporalGraph, TemporalGraphBuilder, TimeWindow};
 use tkcore::{
     enumerate_base_from_graph, enumerate_from_graph, naive_results, run_otcd, Algorithm,
-    CollectingSink, EdgeCoreSkyline, QueryEngine, TemporalKCore, TimeRangeKCoreQuery,
-    VertexCoreTimeIndex,
+    CachedBackend, CollectingSink, CoreBackend, EdgeCoreSkyline, QueryEngine, TemporalKCore,
+    TimeRangeKCoreQuery, VertexCoreTimeIndex,
 };
 
 /// Strategy: a random temporal graph with up to `max_v` vertices, up to
@@ -70,6 +71,52 @@ proptest! {
         let mut s3 = CollectingSink::default();
         run_otcd(&g, k, range, &mut s3);
         prop_assert_eq!(&canonical(s3.cores), &expected);
+    }
+
+    /// The unified `CoreBackend` surface agrees with the naive reference for
+    /// all four algorithm backends plus the engine-cached backend, on random
+    /// graphs and sub-ranges.
+    #[test]
+    fn core_backends_agree_with_naive(
+        g in arb_graph(12, 50, 10),
+        k in 2usize..4,
+        raw_lo in 1u32..10,
+        raw_len in 0u32..10,
+    ) {
+        let lo = raw_lo.min(g.tmax());
+        let range = TimeWindow::new(lo, (lo + raw_len).min(g.tmax()).max(lo));
+        let expected = naive_results(&g, k, range);
+        let engine = Arc::new(QueryEngine::new(g.clone()));
+        let backends: Vec<Box<dyn CoreBackend>> = vec![
+            Box::new(Algorithm::Enum),
+            Box::new(Algorithm::EnumBase),
+            Box::new(Algorithm::Otcd),
+            Box::new(Algorithm::Naive),
+            Box::new(CachedBackend::new(Arc::clone(&engine))),
+        ];
+        for backend in &backends {
+            let mut sink = CollectingSink::default();
+            let stats = backend
+                .execute(&g, k, range, &mut sink)
+                .expect("validated inputs execute");
+            prop_assert_eq!(stats.num_cores as usize, expected.len(), "{}", backend.name());
+            prop_assert_eq!(&canonical(sink.cores), &expected, "{}", backend.name());
+        }
+        // Malformed inputs are typed errors on every backend, never panics.
+        for backend in &backends {
+            let mut sink = CollectingSink::default();
+            let zero_k = matches!(
+                backend.execute(&g, 0, range, &mut sink),
+                Err(tkcore::TkError::KOutOfRange { k: 0 })
+            );
+            prop_assert!(zero_k, "k = 0 must be KOutOfRange");
+            let past = TimeWindow::new(g.tmax() + 1, g.tmax() + 3);
+            let past_tmax = matches!(
+                backend.execute(&g, k, past, &mut sink),
+                Err(tkcore::TkError::WindowPastTmax { .. })
+            );
+            prop_assert!(past_tmax, "past-tmax window must be WindowPastTmax");
+        }
     }
 
     /// Every emitted core is a valid k-core, has a tight TTI contained in the
@@ -157,12 +204,14 @@ proptest! {
         let lo = raw_lo.min(g.tmax());
         let range = TimeWindow::new(lo, (lo + raw_len).min(g.tmax()).max(lo));
         let engine = QueryEngine::new(g.clone());
-        let query = TimeRangeKCoreQuery::new(k, range);
+        let query = TimeRangeKCoreQuery::new(k, range).expect("k >= 2");
         for algorithm in Algorithm::ALL {
             let mut fresh = CollectingSink::default();
             let fresh_stats = query.run_with(&g, algorithm, &mut fresh);
             let mut cached = CollectingSink::default();
-            let cached_stats = engine.run_with(&query, algorithm, &mut cached);
+            let cached_stats = engine
+                .run_with(&query, algorithm, &mut cached)
+                .expect("in-span query");
             prop_assert_eq!(cached_stats.num_cores, fresh_stats.num_cores,
                 "{} k={} range={}", algorithm.name(), k, range);
             prop_assert_eq!(cached_stats.total_result_edges, fresh_stats.total_result_edges,

@@ -37,7 +37,7 @@ fn main() {
     let day = 144u32;
     let focus = TimeWindow::new(4 * day, (7 * day).min(graph.tmax()));
     let k = 4;
-    let query = TimeRangeKCoreQuery::new(k, focus);
+    let query = TimeRangeKCoreQuery::new(k, focus).expect("k >= 1");
 
     let mut sink = CollectingSink::default();
     let stats = query.run_with(&graph, Algorithm::Enum, &mut sink);

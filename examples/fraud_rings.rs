@@ -39,7 +39,7 @@ fn main() {
     // 3,000-timestamp history is huge, so the results are *streamed*: only
     // the suspicious ones (cores confined to a short window) are retained.
     let k = 5;
-    let query = TimeRangeKCoreQuery::new(k, graph.span());
+    let query = TimeRangeKCoreQuery::new(k, graph.span()).expect("k >= 1");
     let window_cap = 2 * u64::from(config.burst_duration);
     let t0 = std::time::Instant::now();
     let mut total_cores = 0u64;

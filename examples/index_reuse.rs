@@ -12,6 +12,7 @@
 //!
 //! Run with: `cargo run --release --example index_reuse`
 
+use std::sync::Arc;
 use std::time::Instant;
 use temporal_kcore::prelude::*;
 
@@ -31,7 +32,10 @@ fn main() {
     let step = (len / 2).max(1);
     let queries: Vec<TimeRangeKCoreQuery> = (1..=graph.tmax().saturating_sub(len - 1))
         .step_by(step as usize)
-        .map(|start| TimeRangeKCoreQuery::new(k, TimeWindow::new(start, start + len - 1)))
+        .map(|start| {
+            TimeRangeKCoreQuery::new(k, TimeWindow::new(start, start + len - 1))
+                .expect("k >= 1 by construction")
+        })
         .collect();
     println!(
         "Query stream: {} overlapping windows of {} timestamps\n",
@@ -52,9 +56,9 @@ fn main() {
 
     // Engine, first batch: pays the one-time span-wide build for this k,
     // which every later query for the same k reuses.
-    let engine = QueryEngine::new(graph.clone());
+    let engine = Arc::new(QueryEngine::new(graph.clone()));
     let t1 = Instant::now();
-    let (_, first_batch) = engine.run_batch(&queries);
+    let (_, first_batch) = engine.run_batch(&queries).expect("valid workload queries");
     let first_time = t1.elapsed();
     println!(
         "Engine batch 1 (builds the span-wide index):  {} cores in {first_time:?}",
@@ -65,7 +69,7 @@ fn main() {
     // cache hit plus a cheap restriction — the CoreTime phase is amortised
     // to ~zero.
     let t2 = Instant::now();
-    let (results, batch) = engine.run_batch(&queries);
+    let (results, batch) = engine.run_batch(&queries).expect("valid workload queries");
     let warm_time = t2.elapsed();
     let warm_cores = batch.total_cores;
     println!(
@@ -105,5 +109,30 @@ fn main() {
         busiest.1.range(),
         busiest.0 .0.num_cores,
         busiest.0 .0.total_edges
+    );
+
+    // The same cache also serves k-range sweeps through the unified request
+    // API: each k of the sweep builds its span-wide index at most once.
+    let backend = CachedBackend::new(Arc::clone(&engine));
+    let misses_before = engine.cache_stats().misses;
+    // Run against the engine's own graph: the backend's identity check is
+    // O(1) for it, while an equal clone would cost an O(|E|) comparison.
+    let sweep = QueryRequest::sweep(k.saturating_sub(1).max(1)..=k + 1, 1, graph.tmax())
+        .run(engine.graph(), &backend)
+        .expect("valid sweep");
+    println!("\nk-range sweep around k = {k} (one skyline build per new k):");
+    for outcome in &sweep.outcomes {
+        println!(
+            "  k = {:>2}: {:>6} cores, |R| = {:>8} edges ({:?})",
+            outcome.k,
+            outcome.stats.num_cores,
+            outcome.stats.total_result_edges,
+            outcome.stats.total_time()
+        );
+    }
+    println!(
+        "Sweep added {} index builds for {} k values",
+        engine.cache_stats().misses - misses_before,
+        sweep.outcomes.len()
     );
 }

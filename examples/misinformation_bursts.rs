@@ -35,8 +35,13 @@ fn main() {
     // Pick k above what organic (background) activity can sustain in any
     // window but below the in-burst degree of a coordinated cluster.
     let k = 6;
-    let query = TimeRangeKCoreQuery::new(k, graph.span());
-    let cores = query.enumerate(&graph);
+    let response = QueryRequest::single(k, 1, graph.tmax())
+        .materialize()
+        .run(&graph, &Algorithm::Enum)
+        .expect("valid query");
+    let KOutput::Cores(cores) = &response.outcomes[0].output else {
+        unreachable!("materialized request")
+    };
     println!(
         "\n{} temporal {}-cores across the whole week",
         cores.len(),
@@ -47,7 +52,7 @@ fn main() {
     // the same group surfacing in separated windows is a strong signal of
     // coordination rather than organic activity.
     let mut appearances: HashMap<Vec<VertexId>, Vec<TimeWindow>> = HashMap::new();
-    for core in &cores {
+    for core in cores {
         appearances
             .entry(core.vertices(&graph))
             .or_default()
@@ -75,7 +80,9 @@ fn main() {
 
     // Show how much of the work is precomputation vs enumeration.
     let mut counting = CountingSink::default();
-    let run = query.run_with(&graph, Algorithm::Enum, &mut counting);
+    let run = Algorithm::Enum
+        .execute(&graph, k, graph.span(), &mut counting)
+        .expect("valid query");
     println!(
         "\nCost split: CoreTime {:?}, enumeration {:?}, |R| = {} edges",
         run.precompute_time, run.enumerate_time, counting.total_edges

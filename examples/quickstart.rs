@@ -20,13 +20,18 @@ fn main() {
     );
 
     // The time-range k-core query of Example 1: k = 2, range [1, 4].
-    let query = TimeRangeKCoreQuery::new(2, TimeWindow::new(1, 4));
-    let cores = query.enumerate(&graph);
+    let response = QueryRequest::single(2, 1, 4)
+        .materialize()
+        .run(&graph, &Algorithm::Enum)
+        .expect("valid query on the example graph");
+    let KOutput::Cores(cores) = &response.outcomes[0].output else {
+        unreachable!("materialized request")
+    };
     println!(
         "\nTemporal 2-cores in range [1, 4] (Figure 2): {}",
         cores.len()
     );
-    for core in &cores {
+    for core in cores {
         let vertex_labels: Vec<String> = core
             .vertices(&graph)
             .into_iter()
@@ -84,11 +89,13 @@ fn main() {
         );
     }
 
-    // Compare algorithms on the same query.
+    // Compare algorithms on the same query: each one is a `CoreBackend`.
     println!("\nAlgorithm comparison on the full span {}:", graph.span());
     for algo in [Algorithm::Otcd, Algorithm::EnumBase, Algorithm::Enum] {
         let mut sink = CountingSink::default();
-        let stats = TimeRangeKCoreQuery::new(2, graph.span()).run_with(&graph, algo, &mut sink);
+        let stats = algo
+            .execute(&graph, 2, graph.span(), &mut sink)
+            .expect("valid query");
         println!(
             "  {:>8}: {} cores, |R| = {} edges, {:?}",
             algo.name(),

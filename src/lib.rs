@@ -14,11 +14,14 @@
 //! 2. **Enum** — enumerate all temporal k-cores directly from the skylines
 //!    in time bounded by the total result size, which is optimal.
 //!
-//! The crate also contains the `EnumBase` baseline (Algorithm 3), the OTCD
-//! state-of-the-art competitor (Algorithm 1 of Yang et al., VLDB 2023), a
-//! brute-force reference, dataset/workload generators, and a benchmark
-//! harness that regenerates every table and figure of the paper's
-//! evaluation.
+//! All execution goes through one typed, fallible surface: a
+//! [`prelude::QueryRequest`] (single `k`, multi-`k`, or `k`-range sweep,
+//! with materialize / count / stream output) validated against the graph and
+//! executed on any [`prelude::CoreBackend`] — each algorithm is a backend,
+//! and [`prelude::CachedBackend`] answers from a shared
+//! [`prelude::QueryEngine`]'s skyline cache.  [`prelude::CoreService`] adds
+//! a bounded request queue with admission control on top.  Malformed input
+//! returns a structured [`prelude::TkError`], never a panic.
 //!
 //! # Quick start
 //!
@@ -39,12 +42,18 @@
 //!     .unwrap();
 //!
 //! // All temporal 2-cores appearing in any sub-window of [1, 5].
-//! let query = TimeRangeKCoreQuery::new(2, TimeWindow::new(1, 5));
-//! let cores = query.enumerate(&graph);
+//! let response = QueryRequest::single(2, 1, 5)
+//!     .materialize()
+//!     .run(&graph, &Algorithm::Enum)
+//!     .unwrap();
+//! let KOutput::Cores(cores) = &response.outcomes[0].output else { unreachable!() };
 //! assert_eq!(cores.len(), 3); // two triangles and their union
-//! for core in &cores {
+//! for core in cores {
 //!     println!("TTI {} with {} edges", core.tti, core.num_edges());
 //! }
+//!
+//! // Bad input is a typed error, not a panic.
+//! assert!(QueryRequest::single(0, 1, 5).run(&graph, &Algorithm::Enum).is_err());
 //! ```
 //!
 //! See the `examples/` directory for domain-oriented walkthroughs
@@ -68,8 +77,10 @@ pub mod prelude {
     };
     pub use tkc_datasets::{DatasetProfile, DatasetStats, QueryWorkload, WorkloadConfig};
     pub use tkcore::{
-        Algorithm, BatchStats, CacheStats, CollectingSink, CountingSink, EdgeCoreSkyline,
-        EngineConfig, FrameworkStats, QueryEngine, QueryStats, ResultSink, TemporalKCore,
-        TimeRangeKCoreQuery, VertexCoreTimeIndex,
+        Algorithm, BatchStats, CacheStats, CachedBackend, CollectingSink, CoreBackend, CoreService,
+        CountingSink, EdgeCoreSkyline, EngineConfig, FrameworkStats, KOutcome, KOutput, KSelection,
+        OutputMode, QueryEngine, QueryRequest, QueryResponse, QueryStats, RequestId, ResultSink,
+        ServiceConfig, ServiceReply, ServiceStats, TemporalKCore, Ticket, TimeRangeKCoreQuery,
+        TkError, ValidatedRequest, VertexCoreTimeIndex,
     };
 }

@@ -43,7 +43,7 @@ fn exact_equality_on_planted_bursts() {
         num_timestamps: 60,
     };
     let graph = planted_bursty_cores(&config, 5);
-    let query = TimeRangeKCoreQuery::new(3, graph.span());
+    let query = TimeRangeKCoreQuery::new(3, graph.span()).unwrap();
 
     let mut a = CollectingSink::default();
     query.run_with(&graph, Algorithm::Enum, &mut a);
@@ -78,8 +78,13 @@ fn planted_bursts_are_recovered() {
         num_timestamps: 400,
     };
     let graph = planted_bursty_cores(&config, 21);
-    let query = TimeRangeKCoreQuery::new(5, graph.span());
-    let cores = query.enumerate(&graph);
+    let response = QueryRequest::single(5, 1, graph.tmax())
+        .materialize()
+        .run(&graph, &Algorithm::Enum)
+        .unwrap();
+    let KOutput::Cores(cores) = &response.outcomes[0].output else {
+        unreachable!("materialized request")
+    };
     assert!(
         cores.len() >= config.num_bursts,
         "expected at least one core per planted burst, got {}",
@@ -118,7 +123,8 @@ fn loader_round_trip_preserves_results() {
     let query = TimeRangeKCoreQuery::new(
         stats.k_for_percent(30),
         TimeWindow::new(1, stats.range_len_for_percent(20).min(graph.tmax())),
-    );
+    )
+    .unwrap();
     let mut a = CountingSink::default();
     query.run_with(&graph, Algorithm::Enum, &mut a);
     let mut b = CountingSink::default();

@@ -21,8 +21,9 @@ fn warm_batches_match_fresh_per_query_runs_for_every_algorithm() {
     let (_, queries) = workload_queries(&graph, 6, 0xE26);
     let engine = QueryEngine::new(graph.clone());
     for algorithm in [Algorithm::Enum, Algorithm::EnumBase, Algorithm::Otcd] {
-        let (results, batch) =
-            engine.run_batch_with(&queries, algorithm, |_| CountingSink::default());
+        let (results, batch) = engine
+            .run_batch_with(&queries, algorithm, |_| CountingSink::default())
+            .unwrap();
         assert_eq!(batch.num_queries, queries.len());
         let mut expected_cores = 0u64;
         let mut expected_edges = 0u64;
@@ -55,11 +56,11 @@ fn one_span_build_serves_the_whole_batch_and_repeats_hit() {
         },
     );
 
-    let (_, first) = engine.run_batch(&queries);
+    let (_, first) = engine.run_batch(&queries).unwrap();
     assert_eq!(first.cache.misses, 1, "all queries share one k");
     assert_eq!(first.cache.hits as usize, queries.len() - 1);
 
-    let (_, second) = engine.run_batch(&queries);
+    let (_, second) = engine.run_batch(&queries).unwrap();
     assert_eq!(second.cache.misses, 1, "steady state never rebuilds");
     assert_eq!(second.cache.hits as usize, 2 * queries.len() - 1);
     assert_eq!(second.cache.resident_indexes, 1);
@@ -76,8 +77,8 @@ fn mixed_k_batch_caches_one_index_per_k() {
         .flat_map(|&p| {
             let k = stats.k_for_percent(p);
             [
-                TimeRangeKCoreQuery::new(k, span),
-                TimeRangeKCoreQuery::new(k, TimeWindow::new(1, span.end() / 2)),
+                TimeRangeKCoreQuery::new(k, span).unwrap(),
+                TimeRangeKCoreQuery::new(k, TimeWindow::new(1, span.end() / 2)).unwrap(),
             ]
         })
         .collect();
@@ -89,7 +90,7 @@ fn mixed_k_batch_caches_one_index_per_k() {
             ..EngineConfig::default()
         },
     );
-    let (results, batch) = engine.run_batch(&queries);
+    let (results, batch) = engine.run_batch(&queries).unwrap();
     let distinct_k = {
         let mut ks: Vec<usize> = queries.iter().map(|q| q.k()).collect();
         ks.sort_unstable();
@@ -111,21 +112,26 @@ fn out_of_span_and_overhanging_ranges_are_handled() {
     let engine = QueryEngine::new(graph.clone());
     let tmax = graph.tmax();
 
-    // Entirely past the end: empty result, no index build.
+    // Entirely past the end: a typed refusal, no index build.
     let mut sink = CountingSink::default();
-    let stats = engine.run(
-        &TimeRangeKCoreQuery::new(2, TimeWindow::new(tmax + 1, tmax + 500)),
-        &mut sink,
+    let err = engine
+        .run(
+            &TimeRangeKCoreQuery::new(2, TimeWindow::new(tmax + 1, tmax + 500)).unwrap(),
+            &mut sink,
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, TkError::WindowPastTmax { start, tmax: t } if start == tmax + 1 && t == tmax),
+        "{err}"
     );
     assert_eq!(sink.num_cores, 0);
-    assert_eq!(stats.num_cores, 0);
     assert_eq!(engine.cache_stats().misses, 0);
 
     // Overhanging the end: same answer as the clamped range.
-    let overhang = TimeRangeKCoreQuery::new(2, TimeWindow::new(tmax / 2, tmax + 500));
-    let clamped = TimeRangeKCoreQuery::new(2, TimeWindow::new(tmax / 2, tmax));
+    let overhang = TimeRangeKCoreQuery::new(2, TimeWindow::new(tmax / 2, tmax + 500)).unwrap();
+    let clamped = TimeRangeKCoreQuery::new(2, TimeWindow::new(tmax / 2, tmax)).unwrap();
     let mut a = CountingSink::default();
-    engine.run(&overhang, &mut a);
+    engine.run(&overhang, &mut a).unwrap();
     let mut b = CountingSink::default();
     clamped.run_with(&graph, Algorithm::Enum, &mut b);
     assert_eq!(a, b);
@@ -136,10 +142,12 @@ fn collecting_batch_returns_canonical_cores() {
     let graph = DatasetProfile::by_name("BO").unwrap().generate();
     let (_, queries) = workload_queries(&graph, 4, 7);
     let engine = QueryEngine::new(graph.clone());
-    let (results, _) =
-        engine.run_batch_with(&queries, Algorithm::Enum, |_| CollectingSink::default());
+    let (results, _) = engine
+        .run_batch_with(&queries, Algorithm::Enum, |_| CollectingSink::default())
+        .unwrap();
     for (query, (sink, _stats)) in queries.iter().zip(results) {
-        let expected = query.enumerate(&graph);
-        assert_eq!(sink.into_sorted(), expected, "{}", query.range());
+        let mut fresh = CollectingSink::default();
+        query.run_with(&graph, Algorithm::Enum, &mut fresh);
+        assert_eq!(sink.into_sorted(), fresh.into_sorted(), "{}", query.range());
     }
 }

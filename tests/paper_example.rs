@@ -6,8 +6,13 @@ use temporal_kcore::tkcore::paper_example;
 #[test]
 fn figure_2_results_via_public_api() {
     let graph = paper_example::graph();
-    let query = TimeRangeKCoreQuery::new(2, TimeWindow::new(1, 4));
-    let cores = query.enumerate(&graph);
+    let response = QueryRequest::single(2, 1, 4)
+        .materialize()
+        .run(&graph, &Algorithm::Enum)
+        .unwrap();
+    let KOutput::Cores(cores) = &response.outcomes[0].output else {
+        unreachable!("materialized request")
+    };
     assert_eq!(cores.len(), 2);
 
     // The smaller core is the triangle {v1, v2, v4} with TTI [2, 3].
@@ -34,11 +39,15 @@ fn figure_2_results_via_public_api() {
 #[test]
 fn all_algorithms_agree_via_public_api() {
     let graph = paper_example::graph();
-    let query = TimeRangeKCoreQuery::new(2, graph.span());
-    let reference = query.enumerate(&graph);
+    let span = graph.span();
+    let mut reference = CollectingSink::default();
+    Algorithm::Enum
+        .execute(&graph, 2, span, &mut reference)
+        .unwrap();
+    let reference = reference.into_sorted();
     for algo in [Algorithm::Otcd, Algorithm::EnumBase, Algorithm::Naive] {
         let mut sink = CollectingSink::default();
-        query.run_with(&graph, algo, &mut sink);
+        algo.execute(&graph, 2, span, &mut sink).unwrap();
         assert_eq!(sink.into_sorted(), reference, "{}", algo.name());
     }
 }

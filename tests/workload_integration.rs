@@ -44,9 +44,13 @@ fn framework_stats_track_result_size() {
         assert!(fw.ecs_windows > 0);
         assert!(fw.result_size >= fw.ecs_windows as u64);
     }
-    // Counting through the query API agrees with the measurement.
-    let query = TimeRangeKCoreQuery::new(k, range);
-    let count = query.count(&graph);
+    // Counting through the unified request API agrees with the measurement.
+    let response = QueryRequest::single(k, range.start(), range.end())
+        .run(&graph, &Algorithm::Enum)
+        .unwrap();
+    let KOutput::Counts(count) = response.outcomes[0].output else {
+        unreachable!("count is the default mode")
+    };
     assert_eq!(count.num_cores, fw.num_cores);
     assert_eq!(count.total_edges, fw.result_size);
 }
@@ -84,7 +88,10 @@ fn varying_k_monotonically_shrinks_results() {
     let mut previous = u64::MAX;
     for percent in [10, 20, 30, 40] {
         let k = stats.k_for_percent(percent);
-        let count = TimeRangeKCoreQuery::new(k, range).count(&graph);
+        let mut count = CountingSink::default();
+        Algorithm::Enum
+            .execute(&graph, k, range, &mut count)
+            .unwrap();
         assert!(
             count.total_edges <= previous,
             "result size must not grow with k"
@@ -102,7 +109,10 @@ fn varying_range_monotonically_grows_results() {
     let mut previous = 0u64;
     for percent in [5, 10, 20, 40] {
         let len = stats.range_len_for_percent(percent).min(graph.tmax());
-        let count = TimeRangeKCoreQuery::new(k, TimeWindow::new(1, len)).count(&graph);
+        let mut count = CountingSink::default();
+        Algorithm::Enum
+            .execute(&graph, k, TimeWindow::new(1, len), &mut count)
+            .unwrap();
         assert!(
             count.total_edges >= previous,
             "result size must not shrink as the range grows"
