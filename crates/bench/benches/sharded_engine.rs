@@ -1,0 +1,83 @@
+//! Bench for the time-interval sharded engine: span-wide cold index builds
+//! versus per-shard builds, and warm batched execution through
+//! `ShardedEngine` versus `QueryEngine`.  The per-shard build rows must not
+//! exceed the span-wide ones (shard skylines drop every cut-crossing
+//! window, so the total sweep work shrinks), and short windows served from
+//! warm shard caches skip the untouched shards entirely.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tkc_datasets::{DatasetProfile, DatasetStats, QueryWorkload, WorkloadConfig};
+use tkcore::{EdgeCoreSkyline, QueryEngine, ShardPlan, ShardedEngine, TimeRangeKCoreQuery};
+
+const SHARDS: usize = 4;
+
+fn bench_sharded_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_engine");
+    group.sample_size(10);
+
+    for name in ["EM", "CM"] {
+        let profile = DatasetProfile::by_name(name).expect("profile");
+        let graph = profile.generate();
+        let stats = DatasetStats::compute(&graph);
+        let config = WorkloadConfig {
+            num_queries: 16,
+            ..WorkloadConfig::paper_default(&stats, 16, 0x5AAD ^ profile.seed())
+        };
+        let workload = QueryWorkload::generate(&graph, &config);
+        let queries: Vec<TimeRangeKCoreQuery> = workload.queries().collect();
+        let k = workload.k;
+
+        group.bench_with_input(BenchmarkId::new("span_cold_build", name), &graph, |b, g| {
+            b.iter(|| black_box(EdgeCoreSkyline::build(g, k, g.span()).total_windows()));
+        });
+
+        let shards = ShardPlan::FixedCount(SHARDS)
+            .resolve(&graph)
+            .expect("fixed-count plan resolves");
+        group.bench_with_input(
+            BenchmarkId::new("shard_cold_builds", name),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    let mut windows = 0usize;
+                    for &shard in &shards {
+                        windows += EdgeCoreSkyline::build(g, k, shard).total_windows();
+                    }
+                    black_box(windows)
+                });
+            },
+        );
+
+        let span_engine = QueryEngine::new(graph.clone());
+        span_engine.warm(k);
+        group.bench_with_input(
+            BenchmarkId::new("warm_span_batch", name),
+            &span_engine,
+            |b, eng| {
+                b.iter(|| {
+                    let (_, batch) = eng.run_batch(&queries).expect("valid workload");
+                    black_box(batch.total_cores)
+                });
+            },
+        );
+
+        let sharded = ShardedEngine::new(graph.clone(), ShardPlan::FixedCount(SHARDS))
+            .expect("fixed-count plan resolves");
+        sharded.warm(k);
+        group.bench_with_input(
+            BenchmarkId::new("warm_sharded_batch", name),
+            &sharded,
+            |b, eng| {
+                b.iter(|| {
+                    let (_, batch) = eng.run_batch(&queries).expect("valid workload");
+                    black_box(batch.total_cores)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_engine);
+criterion_main!(benches);

@@ -388,13 +388,24 @@ fn fig11(num_queries: usize) -> Report {
     )
 }
 
+/// Time-interval shards used by the sharded columns of the engine
+/// experiment.
+const ENGINE_EXPERIMENT_SHARDS: usize = 4;
+
 /// Engine experiment (not in the paper): cold per-query execution versus
 /// the cached batch-query engine, on the EM/CM profiles.  The warm column
 /// must beat the cold one — the CoreTime phase is amortised to ~zero on
-/// cache hits.
+/// cache hits.  The sharded columns compare a span-wide cold index build
+/// against building every shard of a 4-shard plan: the sharded build does
+/// strictly less total sweep work (cut-crossing windows are dropped), and
+/// the peak per-shard skyline memory must be strictly below the span-wide
+/// index (asserted, not just reported).
 fn engine_batch(num_queries: usize) -> Report {
     let mut report = Report::new(
-        format!("Engine: cold per-query vs cached batch execution in ms ({num_queries} queries)"),
+        format!(
+            "Engine: cold per-query vs cached batch vs {ENGINE_EXPERIMENT_SHARDS}-shard \
+             execution in ms ({num_queries} queries)"
+        ),
         "dataset",
         vec![
             "cold per-query".into(),
@@ -402,6 +413,9 @@ fn engine_batch(num_queries: usize) -> Report {
             "engine batch warm".into(),
             "warm speedup".into(),
             "cache hits".into(),
+            "span cold build".into(),
+            "sharded cold build".into(),
+            "peak shard mem / span mem".into(),
         ],
     );
     for name in ["EM", "CM"] {
@@ -441,6 +455,36 @@ fn engine_batch(num_queries: usize) -> Report {
             "cold/warm result mismatch on {name}"
         );
 
+        // Sharded comparison: one span-wide cold index build versus building
+        // every shard of the plan for the same k.
+        let k = workload.k;
+        let t3 = Instant::now();
+        let span_index = tkcore::EdgeCoreSkyline::build(&graph, k, graph.span());
+        let span_build = t3.elapsed();
+        let span_bytes = span_index.memory_bytes();
+        drop(span_index);
+        let plan = tkcore::ShardPlan::FixedCount(ENGINE_EXPERIMENT_SHARDS);
+        let t4 = Instant::now();
+        let profiles =
+            tkcore::ShardProfile::measure(&graph, k, &plan).expect("fixed-count plan resolves");
+        let sharded_build = t4.elapsed();
+        let peak_shard_bytes = profiles.iter().map(|p| p.ecs_bytes).max().unwrap_or(0);
+        assert!(
+            peak_shard_bytes < span_bytes,
+            "{name}: peak per-shard skyline ({peak_shard_bytes} B) not below span-wide \
+             ({span_bytes} B) with {ENGINE_EXPERIMENT_SHARDS} shards"
+        );
+        // The sharded engine answers the same workload identically.
+        let sharded_engine =
+            tkcore::ShardedEngine::new(graph.clone(), plan).expect("fixed-count plan resolves");
+        let (_, sharded_batch) = sharded_engine
+            .run_batch(&queries)
+            .expect("workload queries are valid");
+        assert_eq!(
+            cold_cores, sharded_batch.total_cores,
+            "sharded result mismatch on {name}"
+        );
+
         report.push(
             name,
             vec![
@@ -452,6 +496,14 @@ fn engine_batch(num_queries: usize) -> Report {
                     cold.as_secs_f64() / warm_time.as_secs_f64().max(1e-9)
                 ),
                 warm.cache.hits.to_string(),
+                ms(span_build),
+                ms(sharded_build),
+                format!(
+                    "{:.2} ({:.2} / {:.2} MiB)",
+                    peak_shard_bytes as f64 / span_bytes.max(1) as f64,
+                    peak_shard_bytes as f64 / (1024.0 * 1024.0),
+                    span_bytes as f64 / (1024.0 * 1024.0)
+                ),
             ],
         );
     }

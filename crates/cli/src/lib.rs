@@ -14,8 +14,8 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use tkc_datasets::{DatasetProfile, DatasetStats};
 use tkcore::{
-    Algorithm, CachedBackend, CoreBackend, CountingSink, KOutput, QueryEngine, QueryRequest,
-    TkError,
+    Algorithm, CacheStats, CachedBackend, CoreBackend, CoreService, CountingSink, KOutput,
+    QueryEngine, QueryRequest, ServiceConfig, ShardPlan, ShardedBackend, ShardedEngine, TkError,
 };
 
 /// Errors reported to the CLI user.
@@ -52,21 +52,26 @@ USAGE:
 
   tkc query <edge-list> (--k <K> | --k-range <MIN>..=<MAX>)
             [--start <TS>] [--end <TE>] [--algo enum|enum-base|otcd|naive]
-            [--output count|full] [--limit <N>]
+            [--output count|full] [--limit <N>] [--shards <S>] [--workers <W>]
       Enumerate all distinct temporal k-cores in the range [TS, TE]
       (default: the whole time span).  `--k-range` sweeps every k in the
       inclusive range through one cached engine, building at most one
-      core-window index per k.  `--output count` reports counts only;
+      core-window index per k.  `--shards S` cuts the timeline into S
+      time-interval shards (one index per touched shard and k, exact
+      stitching at shard cuts); `--workers W` serves the request through a
+      W-worker CoreService.  `--output count` reports counts only;
       `--output full` (default) prints each core's tightest time interval,
       vertex count and edge count.
 
   tkc batch <edge-list> <queries-csv> [--algo enum|enum-base|otcd|naive]
-            [--threads <N>] [--budget-mb <M>]
-      Run a batch of queries through the cached query engine: one span-wide
-      core-window index per k, restricted per query and fanned across
-      threads.  The CSV has one query per line, `k,start,end` (or just `k`
-      for the whole time span; `#` starts a comment).  Prints per-query
-      counts plus batch timing and cache statistics.
+            [--threads <N>] [--budget-mb <M>] [--shards <S>] [--workers <W>]
+      Run a batch of queries through the cached query engine: one core-window
+      index per k (per shard and k with `--shards S`), restricted per query
+      and fanned across threads.  `--workers W` instead submits every query
+      to a W-worker CoreService and reports per-worker latency.  The CSV has
+      one query per line, `k,start,end` (or just `k` for the whole time
+      span; `#` starts a comment).  Prints per-query counts plus batch
+      timing and cache statistics.
 
   tkc generate <profile> <output-file>
       Write the scaled synthetic analogue of one of the paper's datasets
@@ -118,6 +123,10 @@ pub enum Command {
         output: OutputKind,
         /// Print at most this many cores per `k`.
         limit: usize,
+        /// Time-interval shards (0 = unsharded span-wide engine).
+        shards: usize,
+        /// Serve through a CoreService with this many workers (0 = direct).
+        workers: usize,
     },
     /// `tkc batch <file> <queries.csv> ...`
     Batch {
@@ -131,6 +140,11 @@ pub enum Command {
         threads: usize,
         /// Skyline-cache memory budget in MiB.
         budget_mb: usize,
+        /// Time-interval shards (0 = unsharded span-wide engine).
+        shards: usize,
+        /// Serve through a CoreService with this many workers (0 = direct
+        /// engine batch).
+        workers: usize,
     },
     /// `tkc generate <profile> <out>`
     Generate {
@@ -184,6 +198,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut algorithm = Algorithm::Enum;
             let mut threads = 0usize;
             let mut budget_mb = 256usize;
+            let mut shards = 0usize;
+            let mut workers = 0usize;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -209,6 +225,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         }
                         i += 1;
                     }
+                    "--shards" => {
+                        shards = parse_num(value("--shards")?, "--shards")?;
+                        i += 1;
+                    }
+                    "--workers" => {
+                        workers = parse_num(value("--workers")?, "--workers")?;
+                        i += 1;
+                    }
                     other => return Err(CliError(format!("unknown flag `{other}`"))),
                 }
                 i += 1;
@@ -219,6 +243,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 algorithm,
                 threads,
                 budget_mb,
+                shards,
+                workers,
             })
         }
         "query" => {
@@ -233,6 +259,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut algorithm = Algorithm::Enum;
             let mut output: Option<OutputKind> = None;
             let mut limit = 20usize;
+            let mut shards = 0usize;
+            let mut workers = 0usize;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -261,6 +289,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--limit" => {
                         limit = parse_num(value("--limit")?, "--limit")?;
+                        i += 1;
+                    }
+                    "--shards" => {
+                        shards = parse_num(value("--shards")?, "--shards")?;
+                        i += 1;
+                    }
+                    "--workers" => {
+                        workers = parse_num(value("--workers")?, "--workers")?;
                         i += 1;
                     }
                     "--algo" | "--algorithm" => {
@@ -304,6 +340,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 algorithm,
                 output: output.unwrap_or(OutputKind::Full),
                 limit,
+                shards,
+                workers,
             })
         }
         other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
@@ -386,6 +424,77 @@ fn parse_query_csv(
     Ok(queries)
 }
 
+/// Writes the per-query result table of `tkc batch`.
+fn write_batch_rows(
+    out: &mut String,
+    queries: &[tkcore::TimeRangeKCoreQuery],
+    rows: &[(u64, u64)],
+) {
+    let _ = writeln!(
+        out,
+        "{:<6} {:<14} {:>10} {:>12}",
+        "k", "range", "cores", "|R| (edges)"
+    );
+    for (query, (cores, edges)) in queries.iter().zip(rows) {
+        let _ = writeln!(
+            out,
+            "{:<6} {:<14} {:>10} {:>12}",
+            query.k(),
+            query.range().to_string(),
+            cores,
+            edges
+        );
+    }
+}
+
+/// Writes the aggregate timing line of an engine-side `tkc batch` run.
+fn write_batch_summary(out: &mut String, algorithm: Algorithm, batch: &tkcore::BatchStats) {
+    let _ = writeln!(
+        out,
+        "\n{}: {} queries on {} threads in {:?} ({} cores, |R| = {} edges)",
+        algorithm,
+        batch.num_queries,
+        batch.threads,
+        batch.wall_time,
+        batch.total_cores,
+        batch.total_result_edges
+    );
+    let _ = writeln!(
+        out,
+        "precompute {:?} + enumerate {:?} summed across workers",
+        batch.precompute_time, batch.enumerate_time
+    );
+}
+
+/// Writes the skyline-cache counters, with the per-shard build breakdown
+/// when the engine is sharded.
+fn write_cache_summary(out: &mut String, cache: &CacheStats) {
+    let _ = writeln!(
+        out,
+        "index cache: {} hits, {} misses, {} evictions, {} indexes resident ({:.2} MiB)",
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.resident_indexes,
+        cache.resident_bytes as f64 / (1024.0 * 1024.0)
+    );
+    write_shard_builds(out, cache);
+}
+
+/// Writes the per-shard build breakdown of a sharded engine's cache; a no-op
+/// for the unsharded engine (whose `per_shard` is empty).
+fn write_shard_builds(out: &mut String, cache: &CacheStats) {
+    if !cache.per_shard.is_empty() {
+        let builds: Vec<u64> = cache.per_shard.iter().map(|s| s.builds).collect();
+        let _ = writeln!(
+            out,
+            "shard builds over {} shards: {:?}",
+            cache.per_shard.len(),
+            builds
+        );
+    }
+}
+
 /// Executes a parsed command, returning the text to print on stdout.
 pub fn run(command: Command) -> Result<String, CliError> {
     let mut out = String::new();
@@ -425,60 +534,91 @@ pub fn run(command: Command) -> Result<String, CliError> {
             algorithm,
             threads,
             budget_mb,
+            shards,
+            workers,
         } => {
             let graph = temporal_graph::loader::read_edge_list(&path)?;
             let content = std::fs::read_to_string(&queries)
                 .map_err(|e| CliError(format!("cannot read {queries}: {e}")))?;
             let parsed = parse_query_csv(&queries, &content, graph.tmax())?;
-            let engine = QueryEngine::with_config(
-                graph,
-                tkcore::EngineConfig {
-                    memory_budget_bytes: budget_mb * 1024 * 1024,
-                    num_threads: threads,
-                },
-            );
-            let (results, batch) =
-                engine.run_batch_with(&parsed, algorithm, |_| CountingSink::default())?;
-            let _ = writeln!(
-                out,
-                "{:<6} {:<14} {:>10} {:>12}",
-                "k", "range", "cores", "|R| (edges)"
-            );
-            for (query, (sink, _)) in parsed.iter().zip(&results) {
+            let engine_config = tkcore::EngineConfig {
+                memory_budget_bytes: budget_mb * 1024 * 1024,
+                num_threads: threads,
+            };
+            if workers > 0 {
+                // Submit every query as one request to a multi-worker
+                // service; the queue is sized to hold the whole batch.
+                let config = ServiceConfig {
+                    queue_depth: parsed.len(),
+                    workers,
+                    admission_memory_bytes: None,
+                    engine: engine_config,
+                };
+                let service = if shards > 0 {
+                    CoreService::start_sharded(graph, ShardPlan::FixedCount(shards), config)?
+                } else {
+                    CoreService::start(graph, config)
+                };
+                let tickets: Vec<tkcore::Ticket> = parsed
+                    .iter()
+                    .map(|query| {
+                        let range = query.range();
+                        service.submit_with(
+                            QueryRequest::single(query.k(), range.start(), range.end()),
+                            algorithm,
+                        )
+                    })
+                    .collect::<Result<_, TkError>>()?;
+                let mut rows = Vec::with_capacity(tickets.len());
+                let mut total_cores = 0u64;
+                let mut total_edges = 0u64;
+                for ticket in tickets {
+                    let reply = ticket.wait()?;
+                    let KOutput::Counts(counts) = &reply.response.outcomes[0].output else {
+                        unreachable!("batch requests use count mode");
+                    };
+                    total_cores += counts.num_cores;
+                    total_edges += counts.total_edges;
+                    rows.push((counts.num_cores, counts.total_edges));
+                }
+                write_batch_rows(&mut out, &parsed, &rows);
+                let stats = service.stats();
                 let _ = writeln!(
                     out,
-                    "{:<6} {:<14} {:>10} {:>12}",
-                    query.k(),
-                    query.range().to_string(),
-                    sink.num_cores,
-                    sink.total_edges
+                    "\n{}: {} queries via {} service workers ({} cores, |R| = {} edges)",
+                    algorithm,
+                    parsed.len(),
+                    stats.per_worker.len(),
+                    total_cores,
+                    total_edges
                 );
+                let per_worker: Vec<u64> = stats.per_worker.iter().map(|w| w.completed).collect();
+                let _ = writeln!(
+                    out,
+                    "queue wait {:?} + execute {:?} summed; per-worker completed: {:?}",
+                    stats.queue_wait_total, stats.execute_total, per_worker
+                );
+                write_cache_summary(&mut out, &service.cache_stats());
+                service.shutdown();
+            } else {
+                let (results, batch) = if shards > 0 {
+                    ShardedEngine::with_config(graph, ShardPlan::FixedCount(shards), engine_config)?
+                        .run_batch_with(&parsed, algorithm, |_| CountingSink::default())?
+                } else {
+                    QueryEngine::with_config(graph, engine_config).run_batch_with(
+                        &parsed,
+                        algorithm,
+                        |_| CountingSink::default(),
+                    )?
+                };
+                let rows: Vec<(u64, u64)> = results
+                    .iter()
+                    .map(|(sink, _)| (sink.num_cores, sink.total_edges))
+                    .collect();
+                write_batch_rows(&mut out, &parsed, &rows);
+                write_batch_summary(&mut out, algorithm, &batch);
+                write_cache_summary(&mut out, &batch.cache);
             }
-            let cache = batch.cache;
-            let _ = writeln!(
-                out,
-                "\n{}: {} queries on {} threads in {:?} ({} cores, |R| = {} edges)",
-                algorithm,
-                batch.num_queries,
-                batch.threads,
-                batch.wall_time,
-                batch.total_cores,
-                batch.total_result_edges
-            );
-            let _ = writeln!(
-                out,
-                "precompute {:?} + enumerate {:?} summed across workers",
-                batch.precompute_time, batch.enumerate_time
-            );
-            let _ = writeln!(
-                out,
-                "index cache: {} hits, {} misses, {} evictions, {} indexes resident ({:.2} MiB)",
-                cache.hits,
-                cache.misses,
-                cache.evictions,
-                cache.resident_indexes,
-                cache.resident_bytes as f64 / (1024.0 * 1024.0)
-            );
         }
         Command::Generate { profile, output } => {
             let profile = DatasetProfile::by_name(&profile).ok_or_else(|| {
@@ -502,6 +642,8 @@ pub fn run(command: Command) -> Result<String, CliError> {
             algorithm,
             output,
             limit,
+            shards,
+            workers,
         } => {
             let graph = temporal_graph::loader::read_edge_list(&path)?;
             let start = start.unwrap_or(1);
@@ -514,18 +656,58 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 OutputKind::Count => request.count(),
                 OutputKind::Full => request.materialize(),
             };
-            // A k-range sweep reuses one cached span-wide index per k; a
-            // single-k query runs the algorithm directly.
-            let (response, cache) = match ks {
-                KSpec::Range(..) => {
-                    let engine = Arc::new(QueryEngine::new(graph.clone()));
-                    let backend = CachedBackend::with_algorithm(Arc::clone(&engine), algorithm);
-                    // Run against the engine's own graph so the backend's
-                    // O(1) identity fast path applies.
-                    let response = request.run(engine.graph(), &backend)?;
-                    (response, Some(engine.cache_stats()))
+            // A k-range sweep reuses one cached index per (shard and) k; a
+            // single-k query without shards runs the algorithm directly.
+            // --workers routes the request through a CoreService instead.
+            let mut service_note = None;
+            let (response, cache) = if workers > 0 {
+                let config = ServiceConfig {
+                    workers,
+                    ..ServiceConfig::default()
+                };
+                let service = if shards > 0 {
+                    CoreService::start_sharded(
+                        graph.clone(),
+                        ShardPlan::FixedCount(shards),
+                        config,
+                    )?
+                } else {
+                    CoreService::start(graph.clone(), config)
+                };
+                let reply = service.submit_with(request, algorithm)?.wait()?;
+                service_note = Some(format!(
+                    "service: {} workers, request {} queued {:?}, executed {:?} on worker {}",
+                    workers.max(1),
+                    reply.id,
+                    reply.queue_wait,
+                    reply.execute_time,
+                    reply.worker
+                ));
+                let cache = service.cache_stats();
+                service.shutdown();
+                (reply.response, Some(cache))
+            } else if shards > 0 {
+                let engine = Arc::new(ShardedEngine::new(
+                    graph.clone(),
+                    ShardPlan::FixedCount(shards),
+                )?);
+                let backend = ShardedBackend::with_algorithm(Arc::clone(&engine), algorithm);
+                let response = request.run(engine.graph(), &backend)?;
+                (response, Some(engine.cache_stats()))
+            } else {
+                match ks {
+                    KSpec::Range(..) => {
+                        let engine = Arc::new(QueryEngine::new(graph.clone()));
+                        let backend = CachedBackend::with_algorithm(Arc::clone(&engine), algorithm);
+                        // Run against the engine's own graph so the backend's
+                        // O(1) identity fast path applies.
+                        let response = request.run(engine.graph(), &backend)?;
+                        (response, Some(engine.cache_stats()))
+                    }
+                    KSpec::Single(_) => {
+                        (request.run(&graph, &algorithm as &dyn CoreBackend)?, None)
+                    }
                 }
-                KSpec::Single(_) => (request.run(&graph, &algorithm as &dyn CoreBackend)?, None),
             };
             for outcome in &response.outcomes {
                 let k = outcome.k;
@@ -572,6 +754,9 @@ pub fn run(command: Command) -> Result<String, CliError> {
                     KOutput::Streamed => unreachable!("the CLI never requests streaming"),
                 }
             }
+            if let Some(note) = service_note {
+                let _ = writeln!(out, "{note}");
+            }
             if let Some(cache) = cache {
                 let _ = writeln!(
                     out,
@@ -580,6 +765,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
                     response.outcomes.len(),
                     cache.hits
                 );
+                write_shard_builds(&mut out, &cache);
             }
         }
     }
@@ -623,6 +809,8 @@ mod tests {
                 algorithm: Algorithm::Otcd,
                 output: OutputKind::Count,
                 limit: 5,
+                shards: 0,
+                workers: 0,
             }
         );
         // --algorithm and --count-only remain as aliases.
@@ -646,6 +834,34 @@ mod tests {
                 algorithm: Algorithm::EnumBase,
                 output: OutputKind::Count,
                 limit: 20,
+                shards: 0,
+                workers: 0,
+            }
+        );
+        // Sharded, service-backed execution.
+        let sharded = parse_args(&strings(&[
+            "query",
+            "g.txt",
+            "--k",
+            "3",
+            "--shards",
+            "4",
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(
+            sharded,
+            Command::Query {
+                path: "g.txt".into(),
+                ks: KSpec::Single(3),
+                start: None,
+                end: None,
+                algorithm: Algorithm::Enum,
+                output: OutputKind::Full,
+                limit: 20,
+                shards: 4,
+                workers: 2,
             }
         );
     }
@@ -664,6 +880,8 @@ mod tests {
                     algorithm: Algorithm::Enum,
                     output: OutputKind::Full,
                     limit: 20,
+                    shards: 0,
+                    workers: 0,
                 },
                 "{spelled}"
             );
@@ -712,6 +930,8 @@ mod tests {
             algorithm: Algorithm::Enum,
             output: OutputKind::Count,
             limit: 10,
+            shards: 0,
+            workers: 0,
         })
         .unwrap_err();
         assert!(err.0.contains("k = 0"), "{err}");
@@ -746,6 +966,8 @@ mod tests {
             algorithm: Algorithm::Enum,
             output: OutputKind::Count,
             limit: 10,
+            shards: 0,
+            workers: 0,
         })
         .unwrap();
         assert!(out.contains("distinct temporal 3-cores"));
@@ -760,6 +982,8 @@ mod tests {
             algorithm: Algorithm::Enum,
             output: OutputKind::Count,
             limit: 10,
+            shards: 0,
+            workers: 0,
         })
         .unwrap();
         for k in 2..=4 {
@@ -773,6 +997,53 @@ mod tests {
             "{out}"
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_and_service_query_match_direct_execution() {
+        let dir = std::env::temp_dir().join("tkc-cli-sharded-query");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fb.txt");
+        let path_str = path.to_string_lossy().to_string();
+        run(Command::Generate {
+            profile: "FB".into(),
+            output: path_str.clone(),
+        })
+        .unwrap();
+        let query = |shards: usize, workers: usize| {
+            run(Command::Query {
+                path: path_str.clone(),
+                ks: KSpec::Single(3),
+                start: None,
+                end: None,
+                algorithm: Algorithm::Enum,
+                output: OutputKind::Count,
+                limit: 10,
+                shards,
+                workers,
+            })
+            .unwrap()
+        };
+        let direct = query(0, 0);
+        let first_line = direct.lines().next().expect("count line present");
+        // Strip the per-run timing suffix `(...)` before comparing.
+        let direct_counts = first_line
+            .rsplit_once(" (")
+            .map(|(head, _)| head)
+            .unwrap_or(first_line)
+            .to_string();
+        // Sharded, service-backed, and combined execution all report the
+        // same counts line; the extra serving detail rides below it.
+        let sharded = query(4, 0);
+        assert!(sharded.contains(&direct_counts), "{sharded}\n{direct}");
+        assert!(sharded.contains("shard builds over 4 shards"), "{sharded}");
+        let served = query(0, 2);
+        assert!(served.contains(&direct_counts), "{served}");
+        assert!(served.contains("service: 2 workers"), "{served}");
+        let both = query(4, 2);
+        assert!(both.contains(&direct_counts), "{both}");
+        assert!(both.contains("shard builds over 4 shards"), "{both}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -797,6 +1068,30 @@ mod tests {
                 algorithm: Algorithm::EnumBase,
                 threads: 4,
                 budget_mb: 64,
+                shards: 0,
+                workers: 0,
+            }
+        );
+        let sharded = parse_args(&strings(&[
+            "batch",
+            "g.txt",
+            "q.csv",
+            "--shards",
+            "4",
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(
+            sharded,
+            Command::Batch {
+                path: "g.txt".into(),
+                queries: "q.csv".into(),
+                algorithm: Algorithm::Enum,
+                threads: 0,
+                budget_mb: 256,
+                shards: 4,
+                workers: 2,
             }
         );
         assert!(parse_args(&strings(&["batch", "g.txt"])).is_err());
@@ -847,6 +1142,8 @@ mod tests {
             algorithm: Algorithm::Enum,
             threads: 2,
             budget_mb: 32,
+            shards: 0,
+            workers: 0,
         })
         .unwrap();
         assert!(out.contains("3 queries"), "{out}");
@@ -866,6 +1163,35 @@ mod tests {
             out.contains(expected_row.trim_end()),
             "missing `{expected_row}` in:\n{out}"
         );
+
+        // The same batch through a 4-shard engine and through a 2-worker
+        // service reports identical per-query rows.
+        let sharded = run(Command::Batch {
+            path: graph_str.clone(),
+            queries: csv_path.to_string_lossy().to_string(),
+            algorithm: Algorithm::Enum,
+            threads: 2,
+            budget_mb: 32,
+            shards: 4,
+            workers: 0,
+        })
+        .unwrap();
+        assert!(sharded.contains(expected_row.trim_end()), "{sharded}");
+        assert!(sharded.contains("shard builds over 4 shards"), "{sharded}");
+
+        let served = run(Command::Batch {
+            path: graph_str.clone(),
+            queries: csv_path.to_string_lossy().to_string(),
+            algorithm: Algorithm::Enum,
+            threads: 2,
+            budget_mb: 32,
+            shards: 4,
+            workers: 2,
+        })
+        .unwrap();
+        assert!(served.contains(expected_row.trim_end()), "{served}");
+        assert!(served.contains("via 2 service workers"), "{served}");
+        assert!(served.contains("per-worker completed"), "{served}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -11,7 +11,10 @@
 //! * every [`Algorithm`] variant is itself a backend (`Enum`, `EnumBase`,
 //!   `Otcd`, `Naive`) that builds whatever per-query state it needs;
 //! * [`CachedBackend`] wraps a shared [`QueryEngine`] so the same call shape
-//!   answers from the engine's span-wide skyline cache.
+//!   answers from the engine's span-wide skyline cache;
+//! * [`crate::ShardedBackend`] does the same over a
+//!   [`crate::ShardedEngine`], answering from per-`(shard, k)` skylines with
+//!   exact stitching at shard boundaries (see [`crate::shard`]).
 //!
 //! [`crate::QueryRequest`] drives a backend for multi-`k` and `k`-range
 //! requests; [`crate::CoreService`] puts a queue in front of one.
@@ -74,6 +77,19 @@ pub(crate) fn validate_query(
         window.start(),
         window.end().min(tmax.max(1)),
     ))
+}
+
+/// The graph-identity rule shared by every engine-backed backend
+/// ([`CachedBackend`], [`crate::ShardedBackend`]): pointer equality is the
+/// O(1) fast path, an equal clone is also accepted at O(|E|) comparison
+/// cost.  Deciding [`TkError::GraphMismatch`] in one place keeps the two
+/// backends' acceptance behavior in lockstep.
+pub(crate) fn graph_matches(own: &TemporalGraph, other: &TemporalGraph) -> bool {
+    std::ptr::eq(own, other)
+        || (own.num_vertices() == other.num_vertices()
+            && own.num_edges() == other.num_edges()
+            && own.tmax() == other.tmax()
+            && own.edges() == other.edges())
 }
 
 impl CoreBackend for Algorithm {
@@ -145,18 +161,12 @@ impl CachedBackend {
         self.algorithm
     }
 
-    /// Is `graph` the graph this backend's engine serves?  Pointer identity
-    /// is the O(1) fast path — pass [`QueryEngine::graph`] to `execute` to
-    /// hit it.  An equal clone is also accepted, but proving equality costs
-    /// a full O(|E|) edge comparison per call, so hot paths should not rely
-    /// on it.
+    /// Is `graph` the graph this backend's engine serves?  Pass
+    /// [`QueryEngine::graph`] to `execute` to hit the O(1) pointer fast
+    /// path of [`graph_matches`]; an equal clone costs a full O(|E|) edge
+    /// comparison per call, so hot paths should not rely on it.
     fn serves(&self, graph: &TemporalGraph) -> bool {
-        let own = self.engine.graph();
-        std::ptr::eq(own, graph)
-            || (own.num_vertices() == graph.num_vertices()
-                && own.num_edges() == graph.num_edges()
-                && own.tmax() == graph.tmax()
-                && own.edges() == graph.edges())
+        graph_matches(self.engine.graph(), graph)
     }
 }
 

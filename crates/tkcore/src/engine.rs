@@ -90,18 +90,39 @@ impl Default for EngineConfig {
     }
 }
 
-/// Cache effectiveness counters, readable via [`QueryEngine::cache_stats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Cache effectiveness counters, readable via [`QueryEngine::cache_stats`]
+/// (and [`crate::ShardedEngine::cache_stats`], which additionally populates
+/// the per-shard dimension).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Queries answered from an already-resident skyline.
     pub hits: u64,
-    /// Queries that had to build a span-wide skyline first.
+    /// Queries that had to build a skyline first.
     pub misses: u64,
     /// Skylines evicted to respect the memory budget.
     pub evictions: u64,
     /// Summed memory estimate of the currently resident skylines.
     pub resident_bytes: usize,
-    /// Number of currently resident skylines (distinct `k` values).
+    /// Number of currently resident skylines.
+    pub resident_indexes: usize,
+    /// Per-shard counters, one entry per time-interval shard.  Empty for the
+    /// span-wide (unsharded) [`QueryEngine`]; a [`crate::ShardedEngine`]
+    /// always reports one entry per shard of its plan, in timeline order.
+    pub per_shard: Vec<ShardCacheStats>,
+}
+
+/// Cache counters of one time-interval shard (see [`CacheStats::per_shard`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCacheStats {
+    /// Index of the shard in the engine's plan (timeline order).
+    pub shard: usize,
+    /// Skylines built for this shard (cold misses), over all `k`.
+    pub builds: u64,
+    /// Queries answered from an already-resident skyline of this shard.
+    pub hits: u64,
+    /// Summed memory estimate of this shard's resident skylines.
+    pub resident_bytes: usize,
+    /// Number of this shard's resident skylines (distinct `k` values).
     pub resident_indexes: usize,
 }
 
@@ -195,12 +216,15 @@ impl SkylineCache {
             evictions: self.evictions,
             resident_bytes: self.resident_bytes,
             resident_indexes: self.entries.len(),
+            per_shard: Vec::new(),
         }
     }
 }
 
-/// Aggregated outcome of one [`QueryEngine::run_batch`] call.
-#[derive(Debug, Clone, Copy)]
+/// Aggregated outcome of one [`QueryEngine::run_batch`] call.  The cache
+/// counters inside carry the per-shard dimension when the batch ran on a
+/// [`crate::ShardedEngine`].
+#[derive(Debug, Clone)]
 pub struct BatchStats {
     /// Number of queries executed.
     pub num_queries: usize,
@@ -407,78 +431,124 @@ impl QueryEngine {
         F: Fn(usize) -> S + Sync,
     {
         let t0 = Instant::now();
-        let validated: Vec<(usize, temporal_graph::TimeWindow)> = queries
-            .iter()
-            .map(|query| {
-                let range = query.range();
-                QueryRequest::single(query.k(), range.start(), range.end())
-                    .validate(&self.graph)
-                    .map(|v| (query.k(), v.window()))
-            })
-            .collect::<Result<_, TkError>>()?;
-        let threads = self.effective_threads(validated.len());
-        let results: Vec<Mutex<Option<(S, QueryStats)>>> =
-            validated.iter().map(|_| Mutex::new(None)).collect();
-        if threads <= 1 {
-            for (i, &(k, window)) in validated.iter().enumerate() {
-                let mut sink = make_sink(i);
-                let stats = self.run_validated(k, window, algorithm, &mut sink);
-                *results[i].lock().expect("result slot") = Some((sink, stats));
-            }
-        } else {
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= validated.len() {
-                            break;
-                        }
-                        let (k, window) = validated[i];
-                        let mut sink = make_sink(i);
-                        let stats = self.run_validated(k, window, algorithm, &mut sink);
-                        *results[i].lock().expect("result slot") = Some((sink, stats));
-                    });
-                }
-            });
-        }
-        let per_query: Vec<(S, QueryStats)> = results
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot")
-                    .expect("every query index was processed")
-            })
-            .collect();
-        let mut batch = BatchStats {
-            num_queries: per_query.len(),
-            total_cores: 0,
-            total_result_edges: 0,
-            precompute_time: Duration::ZERO,
-            enumerate_time: Duration::ZERO,
-            wall_time: t0.elapsed(),
-            threads,
-            cache: self.cache_stats(),
-        };
-        for (_, stats) in &per_query {
-            batch.total_cores += stats.num_cores;
-            batch.total_result_edges += stats.total_result_edges;
-            batch.precompute_time += stats.precompute_time;
-            batch.enumerate_time += stats.enumerate_time;
-        }
+        let validated = validate_batch(&self.graph, queries)?;
+        let threads = effective_threads(self.config.num_threads, validated.len());
+        let per_query = fan_out_batch(&validated, threads, make_sink, |k, window, sink| {
+            self.run_validated(k, window, algorithm, sink)
+        });
+        let batch = aggregate_batch(&per_query, t0.elapsed(), threads, self.cache_stats());
         Ok((per_query, batch))
     }
+}
 
-    fn effective_threads(&self, num_queries: usize) -> usize {
-        let configured = if self.config.num_threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            self.config.num_threads
-        };
-        configured.clamp(1, num_queries.max(1))
+/// Validates every query of a batch against `graph` (the same rules as
+/// [`QueryEngine::run_with`]); the first invalid query fails the whole batch
+/// before any work starts.  Shared by [`QueryEngine`] and
+/// [`crate::ShardedEngine`].
+pub(crate) fn validate_batch(
+    graph: &TemporalGraph,
+    queries: &[TimeRangeKCoreQuery],
+) -> Result<Vec<(usize, temporal_graph::TimeWindow)>, TkError> {
+    queries
+        .iter()
+        .map(|query| {
+            let range = query.range();
+            QueryRequest::single(query.k(), range.start(), range.end())
+                .validate(graph)
+                .map(|v| (query.k(), v.window()))
+        })
+        .collect()
+}
+
+/// Resolves a configured thread count (`0` = one per available CPU) against
+/// the number of queries to run.
+pub(crate) fn effective_threads(configured: usize, num_queries: usize) -> usize {
+    let configured = if configured == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        configured
+    };
+    configured.clamp(1, num_queries.max(1))
+}
+
+/// Fans validated `(k, window)` queries across `threads` scoped OS workers,
+/// one fresh sink per query, results back in query order.  Workers pull the
+/// next query index from a shared atomic counter, so long and short queries
+/// balance automatically.  `run` executes one already-validated query — this
+/// is the seam both the span-wide and the sharded engine plug their
+/// execution into.
+pub(crate) fn fan_out_batch<S, F, R>(
+    validated: &[(usize, temporal_graph::TimeWindow)],
+    threads: usize,
+    make_sink: F,
+    run: R,
+) -> Vec<(S, QueryStats)>
+where
+    S: ResultSink + Send,
+    F: Fn(usize) -> S + Sync,
+    R: Fn(usize, temporal_graph::TimeWindow, &mut dyn ResultSink) -> QueryStats + Sync,
+{
+    let results: Vec<Mutex<Option<(S, QueryStats)>>> =
+        validated.iter().map(|_| Mutex::new(None)).collect();
+    if threads <= 1 {
+        for (i, &(k, window)) in validated.iter().enumerate() {
+            let mut sink = make_sink(i);
+            let stats = run(k, window, &mut sink);
+            *results[i].lock().expect("result slot") = Some((sink, stats));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= validated.len() {
+                        break;
+                    }
+                    let (k, window) = validated[i];
+                    let mut sink = make_sink(i);
+                    let stats = run(k, window, &mut sink);
+                    *results[i].lock().expect("result slot") = Some((sink, stats));
+                });
+            }
+        });
     }
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every query index was processed")
+        })
+        .collect()
+}
+
+/// Sums per-query statistics into a [`BatchStats`].
+pub(crate) fn aggregate_batch<S>(
+    per_query: &[(S, QueryStats)],
+    wall_time: Duration,
+    threads: usize,
+    cache: CacheStats,
+) -> BatchStats {
+    let mut batch = BatchStats {
+        num_queries: per_query.len(),
+        total_cores: 0,
+        total_result_edges: 0,
+        precompute_time: Duration::ZERO,
+        enumerate_time: Duration::ZERO,
+        wall_time,
+        threads,
+        cache,
+    };
+    for (_, stats) in per_query {
+        batch.total_cores += stats.num_cores;
+        batch.total_result_edges += stats.total_result_edges;
+        batch.precompute_time += stats.precompute_time;
+        batch.enumerate_time += stats.enumerate_time;
+    }
+    batch
 }
 
 #[cfg(test)]

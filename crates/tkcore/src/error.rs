@@ -68,6 +68,13 @@ pub enum TkError {
         /// The unparseable input.
         name: String,
     },
+    /// A [`crate::ShardPlan`] could not be resolved against the graph's
+    /// timeline (zero shard count, out-of-range or non-increasing cut
+    /// points, zero edge target).
+    InvalidShardPlan {
+        /// Human-readable description of the defect.
+        detail: String,
+    },
     /// A [`crate::CachedBackend`] was handed a graph other than the one its
     /// engine serves; cached skylines would be silently wrong for it.
     GraphMismatch,
@@ -116,6 +123,9 @@ impl fmt::Display for TkError {
                 f,
                 "unknown algorithm `{name}` (expected enum, enum-base, otcd or naive)"
             ),
+            TkError::InvalidShardPlan { detail } => {
+                write!(f, "invalid shard plan: {detail}")
+            }
             TkError::GraphMismatch => {
                 write!(
                     f,
@@ -171,6 +181,12 @@ mod tests {
                     name: "magic".into(),
                 },
                 "`magic`",
+            ),
+            (
+                TkError::InvalidShardPlan {
+                    detail: "zero shards".into(),
+                },
+                "shard plan",
             ),
             (TkError::GraphMismatch, "different graph"),
             (TkError::ServiceStopped, "shut down"),

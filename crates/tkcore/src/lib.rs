@@ -20,8 +20,32 @@
 //!   skyline cache so repeated and swept queries build each index at most
 //!   once;
 //! * [`CoreService`] — a thread-backed serving front end with a bounded
-//!   request queue, admission control ([`TkError::BudgetExceeded`]), and
-//!   per-request [`RequestId`] + latency accounting.
+//!   request queue, [`ServiceConfig::workers`] worker threads, admission
+//!   control ([`TkError::BudgetExceeded`]), and per-request [`RequestId`] +
+//!   latency accounting.
+//!
+//! # Sharding
+//!
+//! A span-wide skyline per `k` is the memory and cold-build bottleneck on
+//! big graphs, so the timeline can be partitioned into contiguous
+//! time-interval shards ([`ShardPlan`]): a [`ShardedEngine`] caches one
+//! [`EdgeCoreSkyline`] per `(shard, k)` lazily under the same memory budget,
+//! and [`ShardedBackend`] plugs it into the request/serving surface.
+//!
+//! Answers stay **exact** at shard boundaries.  Every distinct temporal
+//! k-core equals the k-core of its own tightest time interval (TTI), so the
+//! cores of a query window `W` split into two disjoint classes: cores whose
+//! TTI fits inside one shard's slice of `W` — exactly the cores of that
+//! slice, served by restricting the shard's cached skyline
+//! ([`EdgeCoreSkyline::restrict`] is exact for sub-ranges) — and cores
+//! whose TTI crosses a shard cut, which per-shard skylines cannot represent
+//! and which are therefore re-verified against the merged sub-window: a
+//! transient skyline built for `W` itself, enumerated through a filter that
+//! forwards only cut-crossing TTIs.  Together the two classes reproduce the
+//! span-wide answer core for core; the `shard_equivalence` test harness
+//! asserts this for random graphs, random plans and all four algorithms.
+//! The transient index is dropped after the query, so resident memory stays
+//! bounded by the per-shard cache budget.
 //!
 //! # Example
 //!
@@ -88,13 +112,14 @@ mod query;
 mod request;
 mod result;
 pub mod service;
+pub mod shard;
 mod sink;
 mod stats;
 mod vct;
 
 pub use backend::{CachedBackend, CoreBackend};
 pub use ecs::EdgeCoreSkyline;
-pub use engine::{BatchStats, CacheStats, EngineConfig, QueryEngine};
+pub use engine::{BatchStats, CacheStats, EngineConfig, QueryEngine, ShardCacheStats};
 pub use enum_base::{enumerate_base, enumerate_base_from_graph, EnumBaseStats};
 pub use enumerate::{enumerate, enumerate_from_graph, EnumStats};
 pub use error::TkError;
@@ -106,7 +131,10 @@ pub use request::{
     KOutcome, KOutput, KSelection, OutputMode, QueryRequest, QueryResponse, ValidatedRequest,
 };
 pub use result::TemporalKCore;
-pub use service::{CoreService, RequestId, ServiceConfig, ServiceReply, ServiceStats, Ticket};
+pub use service::{
+    CoreService, RequestId, ServiceConfig, ServiceReply, ServiceStats, Ticket, WorkerStats,
+};
+pub use shard::{ShardPlan, ShardedBackend, ShardedEngine};
 pub use sink::{CollectingSink, CountingSink, FnSink, ResultSink};
-pub use stats::FrameworkStats;
+pub use stats::{FrameworkStats, ShardProfile};
 pub use vct::{CoreTimeSweep, VertexCoreTimeIndex};

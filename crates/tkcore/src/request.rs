@@ -9,7 +9,8 @@
 //! * a **`k`-range sweep** (`k_min..=k_max`, e.g. to find the largest `k`
 //!   with a non-empty answer) — through a [`crate::CachedBackend`] each `k`
 //!   reuses the engine's span-wide skyline, so a sweep costs at most one
-//!   index build per `k`;
+//!   index build per `k` (and through a [`crate::ShardedBackend`] at most
+//!   one build per `(shard, k)` touched by the window);
 //!
 //! crossed with an [`OutputMode`]: materialise every core, count them, or
 //! stream them into a caller-supplied sink.

@@ -1,10 +1,11 @@
 //! A thread-backed serving front end: [`CoreService`].
 //!
 //! The ROADMAP's sharded / async serving layer needs a seam between clients
-//! and the [`QueryEngine`]: a bounded queue with admission control, typed
-//! rejection, and per-request accounting.  `CoreService` is that seam in its
-//! simplest correct form — one worker OS thread draining a bounded FIFO of
-//! validated requests:
+//! and the query engines: a bounded queue with admission control, typed
+//! rejection, and per-request accounting.  `CoreService` is that seam —
+//! [`ServiceConfig::workers`] OS worker threads draining one shared bounded
+//! FIFO of validated requests, executing on either the span-wide
+//! [`QueryEngine`] or a time-interval [`ShardedEngine`]:
 //!
 //! * [`CoreService::submit`] **validates synchronously** (malformed requests
 //!   never occupy queue capacity) and then applies **admission control**:
@@ -15,11 +16,14 @@
 //! * every admitted request gets a [`RequestId`] and a [`Ticket`]; the reply
 //!   carries queue-wait and execution latency alongside the
 //!   [`QueryResponse`];
+//! * with `workers > 1`, requests execute concurrently (each worker owns one
+//!   request at a time); per-worker latency counters are aggregated into the
+//!   shared [`ServiceStats`] and broken out in [`ServiceStats::per_worker`];
 //! * multi-`k` requests fan across the engine's batch path
-//!   ([`QueryEngine::run_batch_with`]), so a `k`-range sweep still costs at
-//!   most one span-wide skyline build per `k`.
+//!   ([`QueryEngine::run_batch_with`] or its sharded counterpart), so a
+//!   `k`-range sweep still costs at most one skyline build per `(shard, k)`.
 //!
-//! Swapping the worker thread for an async executor, or the single queue for
+//! Swapping the worker pool for an async executor, or the single queue for
 //! per-shard queues, changes this module only — the admission and accounting
 //! surface is the contract the roadmap items plug into.
 
@@ -29,25 +33,30 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::engine::{EngineConfig, QueryEngine};
+use crate::engine::{CacheStats, EngineConfig, QueryEngine};
 use crate::error::TkError;
-use crate::query::{Algorithm, TimeRangeKCoreQuery};
+use crate::query::{Algorithm, QueryStats, TimeRangeKCoreQuery};
 use crate::request::{KOutcome, KOutput, OutputMode, QueryRequest, QueryResponse};
-use crate::sink::{CollectingSink, CountingSink};
+use crate::shard::{ShardPlan, ShardedBackend, ShardedEngine};
+use crate::sink::{CollectingSink, CountingSink, ResultSink};
 use temporal_graph::TemporalGraph;
 
 /// Tuning knobs of a [`CoreService`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
-    /// Maximum number of requests waiting in the queue (not counting the one
-    /// currently executing).  Submissions beyond this depth are refused with
-    /// [`TkError::BudgetExceeded`].
+    /// Maximum number of requests waiting in the queue (not counting the
+    /// ones currently executing on workers).  Submissions beyond this depth
+    /// are refused with [`TkError::BudgetExceeded`].
     pub queue_depth: usize,
+    /// Worker threads draining the shared queue; `0` is treated as `1`.
+    /// Each worker executes one request at a time, so up to `workers`
+    /// requests are in flight concurrently.
+    pub workers: usize,
     /// Refuse new requests while the engine's skyline cache holds more than
     /// this many resident bytes (`None` disables the memory gate; the
     /// engine's own LRU budget still bounds the cache itself).
     pub admission_memory_bytes: Option<usize>,
-    /// Configuration of the underlying [`QueryEngine`].
+    /// Configuration of the underlying engine.
     pub engine: EngineConfig,
 }
 
@@ -55,6 +64,7 @@ impl Default for ServiceConfig {
     fn default() -> Self {
         Self {
             queue_depth: 64,
+            workers: 1,
             admission_memory_bytes: None,
             engine: EngineConfig::default(),
         }
@@ -78,10 +88,12 @@ pub struct ServiceReply {
     pub id: RequestId,
     /// The request's results, one outcome per `k`.
     pub response: QueryResponse,
-    /// Time the request spent queued before the worker picked it up.
+    /// Time the request spent queued before a worker picked it up.
     pub queue_wait: Duration,
     /// Wall-clock execution time on the worker.
     pub execute_time: Duration,
+    /// Index of the worker thread that executed the request.
+    pub worker: usize,
 }
 
 /// Handle to one admitted request; redeem it with [`Ticket::wait`].
@@ -109,21 +121,34 @@ impl Ticket {
     }
 }
 
-/// Cumulative request accounting, readable via [`CoreService::stats`].
+/// Latency counters of one worker thread (see [`ServiceStats::per_worker`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Requests this worker fully executed and replied to.
+    pub completed: u64,
+    /// Summed execution time of this worker's completed requests.
+    pub execute_total: Duration,
+}
+
+/// Cumulative request accounting, readable via [`CoreService::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Requests admitted to the queue.
     pub admitted: u64,
     /// Requests refused by admission control ([`TkError::BudgetExceeded`]).
     pub rejected: u64,
-    /// Requests fully executed and replied to.
+    /// Requests fully executed and replied to (sum of the per-worker
+    /// counters).
     pub completed: u64,
     /// Summed queue wait of completed requests.
     pub queue_wait_total: Duration,
-    /// Summed execution time of completed requests.
+    /// Summed execution time of completed requests (sum of the per-worker
+    /// totals).
     pub execute_total: Duration,
     /// High-water mark of the queue depth.
     pub max_queue_depth: usize,
+    /// Per-worker latency counters, one entry per worker thread.
+    pub per_worker: Vec<WorkerStats>,
 }
 
 struct Job {
@@ -145,34 +170,85 @@ struct Shared {
     work_ready: Condvar,
 }
 
+/// The engine a service executes on: span-wide or time-interval sharded.
+enum ServingEngine {
+    Span(Arc<QueryEngine>),
+    Sharded(Arc<ShardedEngine>),
+}
+
+impl ServingEngine {
+    fn graph(&self) -> &TemporalGraph {
+        match self {
+            ServingEngine::Span(engine) => engine.graph(),
+            ServingEngine::Sharded(engine) => engine.graph(),
+        }
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        match self {
+            ServingEngine::Span(engine) => engine.cache_stats(),
+            ServingEngine::Sharded(engine) => engine.cache_stats(),
+        }
+    }
+
+    fn run_batch_with<S, F>(
+        &self,
+        queries: &[TimeRangeKCoreQuery],
+        algorithm: Algorithm,
+        make_sink: F,
+    ) -> Result<Vec<(S, QueryStats)>, TkError>
+    where
+        S: ResultSink + Send,
+        F: Fn(usize) -> S + Sync,
+    {
+        match self {
+            ServingEngine::Span(engine) => engine
+                .run_batch_with(queries, algorithm, make_sink)
+                .map(|(results, _)| results),
+            ServingEngine::Sharded(engine) => engine
+                .run_batch_with(queries, algorithm, make_sink)
+                .map(|(results, _)| results),
+        }
+    }
+}
+
 /// A query-serving front end: bounded queue + admission control over a
-/// [`QueryEngine`], processed by a dedicated worker thread.
+/// span-wide [`QueryEngine`] or a [`ShardedEngine`], processed by a pool of
+/// [`ServiceConfig::workers`] worker threads.
 ///
 /// # Example
 ///
 /// ```
 /// use tkcore::{paper_example, Algorithm, CoreService, QueryRequest, ServiceConfig};
 ///
-/// let service = CoreService::start(paper_example::graph(), ServiceConfig::default());
+/// let service = CoreService::start(
+///     paper_example::graph(),
+///     ServiceConfig {
+///         workers: 2,
+///         ..ServiceConfig::default()
+///     },
+/// );
 /// let ticket = service
 ///     .submit(QueryRequest::sweep(1..=3, 1, 7))
 ///     .unwrap();
 /// let reply = ticket.wait().unwrap();
 /// assert_eq!(reply.response.outcomes.len(), 3); // one outcome per k
 /// // Each k of the sweep built its span-wide skyline at most once.
-/// assert_eq!(service.engine().cache_stats().misses, 3);
+/// assert_eq!(service.cache_stats().misses, 3);
+/// assert_eq!(service.stats().per_worker.len(), 2);
 /// service.shutdown();
 /// ```
 pub struct CoreService {
-    engine: Arc<QueryEngine>,
+    engine: Arc<ServingEngine>,
     shared: Arc<Shared>,
     config: ServiceConfig,
     next_id: AtomicU64,
-    worker: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl CoreService {
-    /// Starts a service owning `graph`, with its worker thread running.
+    /// Starts a service owning `graph` on a span-wide engine, with its
+    /// worker pool running.
     pub fn start(graph: TemporalGraph, config: ServiceConfig) -> Self {
         Self::over(
             Arc::new(QueryEngine::with_config(graph, config.engine)),
@@ -180,39 +256,94 @@ impl CoreService {
         )
     }
 
-    /// Starts a service over an existing (possibly shared) engine.
+    /// Starts a service owning `graph` on a [`ShardedEngine`] cut by `plan`.
+    ///
+    /// # Errors
+    /// [`TkError::InvalidShardPlan`] when `plan` does not resolve against
+    /// the graph.
+    pub fn start_sharded(
+        graph: TemporalGraph,
+        plan: ShardPlan,
+        config: ServiceConfig,
+    ) -> Result<Self, TkError> {
+        let engine = Arc::new(ShardedEngine::with_config(graph, plan, config.engine)?);
+        Ok(Self::over_sharded(engine, config))
+    }
+
+    /// Starts a service over an existing (possibly shared) span-wide engine.
     pub fn over(engine: Arc<QueryEngine>, config: ServiceConfig) -> Self {
+        Self::launch(ServingEngine::Span(engine), config)
+    }
+
+    /// Starts a service over an existing (possibly shared) sharded engine.
+    pub fn over_sharded(engine: Arc<ShardedEngine>, config: ServiceConfig) -> Self {
+        Self::launch(ServingEngine::Sharded(engine), config)
+    }
+
+    fn launch(engine: ServingEngine, config: ServiceConfig) -> Self {
+        let num_workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 open: true,
-                stats: ServiceStats::default(),
+                stats: ServiceStats {
+                    per_worker: vec![WorkerStats::default(); num_workers],
+                    ..ServiceStats::default()
+                },
             }),
             work_ready: Condvar::new(),
         });
-        let worker_shared = Arc::clone(&shared);
-        let worker_engine = Arc::clone(&engine);
-        let worker = std::thread::Builder::new()
-            .name("tkcore-service".into())
-            .spawn(move || worker_loop(worker_engine, worker_shared))
-            .expect("spawn service worker");
+        let engine = Arc::new(engine);
+        let workers = (0..num_workers)
+            .map(|worker_idx| {
+                let worker_shared = Arc::clone(&shared);
+                let worker_engine = Arc::clone(&engine);
+                std::thread::Builder::new()
+                    .name(format!("tkcore-service-{worker_idx}"))
+                    .spawn(move || worker_loop(worker_engine, worker_shared, worker_idx))
+                    .expect("spawn service worker")
+            })
+            .collect();
         Self {
             engine,
             shared,
             config,
             next_id: AtomicU64::new(1),
-            worker: Some(worker),
+            workers,
         }
     }
 
-    /// The engine this service executes on (for cache statistics, warming…).
-    pub fn engine(&self) -> &QueryEngine {
-        &self.engine
+    /// The span-wide engine this service executes on, when it is not
+    /// sharded (for cache statistics, warming…).
+    pub fn engine(&self) -> Option<&QueryEngine> {
+        match &*self.engine {
+            ServingEngine::Span(engine) => Some(engine),
+            ServingEngine::Sharded(_) => None,
+        }
     }
 
-    /// Cumulative admission and latency counters.
+    /// The sharded engine this service executes on, when it is sharded.
+    pub fn sharded_engine(&self) -> Option<&ShardedEngine> {
+        match &*self.engine {
+            ServingEngine::Span(_) => None,
+            ServingEngine::Sharded(engine) => Some(engine),
+        }
+    }
+
+    /// Skyline-cache counters of whichever engine backs this service; a
+    /// sharded service reports the per-shard dimension.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.engine.cache_stats()
+    }
+
+    /// Cumulative admission and latency counters, including per-worker ones.
     pub fn stats(&self) -> ServiceStats {
-        self.shared.state.lock().expect("service state").stats
+        self.shared
+            .state
+            .lock()
+            .expect("service state")
+            .stats
+            .clone()
     }
 
     /// Submits a request running the paper's final algorithm (`Enum`).
@@ -283,8 +414,8 @@ impl CoreService {
         Ok(Ticket { id, rx })
     }
 
-    /// Stops accepting requests, drains the queue, and joins the worker.
-    /// Dropping the service does the same.
+    /// Stops accepting requests, drains the queue, and joins the worker
+    /// pool.  Dropping the service does the same.
     pub fn shutdown(mut self) {
         self.close_and_join();
     }
@@ -295,7 +426,7 @@ impl CoreService {
             state.open = false;
         }
         self.shared.work_ready.notify_all();
-        if let Some(worker) = self.worker.take() {
+        for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }
@@ -307,7 +438,7 @@ impl Drop for CoreService {
     }
 }
 
-fn worker_loop(engine: Arc<QueryEngine>, shared: Arc<Shared>) {
+fn worker_loop(engine: Arc<ServingEngine>, shared: Arc<Shared>, worker_idx: usize) {
     loop {
         let job = {
             let mut state = shared.state.lock().expect("service state");
@@ -333,12 +464,16 @@ fn worker_loop(engine: Arc<QueryEngine>, shared: Arc<Shared>) {
             state.stats.completed += 1;
             state.stats.queue_wait_total += queue_wait;
             state.stats.execute_total += execute_time;
+            let lane = &mut state.stats.per_worker[worker_idx];
+            lane.completed += 1;
+            lane.execute_total += execute_time;
         }
         let reply = result.map(|response| ServiceReply {
             id: job.id,
             response,
             queue_wait,
             execute_time,
+            worker: worker_idx,
         });
         // The submitter may have dropped its ticket; that is not an error.
         let _ = job.reply.send(reply);
@@ -346,10 +481,10 @@ fn worker_loop(engine: Arc<QueryEngine>, shared: Arc<Shared>) {
 }
 
 /// Executes one validated request on the engine.  Count and materialize
-/// modes fan the per-`k` queries across [`QueryEngine::run_batch_with`];
-/// stream mode runs sequentially because all `k` values share one sink.
+/// modes fan the per-`k` queries across the engine's batch path; stream
+/// mode runs sequentially because all `k` values share one sink.
 fn execute_job(
-    engine: &Arc<QueryEngine>,
+    engine: &ServingEngine,
     request: crate::request::ValidatedRequest,
     algorithm: Algorithm,
 ) -> Result<QueryResponse, TkError> {
@@ -363,12 +498,20 @@ fn execute_job(
         OutputMode::Stream(_) => {
             // Sequential: the one caller sink sees every k in order, still
             // answered from the engine's skyline cache.
-            let backend =
-                crate::backend::CachedBackend::with_algorithm(Arc::clone(engine), algorithm);
-            request.execute(engine.graph(), &backend)
+            match engine {
+                ServingEngine::Span(span) => {
+                    let backend =
+                        crate::backend::CachedBackend::with_algorithm(Arc::clone(span), algorithm);
+                    request.execute(span.graph(), &backend)
+                }
+                ServingEngine::Sharded(sharded) => {
+                    let backend = ShardedBackend::with_algorithm(Arc::clone(sharded), algorithm);
+                    request.execute(sharded.graph(), &backend)
+                }
+            }
         }
         OutputMode::Materialize => {
-            let (results, _batch) =
+            let results =
                 engine.run_batch_with(&queries, algorithm, |_| CollectingSink::default())?;
             let outcomes = queries
                 .iter()
@@ -386,7 +529,7 @@ fn execute_job(
             })
         }
         OutputMode::Count => {
-            let (results, _batch) =
+            let results =
                 engine.run_batch_with(&queries, algorithm, |_| CountingSink::default())?;
             let outcomes = queries
                 .iter()
@@ -420,11 +563,15 @@ mod tests {
         let reply = ticket.wait().unwrap();
         assert_eq!(reply.id, id);
         assert_eq!(reply.response.total_cores(), 2);
+        assert!(reply.worker < 1, "single-worker pool");
         let stats = service.stats();
         assert_eq!(stats.admitted, 1);
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.rejected, 0);
         assert!(stats.execute_total >= reply.execute_time);
+        assert_eq!(stats.per_worker.len(), 1);
+        assert_eq!(stats.per_worker[0].completed, 1);
+        assert_eq!(stats.per_worker[0].execute_total, stats.execute_total);
         service.shutdown();
     }
 
@@ -456,8 +603,36 @@ mod tests {
         for outcome in &reply.response.outcomes {
             assert!(matches!(outcome.output, KOutput::Counts(_)));
         }
-        assert_eq!(service.engine().cache_stats().misses, 3);
+        assert_eq!(service.cache_stats().misses, 3);
         service.shutdown();
+    }
+
+    #[test]
+    fn sharded_service_answers_like_span_and_reports_shard_cache() {
+        let graph = paper_example::graph();
+        let span = CoreService::start(graph.clone(), ServiceConfig::default());
+        let sharded =
+            CoreService::start_sharded(graph, ShardPlan::FixedCount(4), ServiceConfig::default())
+                .unwrap();
+        assert!(sharded.engine().is_none());
+        assert_eq!(sharded.sharded_engine().unwrap().num_shards(), 4);
+        for request in [
+            || QueryRequest::single(2, 1, 4).materialize(),
+            || QueryRequest::sweep(1..=3, 2, 6).materialize(),
+        ] {
+            let a = span.submit(request()).unwrap().wait().unwrap();
+            let b = sharded.submit(request()).unwrap().wait().unwrap();
+            assert_eq!(a.response.total_cores(), b.response.total_cores());
+            for (oa, ob) in a.response.outcomes.iter().zip(&b.response.outcomes) {
+                let (KOutput::Cores(ca), KOutput::Cores(cb)) = (&oa.output, &ob.output) else {
+                    panic!("materialized request");
+                };
+                assert_eq!(ca, cb, "k={}", oa.k);
+            }
+        }
+        assert_eq!(sharded.cache_stats().per_shard.len(), 4);
+        span.shutdown();
+        sharded.shutdown();
     }
 
     #[test]

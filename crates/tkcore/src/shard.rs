@@ -1,0 +1,897 @@
+//! Time-interval sharding: [`ShardPlan`], [`ShardedEngine`] and
+//! [`ShardedBackend`].
+//!
+//! The span-wide [`QueryEngine`](crate::QueryEngine) keeps **one skyline per
+//! `k` covering the whole timeline** — the memory and cold-build bottleneck
+//! on big graphs.  This module partitions the timeline into contiguous
+//! time-interval shards and keeps **one skyline per `(shard, k)`** instead,
+//! each covering only its shard's interval:
+//!
+//! * per-shard skylines are strictly smaller than the span-wide one (they
+//!   drop every minimal core window crossing a shard cut), so the resident
+//!   cache and the peak cold-build footprint are bounded by the largest
+//!   shard, not the span;
+//! * cold builds are per shard, so a query touching 2 of 40 shards builds
+//!   2 small indexes, never the span-wide one;
+//! * shard skylines build independently, so batch workers warm different
+//!   shards in parallel.
+//!
+//! # Exactness at shard boundaries
+//!
+//! Every distinct temporal k-core `C` of a query window `W` equals the
+//! k-core of its own TTI (`C = core(TTI(C))`, `TTI(C) ⊆ W`), so the cores of
+//! `W` partition by where their TTI falls relative to the shard cuts:
+//!
+//! 1. **Intra-shard cores** (`TTI ⊆ I_s ∩ W` for some shard interval
+//!    `I_s`): these are exactly the cores of the range `I_s ∩ W`, answered
+//!    by restricting shard `s`'s cached skyline — the same
+//!    restriction-is-exact argument as the span-wide engine
+//!    ([`EdgeCoreSkyline::restrict`]).
+//! 2. **Boundary-spanning cores** (TTI contains a cut, i.e. both `c` and
+//!    `c + 1` for some shard boundary after timestamp `c`): these cannot be
+//!    derived from per-shard skylines (their minimal windows were dropped at
+//!    build time), so they are re-verified against the **merged sub-window**:
+//!    a transient skyline is built for `W` itself and enumerated through a
+//!    filter that forwards only cores whose TTI crosses a cut.
+//!
+//! The two sets are disjoint (a TTI either fits inside one shard or crosses
+//! a cut) and jointly exhaustive, and within one graph a TTI identifies its
+//! core uniquely — so the stitched answer equals the span-wide answer
+//! exactly.  The `shard_equivalence` test harness asserts this for random
+//! graphs, random plans and all four algorithms.  The transient merged
+//! skyline is dropped after the query: boundary-spanning queries pay a
+//! build, but never grow the resident cache beyond the per-shard budget.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::backend::{validate_query, CoreBackend};
+use crate::ecs::EdgeCoreSkyline;
+use crate::engine::{
+    aggregate_batch, effective_threads, fan_out_batch, validate_batch, BatchStats, CacheStats,
+    EngineConfig, ShardCacheStats,
+};
+use crate::error::TkError;
+use crate::query::{Algorithm, QueryStats, TimeRangeKCoreQuery};
+use crate::request::QueryRequest;
+use crate::sink::{CountingSink, ResultSink};
+use temporal_graph::{EdgeId, TemporalGraph, TimeWindow, Timestamp};
+
+/// How to cut the graph's timeline `[1, tmax]` into contiguous shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardPlan {
+    /// One shard covering the whole span (the unsharded layout; useful as a
+    /// degenerate baseline in equivalence tests).
+    Span,
+    /// A fixed number of shards of near-equal timeline length.  Counts
+    /// exceeding `tmax` are clamped to one shard per timestamp.
+    FixedCount(usize),
+    /// Cut so every shard holds roughly this many edge occurrences (the last
+    /// shard takes the remainder).  Adapts shard boundaries to bursty
+    /// timelines where equal-length intervals would be wildly unbalanced.
+    TargetEdgesPerShard(usize),
+    /// Explicit cut points: a boundary is placed **after** each listed
+    /// timestamp, which must be strictly increasing and inside `[1, tmax)`.
+    ExplicitCuts(Vec<Timestamp>),
+}
+
+impl ShardPlan {
+    /// Resolves the plan against a graph into contiguous shard intervals
+    /// covering `[1, tmax]` exactly.
+    ///
+    /// # Errors
+    /// [`TkError::InvalidShardPlan`] for a zero shard count, a zero edge
+    /// target, or cut points that are out of range or not strictly
+    /// increasing.
+    pub fn resolve(&self, graph: &TemporalGraph) -> Result<Vec<TimeWindow>, TkError> {
+        let tmax = graph.tmax().max(1);
+        let shards = match self {
+            ShardPlan::Span => vec![TimeWindow::new(1, tmax)],
+            ShardPlan::FixedCount(n) => {
+                if *n == 0 {
+                    return Err(TkError::InvalidShardPlan {
+                        detail: "shard count must be at least 1".into(),
+                    });
+                }
+                let n = (*n as u64).min(u64::from(tmax));
+                (0..n)
+                    .map(|i| {
+                        let start = 1 + (i * u64::from(tmax) / n) as Timestamp;
+                        let end = ((i + 1) * u64::from(tmax) / n) as Timestamp;
+                        TimeWindow::new(start, end)
+                    })
+                    .collect()
+            }
+            ShardPlan::TargetEdgesPerShard(target) => {
+                if *target == 0 {
+                    return Err(TkError::InvalidShardPlan {
+                        detail: "edges-per-shard target must be at least 1".into(),
+                    });
+                }
+                let mut shards = Vec::new();
+                let mut start = 1;
+                let mut accumulated = 0usize;
+                for t in 1..=tmax {
+                    accumulated += graph.edges_at(t).len();
+                    if accumulated >= *target && t < tmax {
+                        shards.push(TimeWindow::new(start, t));
+                        start = t + 1;
+                        accumulated = 0;
+                    }
+                }
+                shards.push(TimeWindow::new(start, tmax));
+                shards
+            }
+            ShardPlan::ExplicitCuts(cuts) => {
+                let mut shards = Vec::new();
+                let mut start = 1;
+                for &cut in cuts {
+                    if cut < start || cut >= tmax {
+                        return Err(TkError::InvalidShardPlan {
+                            detail: format!(
+                                "cut after {cut} is outside [{start}, {}] or not increasing",
+                                tmax - 1
+                            ),
+                        });
+                    }
+                    shards.push(TimeWindow::new(start, cut));
+                    start = cut + 1;
+                }
+                shards.push(TimeWindow::new(start, tmax));
+                shards
+            }
+        };
+        debug_assert_eq!(shards.first().map(|s| s.start()), Some(1));
+        debug_assert_eq!(shards.last().map(|s| s.end()), Some(tmax));
+        debug_assert!(shards.windows(2).all(|p| p[1].start() == p[0].end() + 1));
+        Ok(shards)
+    }
+}
+
+struct ShardCacheEntry {
+    skyline: Arc<EdgeCoreSkyline>,
+    last_used: u64,
+}
+
+/// LRU cache of per-`(shard, k)` skylines with per-shard counters.
+struct ShardCache {
+    entries: HashMap<(usize, usize), ShardCacheEntry>,
+    clock: u64,
+    resident_bytes: usize,
+    budget: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    per_shard: Vec<ShardCacheStats>,
+}
+
+impl ShardCache {
+    fn new(budget: usize, num_shards: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            clock: 0,
+            resident_bytes: 0,
+            budget,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            per_shard: (0..num_shards)
+                .map(|shard| ShardCacheStats {
+                    shard,
+                    ..ShardCacheStats::default()
+                })
+                .collect(),
+        }
+    }
+
+    fn get(&mut self, shard: usize, k: usize) -> Option<Arc<EdgeCoreSkyline>> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(&(shard, k)) {
+            Some(entry) => {
+                entry.last_used = clock;
+                self.hits += 1;
+                self.per_shard[shard].hits += 1;
+                Some(Arc::clone(&entry.skyline))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly built shard skyline unless another thread won the
+    /// race, then evicts LRU entries (never the key itself) down to the
+    /// budget.  Counts a build only when the insert actually happened.
+    fn adopt(
+        &mut self,
+        shard: usize,
+        k: usize,
+        built: Arc<EdgeCoreSkyline>,
+    ) -> Arc<EdgeCoreSkyline> {
+        self.clock += 1;
+        let clock = self.clock;
+        let key = (shard, k);
+        let skyline = match self.entries.get_mut(&key) {
+            Some(existing) => {
+                existing.last_used = clock;
+                Arc::clone(&existing.skyline)
+            }
+            None => {
+                let bytes = built.memory_bytes();
+                self.resident_bytes += bytes;
+                self.per_shard[shard].builds += 1;
+                self.per_shard[shard].resident_bytes += bytes;
+                self.per_shard[shard].resident_indexes += 1;
+                self.entries.insert(
+                    key,
+                    ShardCacheEntry {
+                        skyline: Arc::clone(&built),
+                        last_used: clock,
+                    },
+                );
+                built
+            }
+        };
+        while self.resident_bytes > self.budget && self.entries.len() > 1 {
+            let Some((&victim, _)) = self
+                .entries
+                .iter()
+                .filter(|(&other, _)| other != key)
+                .min_by_key(|(_, e)| e.last_used)
+            else {
+                break;
+            };
+            let removed = self.entries.remove(&victim).expect("victim present");
+            let bytes = removed.skyline.memory_bytes();
+            self.resident_bytes -= bytes;
+            self.per_shard[victim.0].resident_bytes -= bytes;
+            self.per_shard[victim.0].resident_indexes -= 1;
+            self.evictions += 1;
+        }
+        skyline
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            resident_bytes: self.resident_bytes,
+            resident_indexes: self.entries.len(),
+            per_shard: self.per_shard.clone(),
+        }
+    }
+}
+
+/// Forwards only cores whose TTI crosses at least one shard cut, counting
+/// what it lets through (the stitching filter of the merged-window pass).
+struct BoundarySink<'a> {
+    inner: &'a mut dyn ResultSink,
+    /// Shard boundaries inside the query window: a cut after timestamp `c`
+    /// is crossed by a TTI `[a, b]` iff `a <= c < b`.
+    cuts: &'a [Timestamp],
+    cores: u64,
+    edges: u64,
+}
+
+impl ResultSink for BoundarySink<'_> {
+    fn emit(&mut self, tti: TimeWindow, edges: &[EdgeId]) {
+        if self.cuts.iter().any(|&c| tti.start() <= c && c < tti.end()) {
+            self.cores += 1;
+            self.edges += edges.len() as u64;
+            self.inner.emit(tti, edges);
+        }
+    }
+}
+
+/// A query engine over time-interval shards: per-`(shard, k)` skyline cache,
+/// exact boundary stitching, and the same batch surface as
+/// [`QueryEngine`](crate::QueryEngine).
+///
+/// See the [module documentation](self) for the sharding layout and the
+/// exactness argument.
+///
+/// # Example
+///
+/// ```
+/// use tkcore::{paper_example, ShardPlan, ShardedEngine, TimeRangeKCoreQuery, CountingSink};
+/// use temporal_graph::TimeWindow;
+///
+/// let engine = ShardedEngine::new(paper_example::graph(), ShardPlan::FixedCount(4)).unwrap();
+/// assert_eq!(engine.num_shards(), 4);
+/// let mut sink = CountingSink::default();
+/// let query = TimeRangeKCoreQuery::new(2, TimeWindow::new(1, 4)).unwrap();
+/// let stats = engine.run(&query, &mut sink).unwrap();
+/// assert_eq!(stats.num_cores, 2); // Figure 2 of the paper, stitched across shards
+/// ```
+pub struct ShardedEngine {
+    graph: TemporalGraph,
+    shards: Vec<TimeWindow>,
+    config: EngineConfig,
+    cache: Mutex<ShardCache>,
+}
+
+impl ShardedEngine {
+    /// Creates a sharded engine with the default [`EngineConfig`].
+    ///
+    /// # Errors
+    /// [`TkError::InvalidShardPlan`] when `plan` does not resolve against
+    /// the graph (see [`ShardPlan::resolve`]).
+    pub fn new(graph: TemporalGraph, plan: ShardPlan) -> Result<Self, TkError> {
+        Self::with_config(graph, plan, EngineConfig::default())
+    }
+
+    /// Creates a sharded engine with an explicit configuration.  The memory
+    /// budget bounds the summed resident bytes of **all** shard skylines.
+    ///
+    /// # Errors
+    /// [`TkError::InvalidShardPlan`] when `plan` does not resolve.
+    pub fn with_config(
+        graph: TemporalGraph,
+        plan: ShardPlan,
+        config: EngineConfig,
+    ) -> Result<Self, TkError> {
+        let shards = plan.resolve(&graph)?;
+        let cache = Mutex::new(ShardCache::new(config.memory_budget_bytes, shards.len()));
+        Ok(Self {
+            graph,
+            shards,
+            config,
+            cache,
+        })
+    }
+
+    /// The graph this engine serves queries against.
+    pub fn graph(&self) -> &TemporalGraph {
+        &self.graph
+    }
+
+    /// The resolved shard intervals, contiguous and covering `[1, tmax]`.
+    pub fn shards(&self) -> &[TimeWindow] {
+        &self.shards
+    }
+
+    /// Number of time-interval shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current cache counters; [`CacheStats::per_shard`] holds one entry per
+    /// shard with its build/hit/residency counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("shard cache lock").stats()
+    }
+
+    /// Indexes of the shards overlapping `window` (always non-empty for a
+    /// validated, span-clamped window).
+    fn overlapping(&self, window: TimeWindow) -> std::ops::Range<usize> {
+        let lo = self.shards.partition_point(|s| s.end() < window.start());
+        let hi = self.shards.partition_point(|s| s.start() <= window.end());
+        lo..hi
+    }
+
+    /// Returns shard `shard`'s skyline for `k`, building and caching it on a
+    /// miss.  Like the span-wide engine, the build runs outside the cache
+    /// lock: two threads racing on the same cold `(shard, k)` may both
+    /// build; the loser's copy is dropped.
+    fn shard_skyline(&self, shard: usize, k: usize) -> Arc<EdgeCoreSkyline> {
+        if let Some(hit) = self.cache.lock().expect("shard cache lock").get(shard, k) {
+            return hit;
+        }
+        let built = Arc::new(EdgeCoreSkyline::build(&self.graph, k, self.shards[shard]));
+        self.cache
+            .lock()
+            .expect("shard cache lock")
+            .adopt(shard, k, built)
+    }
+
+    /// Warms every shard skyline for `k`; returns whether all of them were
+    /// already resident.
+    pub fn warm(&self, k: usize) -> bool {
+        let mut all_resident = true;
+        for shard in 0..self.shards.len() {
+            let resident = self
+                .cache
+                .lock()
+                .expect("shard cache lock")
+                .entries
+                .contains_key(&(shard, k));
+            all_resident &= resident;
+            let _ = self.shard_skyline(shard, k);
+        }
+        all_resident
+    }
+
+    /// Drops every cached shard skyline, keeping the counters.
+    pub fn clear_cache(&self) {
+        let mut cache = self.cache.lock().expect("shard cache lock");
+        cache.entries.clear();
+        cache.resident_bytes = 0;
+        for shard in cache.per_shard.iter_mut() {
+            shard.resident_bytes = 0;
+            shard.resident_indexes = 0;
+        }
+    }
+
+    /// Runs one query with the paper's final algorithm, streaming results
+    /// into `sink`.
+    ///
+    /// # Errors
+    /// See [`ShardedEngine::run_with`].
+    pub fn run(
+        &self,
+        query: &TimeRangeKCoreQuery,
+        sink: &mut dyn ResultSink,
+    ) -> Result<QueryStats, TkError> {
+        self.run_with(query, Algorithm::Enum, sink)
+    }
+
+    /// Runs one query with the chosen algorithm.
+    ///
+    /// `Enum` and `EnumBase` answer from restricted shard skylines plus the
+    /// boundary-stitching pass; `Otcd` and `Naive` have no reusable index
+    /// and run exactly as [`TimeRangeKCoreQuery::run_with`] does.
+    ///
+    /// Cores are streamed in per-shard order (intra-shard cores first, then
+    /// boundary-spanning ones), which differs from the span-wide engine's
+    /// order; the *set* of `(TTI, edges)` pairs is identical.
+    ///
+    /// # Errors
+    /// The validation errors of [`QueryRequest::validate`].
+    pub fn run_with(
+        &self,
+        query: &TimeRangeKCoreQuery,
+        algorithm: Algorithm,
+        sink: &mut dyn ResultSink,
+    ) -> Result<QueryStats, TkError> {
+        let range = query.range();
+        let validated =
+            QueryRequest::single(query.k(), range.start(), range.end()).validate(&self.graph)?;
+        Ok(self.run_validated(query.k(), validated.window(), algorithm, sink))
+    }
+
+    /// Executes a query whose parameters already passed validation (`k >= 1`,
+    /// window inside the graph span).
+    fn run_validated(
+        &self,
+        k: usize,
+        window: TimeWindow,
+        algorithm: Algorithm,
+        sink: &mut dyn ResultSink,
+    ) -> QueryStats {
+        match algorithm {
+            Algorithm::Otcd | Algorithm::Naive => {
+                TimeRangeKCoreQuery::validated(k, window).run_with(&self.graph, algorithm, sink)
+            }
+            Algorithm::Enum | Algorithm::EnumBase => {
+                let shards = self.overlapping(window);
+                debug_assert!(!shards.is_empty(), "validated window overlaps a shard");
+                let mut total = QueryStats::zeroed(algorithm);
+
+                // Intra-shard cores: restrict each overlapping shard's
+                // cached skyline to its part of the window.
+                for shard in shards.clone() {
+                    let part = self.shards[shard]
+                        .intersect(&window)
+                        .expect("overlapping shard intersects the window");
+                    let t0 = Instant::now();
+                    let skyline = self.shard_skyline(shard, k);
+                    let restricted = skyline.restrict(&self.graph, part);
+                    let precompute = t0.elapsed();
+                    let stats = TimeRangeKCoreQuery::validated(k, part)
+                        .run_with_skyline(&self.graph, &restricted, algorithm, sink)
+                        .expect("restricted shard skyline matches the part by construction");
+                    total.num_cores += stats.num_cores;
+                    total.total_result_edges += stats.total_result_edges;
+                    total.precompute_time += precompute;
+                    total.enumerate_time += stats.enumerate_time;
+                    total.peak_memory_bytes = total.peak_memory_bytes.max(stats.peak_memory_bytes);
+                }
+
+                // Boundary-spanning cores: re-verify against the merged
+                // sub-window.  The transient skyline is dropped afterwards,
+                // so it never counts against the resident cache budget.
+                if shards.len() > 1 {
+                    let cuts: Vec<Timestamp> = shards
+                        .clone()
+                        .take(shards.len() - 1)
+                        .map(|shard| self.shards[shard].end())
+                        .collect();
+                    let t0 = Instant::now();
+                    let merged = EdgeCoreSkyline::build(&self.graph, k, window);
+                    total.precompute_time += t0.elapsed();
+                    let mut boundary = BoundarySink {
+                        inner: sink,
+                        cuts: &cuts,
+                        cores: 0,
+                        edges: 0,
+                    };
+                    let t1 = Instant::now();
+                    let peak = match algorithm {
+                        Algorithm::Enum => {
+                            crate::enumerate(&self.graph, &merged, &mut boundary).peak_memory_bytes
+                        }
+                        Algorithm::EnumBase => {
+                            crate::enumerate_base(&self.graph, &merged, &mut boundary)
+                                .peak_memory_bytes
+                        }
+                        _ => unreachable!("outer match covers Otcd and Naive"),
+                    };
+                    total.enumerate_time += t1.elapsed();
+                    total.num_cores += boundary.cores;
+                    total.total_result_edges += boundary.edges;
+                    total.peak_memory_bytes =
+                        total.peak_memory_bytes.max(peak).max(merged.memory_bytes());
+                }
+                total
+            }
+        }
+    }
+
+    /// Runs a batch of queries with `Enum`, counting results per query
+    /// (the sharded counterpart of
+    /// [`QueryEngine::run_batch`](crate::QueryEngine::run_batch)).
+    ///
+    /// # Errors
+    /// See [`ShardedEngine::run_batch_with`].
+    pub fn run_batch(
+        &self,
+        queries: &[TimeRangeKCoreQuery],
+    ) -> Result<(Vec<(CountingSink, QueryStats)>, BatchStats), TkError> {
+        self.run_batch_with(queries, Algorithm::Enum, |_| CountingSink::default())
+    }
+
+    /// Fans `queries` across worker threads, one fresh sink per query —
+    /// same contract as
+    /// [`QueryEngine::run_batch_with`](crate::QueryEngine::run_batch_with),
+    /// with workers warming different shards in parallel.
+    ///
+    /// # Errors
+    /// Every query is validated up front; the first invalid query fails the
+    /// whole batch before any work starts.
+    pub fn run_batch_with<S, F>(
+        &self,
+        queries: &[TimeRangeKCoreQuery],
+        algorithm: Algorithm,
+        make_sink: F,
+    ) -> Result<(Vec<(S, QueryStats)>, BatchStats), TkError>
+    where
+        S: ResultSink + Send,
+        F: Fn(usize) -> S + Sync,
+    {
+        let t0 = Instant::now();
+        let validated = validate_batch(&self.graph, queries)?;
+        let threads = effective_threads(self.config.num_threads, validated.len());
+        let per_query = fan_out_batch(&validated, threads, make_sink, |k, window, sink| {
+            self.run_validated(k, window, algorithm, sink)
+        });
+        let batch = aggregate_batch(&per_query, t0.elapsed(), threads, self.cache_stats());
+        Ok((per_query, batch))
+    }
+}
+
+/// A [`CoreBackend`] answering from a shared [`ShardedEngine`], so sharded
+/// execution composes with [`QueryRequest`] multi-`k` sets and sweeps and
+/// with [`crate::CoreService`] exactly like [`crate::CachedBackend`] does.
+///
+/// Because shard skylines are graph-specific, `execute` refuses a graph
+/// other than [`ShardedEngine::graph`] with [`TkError::GraphMismatch`].
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use tkcore::{paper_example, QueryRequest, ShardPlan, ShardedBackend, ShardedEngine};
+///
+/// let engine = Arc::new(
+///     ShardedEngine::new(paper_example::graph(), ShardPlan::FixedCount(3)).unwrap(),
+/// );
+/// let backend = ShardedBackend::new(Arc::clone(&engine));
+/// let response = QueryRequest::sweep(1..=2, 1, 7)
+///     .run(engine.graph(), &backend)
+///     .unwrap();
+/// assert_eq!(response.outcomes.len(), 2); // one outcome per k
+/// ```
+#[derive(Clone)]
+pub struct ShardedBackend {
+    engine: Arc<ShardedEngine>,
+    algorithm: Algorithm,
+}
+
+impl ShardedBackend {
+    /// A sharded backend running the paper's final algorithm (`Enum`).
+    pub fn new(engine: Arc<ShardedEngine>) -> Self {
+        Self::with_algorithm(engine, Algorithm::Enum)
+    }
+
+    /// A sharded backend running the chosen algorithm.
+    pub fn with_algorithm(engine: Arc<ShardedEngine>, algorithm: Algorithm) -> Self {
+        Self { engine, algorithm }
+    }
+
+    /// The engine this backend answers from.
+    pub fn engine(&self) -> &ShardedEngine {
+        &self.engine
+    }
+
+    /// The algorithm this backend runs.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Same identity rule as [`crate::CachedBackend`]: pointer equality is
+    /// the O(1) fast path, an equal clone is accepted at O(|E|) cost.
+    fn serves(&self, graph: &TemporalGraph) -> bool {
+        crate::backend::graph_matches(self.engine.graph(), graph)
+    }
+}
+
+impl CoreBackend for ShardedBackend {
+    fn name(&self) -> &str {
+        match self.algorithm {
+            Algorithm::Enum => "Sharded(Enum)",
+            Algorithm::EnumBase => "Sharded(EnumBase)",
+            Algorithm::Otcd => "Sharded(OTCD)",
+            Algorithm::Naive => "Sharded(Naive)",
+        }
+    }
+
+    fn execute(
+        &self,
+        graph: &TemporalGraph,
+        k: usize,
+        window: TimeWindow,
+        sink: &mut dyn ResultSink,
+    ) -> Result<QueryStats, TkError> {
+        if !self.serves(graph) {
+            return Err(TkError::GraphMismatch);
+        }
+        let clamped = validate_query(graph, k, window)?;
+        self.engine.run_with(
+            &TimeRangeKCoreQuery::validated(k, clamped),
+            self.algorithm,
+            sink,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+    use crate::sink::CollectingSink;
+    use crate::TemporalKCore;
+
+    fn canonical(mut cores: Vec<TemporalKCore>) -> Vec<TemporalKCore> {
+        cores.sort_by(|a, b| a.tti.cmp(&b.tti).then_with(|| a.edges.cmp(&b.edges)));
+        cores
+    }
+
+    #[test]
+    fn plans_resolve_to_contiguous_covers() {
+        let g = paper_example::graph(); // tmax = 7
+        for plan in [
+            ShardPlan::Span,
+            ShardPlan::FixedCount(1),
+            ShardPlan::FixedCount(3),
+            ShardPlan::FixedCount(7),
+            ShardPlan::FixedCount(50), // clamped to one shard per timestamp
+            ShardPlan::TargetEdgesPerShard(1),
+            ShardPlan::TargetEdgesPerShard(4),
+            ShardPlan::TargetEdgesPerShard(10_000),
+            ShardPlan::ExplicitCuts(vec![]),
+            ShardPlan::ExplicitCuts(vec![3]),
+            ShardPlan::ExplicitCuts(vec![1, 2, 3, 4, 5, 6]),
+        ] {
+            let shards = plan.resolve(&g).unwrap_or_else(|e| panic!("{plan:?}: {e}"));
+            assert_eq!(shards.first().unwrap().start(), 1, "{plan:?}");
+            assert_eq!(shards.last().unwrap().end(), g.tmax(), "{plan:?}");
+            for pair in shards.windows(2) {
+                assert_eq!(pair[1].start(), pair[0].end() + 1, "{plan:?}");
+            }
+        }
+        assert_eq!(ShardPlan::FixedCount(50).resolve(&g).unwrap().len(), 7);
+        assert_eq!(
+            ShardPlan::TargetEdgesPerShard(10_000)
+                .resolve(&g)
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn malformed_plans_are_typed_errors() {
+        let g = paper_example::graph();
+        for plan in [
+            ShardPlan::FixedCount(0),
+            ShardPlan::TargetEdgesPerShard(0),
+            ShardPlan::ExplicitCuts(vec![0]),
+            ShardPlan::ExplicitCuts(vec![7]), // == tmax: last shard would be empty
+            ShardPlan::ExplicitCuts(vec![3, 3]),
+            ShardPlan::ExplicitCuts(vec![4, 2]),
+        ] {
+            assert!(
+                matches!(plan.resolve(&g), Err(TkError::InvalidShardPlan { .. })),
+                "{plan:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_answers_match_span_wide_on_the_paper_example() {
+        let g = paper_example::graph();
+        let span_engine = crate::QueryEngine::new(g.clone());
+        for plan in [
+            ShardPlan::FixedCount(1),
+            ShardPlan::FixedCount(2),
+            ShardPlan::FixedCount(4),
+            ShardPlan::FixedCount(7),
+            ShardPlan::ExplicitCuts(vec![4]),
+        ] {
+            let sharded = ShardedEngine::new(g.clone(), plan.clone()).unwrap();
+            for k in 1..=3 {
+                for window in [
+                    g.span(),
+                    TimeWindow::new(1, 4),
+                    TimeWindow::new(2, 6),
+                    TimeWindow::new(4, 4),
+                ] {
+                    let query = TimeRangeKCoreQuery::new(k, window).unwrap();
+                    for algo in Algorithm::ALL {
+                        let mut expected = CollectingSink::default();
+                        span_engine.run_with(&query, algo, &mut expected).unwrap();
+                        let mut got = CollectingSink::default();
+                        sharded.run_with(&query, algo, &mut got).unwrap();
+                        assert_eq!(
+                            canonical(got.cores),
+                            canonical(expected.cores),
+                            "{plan:?} k={k} window={window} algo={algo}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_queries_build_only_their_shard() {
+        let g = paper_example::graph();
+        let engine = ShardedEngine::new(g.clone(), ShardPlan::ExplicitCuts(vec![4])).unwrap();
+        let mut sink = CountingSink::default();
+        engine
+            .run(
+                &TimeRangeKCoreQuery::new(2, TimeWindow::new(1, 3)).unwrap(),
+                &mut sink,
+            )
+            .unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.per_shard.len(), 2);
+        assert_eq!(stats.per_shard[0].builds, 1);
+        assert_eq!(stats.per_shard[1].builds, 0);
+        assert_eq!(stats.misses, 1);
+        assert!(stats.per_shard[0].resident_bytes <= stats.resident_bytes);
+    }
+
+    #[test]
+    fn eviction_respects_the_budget_across_shards() {
+        let g = paper_example::graph();
+        let shard_bytes = EdgeCoreSkyline::build(&g, 1, TimeWindow::new(1, 4)).memory_bytes();
+        let engine = ShardedEngine::with_config(
+            g.clone(),
+            ShardPlan::ExplicitCuts(vec![4]),
+            EngineConfig {
+                memory_budget_bytes: shard_bytes, // room for ~one shard index
+                num_threads: 1,
+            },
+        )
+        .unwrap();
+        for k in 1..=3 {
+            let mut sink = CountingSink::default();
+            engine
+                .run(&TimeRangeKCoreQuery::new(k, g.span()).unwrap(), &mut sink)
+                .unwrap();
+        }
+        let stats = engine.cache_stats();
+        assert!(stats.evictions >= 1, "{stats:?}");
+        assert!(stats.resident_indexes >= 1);
+        let shard_sum: usize = stats.per_shard.iter().map(|s| s.resident_indexes).sum();
+        assert_eq!(shard_sum, stats.resident_indexes, "{stats:?}");
+        let byte_sum: usize = stats.per_shard.iter().map(|s| s.resident_bytes).sum();
+        assert_eq!(byte_sum, stats.resident_bytes, "{stats:?}");
+    }
+
+    #[test]
+    fn sharded_backend_composes_with_requests_and_refuses_foreign_graphs() {
+        let g = paper_example::graph();
+        let engine = Arc::new(ShardedEngine::new(g.clone(), ShardPlan::FixedCount(4)).unwrap());
+        let backend = ShardedBackend::new(Arc::clone(&engine));
+        assert_eq!(backend.algorithm(), Algorithm::Enum);
+        assert_eq!(backend.name(), "Sharded(Enum)");
+        let response = QueryRequest::single(2, 1, 4)
+            .materialize()
+            .run(engine.graph(), &backend)
+            .unwrap();
+        let crate::KOutput::Cores(cores) = &response.outcomes[0].output else {
+            panic!("materialized request");
+        };
+        assert_eq!(
+            canonical(cores.clone()),
+            crate::naive::naive_results(&g, 2, TimeWindow::new(1, 4))
+        );
+
+        let other = temporal_graph::TemporalGraphBuilder::new()
+            .with_edges([(0u64, 1u64, 1i64), (1, 2, 2), (0, 2, 2)])
+            .build()
+            .unwrap();
+        let mut sink = CountingSink::default();
+        assert!(matches!(
+            backend.execute(&other, 2, TimeWindow::new(1, 2), &mut sink),
+            Err(TkError::GraphMismatch)
+        ));
+    }
+
+    #[test]
+    fn sharded_batch_matches_sequential_and_reports_shard_cache() {
+        let g = paper_example::graph();
+        let engine = ShardedEngine::new(g.clone(), ShardPlan::FixedCount(3)).unwrap();
+        let queries: Vec<TimeRangeKCoreQuery> = (1..=g.tmax())
+            .flat_map(|s| {
+                (s..=g.tmax())
+                    .map(move |e| TimeRangeKCoreQuery::new(2, TimeWindow::new(s, e)).unwrap())
+            })
+            .collect();
+        let (results, batch) = engine.run_batch(&queries).unwrap();
+        assert_eq!(batch.num_queries, queries.len());
+        assert_eq!(batch.cache.per_shard.len(), 3);
+        for (query, (sink, _)) in queries.iter().zip(&results) {
+            let mut fresh = CountingSink::default();
+            query.run_with(&g, Algorithm::Enum, &mut fresh);
+            assert_eq!(sink, &fresh, "{}", query.range());
+        }
+        // Every shard was eventually warmed for k = 2; the sum of per-shard
+        // hits and builds accounts for every cache access.
+        let stats = engine.cache_stats();
+        let builds: u64 = stats.per_shard.iter().map(|s| s.builds).sum();
+        let hits: u64 = stats.per_shard.iter().map(|s| s.hits).sum();
+        assert!(builds >= 3, "{stats:?}");
+        assert_eq!(hits, stats.hits, "{stats:?}");
+    }
+
+    #[test]
+    fn out_of_span_queries_are_refused_before_touching_shards() {
+        let g = paper_example::graph();
+        let engine = ShardedEngine::new(g.clone(), ShardPlan::FixedCount(4)).unwrap();
+        let past =
+            TimeRangeKCoreQuery::new(2, TimeWindow::new(g.tmax() + 1, g.tmax() + 9)).unwrap();
+        for algo in Algorithm::ALL {
+            let mut sink = CountingSink::default();
+            let err = engine.run_with(&past, algo, &mut sink).unwrap_err();
+            assert!(
+                matches!(err, TkError::WindowPastTmax { start, tmax }
+                    if start == g.tmax() + 1 && tmax == g.tmax()),
+                "{algo}: {err}"
+            );
+        }
+        assert_eq!(engine.cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn warm_builds_every_shard_once() {
+        let g = paper_example::graph();
+        let engine = ShardedEngine::new(g, ShardPlan::FixedCount(4)).unwrap();
+        assert!(!engine.warm(2), "cold cache");
+        assert!(engine.warm(2), "all shards resident after warming");
+        let stats = engine.cache_stats();
+        assert_eq!(stats.resident_indexes, 4);
+        assert!(stats.per_shard.iter().all(|s| s.builds == 1), "{stats:?}");
+        engine.clear_cache();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.resident_indexes, 0);
+        assert_eq!(stats.resident_bytes, 0);
+        assert!(stats.per_shard.iter().all(|s| s.resident_indexes == 0));
+    }
+}

@@ -5,9 +5,16 @@
 //! parameters.  [`FrameworkStats::measure`] computes all of these for one
 //! `(graph, k, range)` configuration using the index structures and the
 //! result-size-optimal enumerator.
+//!
+//! [`ShardProfile::measure`] adds the sharding dimension: per-shard skyline
+//! sizes under a [`crate::ShardPlan`], used by the `experiments -- engine`
+//! harness to show that the peak per-shard index footprint stays strictly
+//! below the span-wide one.
 
 use crate::ecs::EdgeCoreSkyline;
 use crate::enumerate::enumerate;
+use crate::error::TkError;
+use crate::shard::ShardPlan;
 use crate::sink::CountingSink;
 use crate::vct::{CoreTimeSweep, VertexCoreTimeIndex};
 use temporal_graph::{TemporalGraph, TimeWindow};
@@ -60,10 +67,75 @@ impl FrameworkStats {
     }
 }
 
+/// Size profile of one time-interval shard's skyline for a fixed `k`.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardProfile {
+    /// The shard's timeline interval.
+    pub shard: TimeWindow,
+    /// Edge occurrences falling inside the shard.
+    pub num_edges: usize,
+    /// Minimal core windows of the shard's skyline (`|ECS|` restricted to
+    /// intra-shard windows).
+    pub ecs_windows: usize,
+    /// Estimated bytes of the shard's skyline.
+    pub ecs_bytes: usize,
+}
+
+impl ShardProfile {
+    /// Builds the skyline of every shard of `plan` for parameter `k` and
+    /// reports their sizes, in timeline order.
+    ///
+    /// # Errors
+    /// [`TkError::InvalidShardPlan`] when `plan` does not resolve against
+    /// the graph.
+    pub fn measure(
+        graph: &TemporalGraph,
+        k: usize,
+        plan: &ShardPlan,
+    ) -> Result<Vec<ShardProfile>, TkError> {
+        Ok(plan
+            .resolve(graph)?
+            .into_iter()
+            .map(|shard| {
+                let ecs = EdgeCoreSkyline::build(graph, k, shard);
+                ShardProfile {
+                    shard,
+                    num_edges: graph.num_edges_in(shard),
+                    ecs_windows: ecs.total_windows(),
+                    ecs_bytes: ecs.memory_bytes(),
+                }
+            })
+            .collect())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::paper_example;
+
+    #[test]
+    fn shard_profiles_cover_the_timeline_and_shrink_the_skyline() {
+        let g = paper_example::graph();
+        let span = EdgeCoreSkyline::build(&g, 2, g.span());
+        let profiles = ShardProfile::measure(&g, 2, &ShardPlan::FixedCount(3)).unwrap();
+        assert_eq!(profiles.len(), 3);
+        assert_eq!(profiles.first().unwrap().shard.start(), 1);
+        assert_eq!(profiles.last().unwrap().shard.end(), g.tmax());
+        let total_edges: usize = profiles.iter().map(|p| p.num_edges).sum();
+        assert_eq!(total_edges, g.num_edges());
+        // Per-shard skylines drop every cut-crossing window, so each shard
+        // is strictly smaller than the span-wide index, and so is their sum.
+        let total_windows: usize = profiles.iter().map(|p| p.ecs_windows).sum();
+        assert!(total_windows <= span.total_windows());
+        for profile in &profiles {
+            assert!(profile.ecs_bytes < span.memory_bytes(), "{profile:?}");
+        }
+        assert!(matches!(
+            ShardProfile::measure(&g, 2, &ShardPlan::FixedCount(0)),
+            Err(TkError::InvalidShardPlan { .. })
+        ));
+    }
 
     #[test]
     fn measures_the_running_example() {

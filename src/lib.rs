@@ -80,7 +80,8 @@ pub mod prelude {
         Algorithm, BatchStats, CacheStats, CachedBackend, CollectingSink, CoreBackend, CoreService,
         CountingSink, EdgeCoreSkyline, EngineConfig, FrameworkStats, KOutcome, KOutput, KSelection,
         OutputMode, QueryEngine, QueryRequest, QueryResponse, QueryStats, RequestId, ResultSink,
-        ServiceConfig, ServiceReply, ServiceStats, TemporalKCore, Ticket, TimeRangeKCoreQuery,
-        TkError, ValidatedRequest, VertexCoreTimeIndex,
+        ServiceConfig, ServiceReply, ServiceStats, ShardCacheStats, ShardPlan, ShardedBackend,
+        ShardedEngine, TemporalKCore, Ticket, TimeRangeKCoreQuery, TkError, ValidatedRequest,
+        VertexCoreTimeIndex, WorkerStats,
     };
 }

@@ -52,6 +52,48 @@ fn k_range_sweep_reuses_one_skyline_build_per_k() {
 }
 
 #[test]
+fn sharded_sweep_builds_only_the_touched_shards_per_k() {
+    let graph = paper_example::graph(); // tmax = 7
+    let engine = Arc::new(ShardedEngine::new(graph.clone(), ShardPlan::FixedCount(4)).unwrap());
+    // FixedCount(4) over [1, 7] resolves to [1,1] [2,3] [4,5] [6,7].
+    assert_eq!(engine.num_shards(), 4);
+    let backend = ShardedBackend::new(Arc::clone(&engine));
+
+    // The window [4, 7] touches shards 2 and 3 only.
+    let response = QueryRequest::sweep(1..=3, 4, 7)
+        .run(engine.graph(), &backend)
+        .unwrap();
+    assert_eq!(response.outcomes.len(), 3);
+    for outcome in &response.outcomes {
+        let expected =
+            temporal_kcore::tkcore::naive_results(&graph, outcome.k, TimeWindow::new(4, 7));
+        assert_eq!(
+            outcome.stats.num_cores as usize,
+            expected.len(),
+            "k = {}",
+            outcome.k
+        );
+    }
+
+    // A window touching 2 of 4 shards builds exactly 2 shard skylines per
+    // k of the sweep — the untouched shards stay cold.
+    let cache = engine.cache_stats();
+    let builds: Vec<u64> = cache.per_shard.iter().map(|s| s.builds).collect();
+    assert_eq!(builds, vec![0, 0, 3, 3], "{cache:?}");
+    assert_eq!(cache.misses, 6, "2 shard misses per k: {cache:?}");
+
+    // Re-running the sweep is pure cache hits: no shard is rebuilt.
+    let again = QueryRequest::sweep(1..=3, 4, 7)
+        .run(engine.graph(), &backend)
+        .unwrap();
+    assert_eq!(again.total_cores(), response.total_cores());
+    let cache = engine.cache_stats();
+    let builds: Vec<u64> = cache.per_shard.iter().map(|s| s.builds).collect();
+    assert_eq!(builds, vec![0, 0, 3, 3], "no rebuild: {cache:?}");
+    assert!(cache.hits >= 6, "{cache:?}");
+}
+
+#[test]
 fn all_backends_answer_the_paper_query_identically() {
     let graph = paper_example::graph();
     let engine = Arc::new(QueryEngine::new(graph.clone()));
@@ -63,6 +105,15 @@ fn all_backends_answer_the_paper_query_identically() {
         Box::new(CachedBackend::new(Arc::clone(&engine))),
         Box::new(CachedBackend::with_algorithm(
             Arc::clone(&engine),
+            Algorithm::EnumBase,
+        )),
+        Box::new(ShardedBackend::new(Arc::new(
+            ShardedEngine::new(graph.clone(), ShardPlan::FixedCount(3)).unwrap(),
+        ))),
+        Box::new(ShardedBackend::with_algorithm(
+            Arc::new(
+                ShardedEngine::new(graph.clone(), ShardPlan::ExplicitCuts(vec![2, 4])).unwrap(),
+            ),
             Algorithm::EnumBase,
         )),
     ];
