@@ -1,28 +1,41 @@
 //! Bench for the time-interval sharded engine: span-wide cold index builds
-//! versus per-shard builds, and warm batched execution through
-//! `ShardedEngine` versus `QueryEngine`.  The per-shard build rows must not
-//! exceed the span-wide ones (shard skylines drop every cut-crossing
-//! window, so the total sweep work shrinks), and short windows served from
-//! warm shard caches skip the untouched shards entirely.
+//! versus per-shard builds, warm batched execution through `ShardedEngine`
+//! versus `QueryEngine`, and the boundary-stitch index versus the transient
+//! merged-skyline pass on boundary-spanning workloads.  The per-shard build
+//! rows must not exceed the span-wide ones (shard skylines drop every
+//! cut-crossing window, so the total sweep work shrinks); short windows
+//! served from warm shard caches skip the untouched shards entirely; and
+//! the warm stitched spanning batch must beat the transient rebuild, which
+//! pays one CoreTime sweep per spanning query.
+//!
+//! Set `TKC_BENCH_QUICK=1` to run a reduced configuration (fewer samples
+//! and queries) as an executor-regression smoke in CI.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tkc_datasets::{DatasetProfile, DatasetStats, QueryWorkload, WorkloadConfig};
-use tkcore::{EdgeCoreSkyline, QueryEngine, ShardPlan, ShardedEngine, TimeRangeKCoreQuery};
+use tkcore::{
+    EdgeCoreSkyline, EngineConfig, QueryEngine, ShardPlan, ShardedEngine, TimeRangeKCoreQuery,
+};
 
 const SHARDS: usize = 4;
 
+fn quick() -> bool {
+    std::env::var_os("TKC_BENCH_QUICK").is_some()
+}
+
 fn bench_sharded_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("sharded_engine");
-    group.sample_size(10);
+    group.sample_size(if quick() { 2 } else { 10 });
+    let num_queries = if quick() { 6 } else { 16 };
 
     for name in ["EM", "CM"] {
         let profile = DatasetProfile::by_name(name).expect("profile");
         let graph = profile.generate();
         let stats = DatasetStats::compute(&graph);
         let config = WorkloadConfig {
-            num_queries: 16,
-            ..WorkloadConfig::paper_default(&stats, 16, 0x5AAD ^ profile.seed())
+            num_queries,
+            ..WorkloadConfig::paper_default(&stats, num_queries, 0x5AAD ^ profile.seed())
         };
         let workload = QueryWorkload::generate(&graph, &config);
         let queries: Vec<TimeRangeKCoreQuery> = workload.queries().collect();
@@ -71,6 +84,49 @@ fn bench_sharded_engine(c: &mut Criterion) {
             |b, eng| {
                 b.iter(|| {
                     let (_, batch) = eng.run_batch(&queries).expect("valid workload");
+                    black_box(batch.total_cores)
+                });
+            },
+        );
+
+        // Boundary-spanning workload: every query crosses a shard cut, so
+        // the boundary pass dominates.  The stitched engine answers from
+        // the cached cut-crossing windows; the transient engine re-sweeps
+        // the merged sub-window per query (the pre-stitch behavior).
+        let spanning = tkc_bench::spanning_workload(&graph, k, SHARDS, num_queries);
+        let stitched = ShardedEngine::new(graph.clone(), ShardPlan::FixedCount(SHARDS))
+            .expect("fixed-count plan resolves");
+        stitched.warm(k);
+        let _ = stitched
+            .run_batch(&spanning)
+            .expect("warm the stitch cache");
+        group.bench_with_input(
+            BenchmarkId::new("spanning_warm_stitched", name),
+            &stitched,
+            |b, eng| {
+                b.iter(|| {
+                    let (_, batch) = eng.run_batch(&spanning).expect("valid workload");
+                    black_box(batch.total_cores)
+                });
+            },
+        );
+
+        let transient = ShardedEngine::with_config(
+            graph.clone(),
+            ShardPlan::FixedCount(SHARDS),
+            EngineConfig {
+                boundary_cache_entries: 0,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("fixed-count plan resolves");
+        transient.warm(k);
+        group.bench_with_input(
+            BenchmarkId::new("spanning_warm_transient", name),
+            &transient,
+            |b, eng| {
+                b.iter(|| {
+                    let (_, batch) = eng.run_batch(&spanning).expect("valid workload");
                     black_box(batch.total_cores)
                 });
             },

@@ -399,7 +399,11 @@ const ENGINE_EXPERIMENT_SHARDS: usize = 4;
 /// against building every shard of a 4-shard plan: the sharded build does
 /// strictly less total sweep work (cut-crossing windows are dropped), and
 /// the peak per-shard skyline memory must be strictly below the span-wide
-/// index (asserted, not just reported).
+/// index (asserted, not just reported).  The boundary columns run a
+/// batch of boundary-spanning windows warm through the cached stitch index
+/// versus the pre-stitch transient-merge path (`boundary_cache_entries =
+/// 0`); the stitched batch must be at least 2x faster (asserted) and
+/// return identical counts.
 fn engine_batch(num_queries: usize) -> Report {
     let mut report = Report::new(
         format!(
@@ -416,6 +420,9 @@ fn engine_batch(num_queries: usize) -> Report {
             "span cold build".into(),
             "sharded cold build".into(),
             "peak shard mem / span mem".into(),
+            "spanning warm transient".into(),
+            "spanning warm stitched".into(),
+            "stitch speedup".into(),
         ],
     );
     for name in ["EM", "CM"] {
@@ -485,6 +492,58 @@ fn engine_batch(num_queries: usize) -> Report {
             "sharded result mismatch on {name}"
         );
 
+        // Boundary pass: repeated boundary-spanning batches, warm, with the
+        // cached stitch index versus the PR 3 transient-merge path.
+        let spanning =
+            tkc_bench::spanning_workload(&graph, k, ENGINE_EXPERIMENT_SHARDS, num_queries);
+        let stitched = tkcore::ShardedEngine::new(
+            graph.clone(),
+            tkcore::ShardPlan::FixedCount(ENGINE_EXPERIMENT_SHARDS),
+        )
+        .expect("fixed-count plan resolves");
+        let transient = tkcore::ShardedEngine::with_config(
+            graph.clone(),
+            tkcore::ShardPlan::FixedCount(ENGINE_EXPERIMENT_SHARDS),
+            tkcore::EngineConfig {
+                boundary_cache_entries: 0,
+                ..tkcore::EngineConfig::default()
+            },
+        )
+        .expect("fixed-count plan resolves");
+        // Warm both engines (shard skylines; plus stitch entries on the
+        // cached engine), then time the repeated batch.
+        let (_, stitched_first) = stitched
+            .run_batch(&spanning)
+            .expect("spanning queries are valid");
+        let (_, transient_first) = transient
+            .run_batch(&spanning)
+            .expect("spanning queries are valid");
+        assert_eq!(
+            stitched_first.total_cores, transient_first.total_cores,
+            "stitched/transient result mismatch on {name}"
+        );
+        let t5 = Instant::now();
+        let (_, stitched_warm) = stitched
+            .run_batch(&spanning)
+            .expect("spanning queries are valid");
+        let stitched_time = t5.elapsed();
+        let t6 = Instant::now();
+        let (_, transient_warm) = transient
+            .run_batch(&spanning)
+            .expect("spanning queries are valid");
+        let transient_time = t6.elapsed();
+        assert_eq!(stitched_warm.total_cores, transient_warm.total_cores);
+        assert!(
+            stitched_warm.cache.boundary.hits > 0,
+            "{name}: spanning batch never hit the stitch cache"
+        );
+        let stitch_speedup = transient_time.as_secs_f64() / stitched_time.as_secs_f64().max(1e-9);
+        assert!(
+            stitch_speedup >= 2.0,
+            "{name}: warm stitched spanning batch only {stitch_speedup:.2}x faster than the \
+             transient-merge path ({stitched_time:?} vs {transient_time:?})"
+        );
+
         report.push(
             name,
             vec![
@@ -504,6 +563,9 @@ fn engine_batch(num_queries: usize) -> Report {
                     peak_shard_bytes as f64 / (1024.0 * 1024.0),
                     span_bytes as f64 / (1024.0 * 1024.0)
                 ),
+                ms(transient_time),
+                ms(stitched_time),
+                format!("{stitch_speedup:.1}x"),
             ],
         );
     }

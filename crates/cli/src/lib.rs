@@ -14,8 +14,9 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use tkc_datasets::{DatasetProfile, DatasetStats};
 use tkcore::{
-    Algorithm, CacheStats, CachedBackend, CoreBackend, CoreService, CountingSink, KOutput,
-    QueryEngine, QueryRequest, ServiceConfig, ShardPlan, ShardedBackend, ShardedEngine, TkError,
+    Affinity, Algorithm, CacheStats, CachedBackend, CoreBackend, CoreService, CountingSink,
+    KOutput, QueryEngine, QueryRequest, ServiceConfig, ShardPlan, ShardedBackend, ShardedEngine,
+    TkError,
 };
 
 /// Errors reported to the CLI user.
@@ -53,22 +54,28 @@ USAGE:
   tkc query <edge-list> (--k <K> | --k-range <MIN>..=<MAX>)
             [--start <TS>] [--end <TE>] [--algo enum|enum-base|otcd|naive]
             [--output count|full] [--limit <N>] [--shards <S>] [--workers <W>]
+            [--affinity shared|shard]
       Enumerate all distinct temporal k-cores in the range [TS, TE]
       (default: the whole time span).  `--k-range` sweeps every k in the
       inclusive range through one cached engine, building at most one
       core-window index per k.  `--shards S` cuts the timeline into S
       time-interval shards (one index per touched shard and k, exact
-      stitching at shard cuts); `--workers W` serves the request through a
-      W-worker CoreService.  `--output count` reports counts only;
-      `--output full` (default) prints each core's tightest time interval,
-      vertex count and edge count.
+      stitching at shard cuts via the cached boundary index); `--workers W`
+      serves the request through a CoreService backed by a persistent
+      W-thread work-stealing pool, and `--affinity shard` routes each
+      request to the worker owning the shards its window overlaps.
+      `--output count` reports counts only; `--output full` (default)
+      prints each core's tightest time interval, vertex count and edge
+      count.
 
   tkc batch <edge-list> <queries-csv> [--algo enum|enum-base|otcd|naive]
             [--threads <N>] [--budget-mb <M>] [--shards <S>] [--workers <W>]
+            [--affinity shared|shard]
       Run a batch of queries through the cached query engine: one core-window
       index per k (per shard and k with `--shards S`), restricted per query
-      and fanned across threads.  `--workers W` instead submits every query
-      to a W-worker CoreService and reports per-worker latency.  The CSV has
+      and fanned across a persistent thread pool.  `--workers W` instead
+      submits every query to a W-worker CoreService and reports per-worker
+      latency; `--affinity shard` enables shard-affine routing.  The CSV has
       one query per line, `k,start,end` (or just `k` for the whole time
       span; `#` starts a comment).  Prints per-query counts plus batch
       timing and cache statistics.
@@ -127,6 +134,8 @@ pub enum Command {
         shards: usize,
         /// Serve through a CoreService with this many workers (0 = direct).
         workers: usize,
+        /// Lane routing of the service (`--affinity shared|shard`).
+        affinity: Affinity,
     },
     /// `tkc batch <file> <queries.csv> ...`
     Batch {
@@ -145,6 +154,8 @@ pub enum Command {
         /// Serve through a CoreService with this many workers (0 = direct
         /// engine batch).
         workers: usize,
+        /// Lane routing of the service (`--affinity shared|shard`).
+        affinity: Affinity,
     },
     /// `tkc generate <profile> <out>`
     Generate {
@@ -200,6 +211,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut budget_mb = 256usize;
             let mut shards = 0usize;
             let mut workers = 0usize;
+            let mut affinity = Affinity::Shared;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -233,6 +245,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         workers = parse_num(value("--workers")?, "--workers")?;
                         i += 1;
                     }
+                    "--affinity" => {
+                        affinity = parse_affinity(value("--affinity")?)?;
+                        i += 1;
+                    }
                     other => return Err(CliError(format!("unknown flag `{other}`"))),
                 }
                 i += 1;
@@ -245,6 +261,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 budget_mb,
                 shards,
                 workers,
+                affinity,
             })
         }
         "query" => {
@@ -261,6 +278,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut limit = 20usize;
             let mut shards = 0usize;
             let mut workers = 0usize;
+            let mut affinity = Affinity::Shared;
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
             while i < rest.len() {
@@ -297,6 +315,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--workers" => {
                         workers = parse_num(value("--workers")?, "--workers")?;
+                        i += 1;
+                    }
+                    "--affinity" => {
+                        affinity = parse_affinity(value("--affinity")?)?;
                         i += 1;
                     }
                     "--algo" | "--algorithm" => {
@@ -342,6 +364,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 limit,
                 shards,
                 workers,
+                affinity,
             })
         }
         other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
@@ -351,6 +374,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
 fn parse_num(s: &str, what: &str) -> Result<usize, CliError> {
     s.parse()
         .map_err(|_| CliError(format!("{what}: `{s}` is not a number")))
+}
+
+fn parse_affinity(s: &str) -> Result<Affinity, CliError> {
+    s.parse()
+        .map_err(|e: String| CliError(format!("--affinity: {e}")))
 }
 
 /// Parses an inclusive `k` range: `2..=5`, `2..5` or `2-5` all mean
@@ -492,6 +520,17 @@ fn write_shard_builds(out: &mut String, cache: &CacheStats) {
             cache.per_shard.len(),
             builds
         );
+        let boundary = &cache.boundary;
+        if boundary.builds + boundary.hits > 0 {
+            let _ = writeln!(
+                out,
+                "boundary stitch index: {} builds, {} hits, {} entries resident ({:.2} MiB)",
+                boundary.builds,
+                boundary.hits,
+                boundary.resident_entries,
+                boundary.resident_bytes as f64 / (1024.0 * 1024.0)
+            );
+        }
     }
 }
 
@@ -536,6 +575,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
             budget_mb,
             shards,
             workers,
+            affinity,
         } => {
             let graph = temporal_graph::loader::read_edge_list(&path)?;
             let content = std::fs::read_to_string(&queries)
@@ -544,6 +584,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
             let engine_config = tkcore::EngineConfig {
                 memory_budget_bytes: budget_mb * 1024 * 1024,
                 num_threads: threads,
+                ..tkcore::EngineConfig::default()
             };
             if workers > 0 {
                 // Submit every query as one request to a multi-worker
@@ -551,6 +592,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 let config = ServiceConfig {
                     queue_depth: parsed.len(),
                     workers,
+                    affinity,
                     admission_memory_bytes: None,
                     engine: engine_config,
                 };
@@ -585,10 +627,11 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 let stats = service.stats();
                 let _ = writeln!(
                     out,
-                    "\n{}: {} queries via {} service workers ({} cores, |R| = {} edges)",
+                    "\n{}: {} queries via {} service workers ({} affinity; {} cores, |R| = {} edges)",
                     algorithm,
                     parsed.len(),
                     stats.per_worker.len(),
+                    affinity,
                     total_cores,
                     total_edges
                 );
@@ -644,6 +687,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
             limit,
             shards,
             workers,
+            affinity,
         } => {
             let graph = temporal_graph::loader::read_edge_list(&path)?;
             let start = start.unwrap_or(1);
@@ -663,6 +707,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
             let (response, cache) = if workers > 0 {
                 let config = ServiceConfig {
                     workers,
+                    affinity,
                     ..ServiceConfig::default()
                 };
                 let service = if shards > 0 {
@@ -676,7 +721,8 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 };
                 let reply = service.submit_with(request, algorithm)?.wait()?;
                 service_note = Some(format!(
-                    "service: {} workers, request {} queued {:?}, executed {:?} on worker {}",
+                    "service: {} workers ({affinity} affinity), request {} queued {:?}, \
+                     executed {:?} on worker {}",
                     workers.max(1),
                     reply.id,
                     reply.queue_wait,
@@ -811,6 +857,7 @@ mod tests {
                 limit: 5,
                 shards: 0,
                 workers: 0,
+                affinity: Affinity::Shared,
             }
         );
         // --algorithm and --count-only remain as aliases.
@@ -836,9 +883,10 @@ mod tests {
                 limit: 20,
                 shards: 0,
                 workers: 0,
+                affinity: Affinity::Shared,
             }
         );
-        // Sharded, service-backed execution.
+        // Sharded, service-backed execution with shard-affine routing.
         let sharded = parse_args(&strings(&[
             "query",
             "g.txt",
@@ -848,6 +896,8 @@ mod tests {
             "4",
             "--workers",
             "2",
+            "--affinity",
+            "shard",
         ]))
         .unwrap();
         assert_eq!(
@@ -862,8 +912,18 @@ mod tests {
                 limit: 20,
                 shards: 4,
                 workers: 2,
+                affinity: Affinity::Shard,
             }
         );
+        assert!(parse_args(&strings(&[
+            "query",
+            "g.txt",
+            "--k",
+            "2",
+            "--affinity",
+            "wat"
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -882,6 +942,7 @@ mod tests {
                     limit: 20,
                     shards: 0,
                     workers: 0,
+                    affinity: Affinity::Shared,
                 },
                 "{spelled}"
             );
@@ -932,6 +993,7 @@ mod tests {
             limit: 10,
             shards: 0,
             workers: 0,
+            affinity: Affinity::Shared,
         })
         .unwrap_err();
         assert!(err.0.contains("k = 0"), "{err}");
@@ -968,6 +1030,7 @@ mod tests {
             limit: 10,
             shards: 0,
             workers: 0,
+            affinity: Affinity::Shared,
         })
         .unwrap();
         assert!(out.contains("distinct temporal 3-cores"));
@@ -984,6 +1047,7 @@ mod tests {
             limit: 10,
             shards: 0,
             workers: 0,
+            affinity: Affinity::Shared,
         })
         .unwrap();
         for k in 2..=4 {
@@ -1010,7 +1074,7 @@ mod tests {
             output: path_str.clone(),
         })
         .unwrap();
-        let query = |shards: usize, workers: usize| {
+        let query = |shards: usize, workers: usize, affinity: Affinity| {
             run(Command::Query {
                 path: path_str.clone(),
                 ks: KSpec::Single(3),
@@ -1021,10 +1085,11 @@ mod tests {
                 limit: 10,
                 shards,
                 workers,
+                affinity,
             })
             .unwrap()
         };
-        let direct = query(0, 0);
+        let direct = query(0, 0, Affinity::Shared);
         let first_line = direct.lines().next().expect("count line present");
         // Strip the per-run timing suffix `(...)` before comparing.
         let direct_counts = first_line
@@ -1034,15 +1099,16 @@ mod tests {
             .to_string();
         // Sharded, service-backed, and combined execution all report the
         // same counts line; the extra serving detail rides below it.
-        let sharded = query(4, 0);
+        let sharded = query(4, 0, Affinity::Shared);
         assert!(sharded.contains(&direct_counts), "{sharded}\n{direct}");
         assert!(sharded.contains("shard builds over 4 shards"), "{sharded}");
-        let served = query(0, 2);
+        let served = query(0, 2, Affinity::Shared);
         assert!(served.contains(&direct_counts), "{served}");
         assert!(served.contains("service: 2 workers"), "{served}");
-        let both = query(4, 2);
+        let both = query(4, 2, Affinity::Shard);
         assert!(both.contains(&direct_counts), "{both}");
         assert!(both.contains("shard builds over 4 shards"), "{both}");
+        assert!(both.contains("shard affinity"), "{both}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1070,6 +1136,7 @@ mod tests {
                 budget_mb: 64,
                 shards: 0,
                 workers: 0,
+                affinity: Affinity::Shared,
             }
         );
         let sharded = parse_args(&strings(&[
@@ -1080,6 +1147,8 @@ mod tests {
             "4",
             "--workers",
             "2",
+            "--affinity",
+            "shard",
         ]))
         .unwrap();
         assert_eq!(
@@ -1092,6 +1161,7 @@ mod tests {
                 budget_mb: 256,
                 shards: 4,
                 workers: 2,
+                affinity: Affinity::Shard,
             }
         );
         assert!(parse_args(&strings(&["batch", "g.txt"])).is_err());
@@ -1144,6 +1214,7 @@ mod tests {
             budget_mb: 32,
             shards: 0,
             workers: 0,
+            affinity: Affinity::Shared,
         })
         .unwrap();
         assert!(out.contains("3 queries"), "{out}");
@@ -1174,6 +1245,7 @@ mod tests {
             budget_mb: 32,
             shards: 4,
             workers: 0,
+            affinity: Affinity::Shared,
         })
         .unwrap();
         assert!(sharded.contains(expected_row.trim_end()), "{sharded}");
@@ -1187,6 +1259,7 @@ mod tests {
             budget_mb: 32,
             shards: 4,
             workers: 2,
+            affinity: Affinity::Shared,
         })
         .unwrap();
         assert!(served.contains(expected_row.trim_end()), "{served}");

@@ -226,6 +226,55 @@ impl EdgeCoreSkyline {
         }
     }
 
+    /// Crate-internal constructor assembling a skyline from per-edge window
+    /// lists the caller guarantees to be in skyline order (both endpoints
+    /// strictly increasing) and contained in `range`.  Used by the boundary
+    /// stitch composition (see [`crate::shard`]), which merges cached
+    /// per-shard slices with cut-crossing windows instead of re-sweeping.
+    pub(crate) fn from_parts(
+        k: usize,
+        range: TimeWindow,
+        first_edge: EdgeId,
+        windows: Vec<Vec<TimeWindow>>,
+    ) -> Self {
+        let total_windows = windows.iter().map(Vec::len).sum();
+        debug_assert!(windows.iter().all(|per_edge| {
+            per_edge
+                .windows(2)
+                .all(|p| p[0].start() < p[1].start() && p[0].end() < p[1].end())
+                && per_edge.iter().all(|w| range.contains_window(w))
+        }));
+        Self {
+            k,
+            range,
+            windows,
+            first_edge,
+            total_windows,
+        }
+    }
+
+    /// Returns a copy keeping only the windows satisfying `keep`, preserving
+    /// per-edge order.  A filtered subsequence keeps both endpoints strictly
+    /// increasing, so binary-search containment slicing stays valid on the
+    /// result (it is **not** a complete skyline: feeding it to an enumerator
+    /// yields cores with incomplete edge sets — the boundary index only uses
+    /// it as a store of cut-crossing windows to merge back later).
+    pub(crate) fn filtered(&self, keep: impl Fn(&TimeWindow) -> bool) -> Self {
+        let windows: Vec<Vec<TimeWindow>> = self
+            .windows
+            .iter()
+            .map(|per_edge| per_edge.iter().copied().filter(|w| keep(w)).collect())
+            .collect();
+        let total_windows = windows.iter().map(Vec::len).sum();
+        Self {
+            k: self.k,
+            range: self.range,
+            windows,
+            first_edge: self.first_edge,
+            total_windows,
+        }
+    }
+
     /// The query parameter `k` the skylines were built for.
     #[inline]
     pub fn k(&self) -> usize {

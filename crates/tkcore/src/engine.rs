@@ -51,19 +51,21 @@
 //! cold `k` may both build it; the loser's copy is dropped and the winner's
 //! is shared — wasted work bounded by one build, never wrong results.
 //!
-//! Parallelism note: batching uses `std::thread::scope` workers pulling
-//! query indexes from an atomic counter.  The roadmap's rayon work-stealing
-//! pool is not available in this offline build environment; the scoped-
-//! thread pool has the same sharing structure (immutable graph + `Arc`'d
-//! skylines), so swapping in `rayon::scope` later is a local change.
+//! Parallelism note: batching fans across the engine's persistent
+//! [`ExecPool`] — workers claim query indexes from a
+//! shared counter and the calling thread participates, so nested batches
+//! (a service request fanning a sweep on the same pool) never deadlock.
+//! The pool is created lazily on the first multi-threaded batch, or
+//! injected by [`crate::CoreService`] so the serving layer and the engine
+//! share one set of threads.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::ecs::EdgeCoreSkyline;
 use crate::error::TkError;
+use crate::exec::{run_batch_inner, ExecPool};
 use crate::query::{Algorithm, QueryStats, TimeRangeKCoreQuery};
 use crate::request::QueryRequest;
 use crate::sink::{CountingSink, ResultSink};
@@ -77,8 +79,23 @@ pub struct EngineConfig {
     /// inserted is exempt, so one oversized index never thrashes.
     pub memory_budget_bytes: usize,
     /// Worker threads for [`QueryEngine::run_batch`]; `0` means one per
-    /// available CPU.
+    /// available CPU.  The threads live in a persistent [`ExecPool`]
+    /// created on the first multi-threaded batch (the calling thread
+    /// counts as one of them).  When the engine shares an externally
+    /// provided pool instead ([`QueryEngine::with_pool`], or any engine
+    /// created by `CoreService::start*`/`over*`), that pool's size governs
+    /// and this field is ignored.
     pub num_threads: usize,
+    /// Maximum number of cached boundary-stitch entries kept by a
+    /// [`crate::ShardedEngine`] (one entry per `(shard range, k)` holding
+    /// the cut-crossing minimal core windows; see [`crate::shard`]).  `0`
+    /// disables the stitch cache, restoring the transient merged-skyline
+    /// pass that rebuilds per boundary-spanning query — the better choice
+    /// when spanning windows are one-off, since a stitch entry's first
+    /// build sweeps its shard range's whole merged window, not just the
+    /// triggering query's window.  Ignored by the unsharded
+    /// [`QueryEngine`].
+    pub boundary_cache_entries: usize,
 }
 
 impl Default for EngineConfig {
@@ -86,6 +103,7 @@ impl Default for EngineConfig {
         Self {
             memory_budget_bytes: 256 * 1024 * 1024,
             num_threads: 0,
+            boundary_cache_entries: 32,
         }
     }
 }
@@ -109,6 +127,28 @@ pub struct CacheStats {
     /// span-wide (unsharded) [`QueryEngine`]; a [`crate::ShardedEngine`]
     /// always reports one entry per shard of its plan, in timeline order.
     pub per_shard: Vec<ShardCacheStats>,
+    /// Counters of the boundary-stitch index cache (always zero for the
+    /// unsharded [`QueryEngine`]; see [`crate::shard`]).
+    pub boundary: BoundaryCacheStats,
+}
+
+/// Counters of the boundary-stitch index cache of a
+/// [`crate::ShardedEngine`]: one LRU-cached entry per `(shard range, k)`
+/// holding the cut-crossing minimal core windows of that range's merged
+/// window, built on the first boundary-spanning query and reused until
+/// evicted (see [`EngineConfig::boundary_cache_entries`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoundaryCacheStats {
+    /// Stitch entries built (one merged-window sweep each).
+    pub builds: u64,
+    /// Boundary-spanning queries answered from a cached stitch entry.
+    pub hits: u64,
+    /// Stitch entries evicted to respect the entry budget.
+    pub evictions: u64,
+    /// Summed memory estimate of the resident stitch entries.
+    pub resident_bytes: usize,
+    /// Number of resident stitch entries.
+    pub resident_entries: usize,
 }
 
 /// Cache counters of one time-interval shard (see [`CacheStats::per_shard`]).
@@ -217,6 +257,7 @@ impl SkylineCache {
             resident_bytes: self.resident_bytes,
             resident_indexes: self.entries.len(),
             per_shard: Vec::new(),
+            boundary: BoundaryCacheStats::default(),
         }
     }
 }
@@ -268,9 +309,16 @@ pub struct BatchStats {
 /// assert_eq!(engine.cache_stats().misses, 1);
 /// ```
 pub struct QueryEngine {
+    inner: Arc<EngineInner>,
+}
+
+/// The shared core of a [`QueryEngine`]: everything a batch task needs,
+/// behind one `Arc` so tasks handed to the persistent pool are `'static`.
+struct EngineInner {
     graph: TemporalGraph,
     config: EngineConfig,
     cache: Mutex<SkylineCache>,
+    pool: OnceLock<Arc<ExecPool>>,
 }
 
 impl QueryEngine {
@@ -283,49 +331,66 @@ impl QueryEngine {
     pub fn with_config(graph: TemporalGraph, config: EngineConfig) -> Self {
         let cache = Mutex::new(SkylineCache::new(config.memory_budget_bytes));
         Self {
-            graph,
-            config,
-            cache,
+            inner: Arc::new(EngineInner {
+                graph,
+                config,
+                cache,
+                pool: OnceLock::new(),
+            }),
         }
+    }
+
+    /// Creates an engine whose batches execute on an existing persistent
+    /// `pool` (typically shared with the [`crate::CoreService`] that owns
+    /// the engine) instead of a lazily created private one.
+    pub fn with_pool(graph: TemporalGraph, config: EngineConfig, pool: Arc<ExecPool>) -> Self {
+        let engine = Self::with_config(graph, config);
+        engine
+            .inner
+            .pool
+            .set(pool)
+            .ok()
+            .expect("fresh engine has no pool yet");
+        engine
+    }
+
+    /// Adopts `pool` for this engine's batches if it has not already
+    /// created or been given one; returns whether the pool was installed.
+    /// Lets [`crate::CoreService::over`] share its worker pool with a
+    /// caller-constructed engine instead of the engine lazily spawning a
+    /// second private pool.
+    pub fn adopt_pool(&self, pool: Arc<ExecPool>) -> bool {
+        self.inner.pool.set(pool).is_ok()
     }
 
     /// The graph this engine serves queries against.
     pub fn graph(&self) -> &TemporalGraph {
-        &self.graph
+        &self.inner.graph
     }
 
     /// Current cache counters (cumulative since construction).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("cache lock").stats()
+        self.inner.cache.lock().expect("cache lock").stats()
     }
 
     /// Drops every cached skyline, keeping the counters.
     pub fn clear_cache(&self) {
-        let mut cache = self.cache.lock().expect("cache lock");
+        let mut cache = self.inner.cache.lock().expect("cache lock");
         cache.entries.clear();
         cache.resident_bytes = 0;
-    }
-
-    /// Returns the span-wide skyline for `k`, building and caching it on a
-    /// miss.  The build runs outside the cache lock (see module docs).
-    fn span_skyline(&self, k: usize) -> Arc<EdgeCoreSkyline> {
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(k) {
-            return hit;
-        }
-        let built = Arc::new(EdgeCoreSkyline::build(&self.graph, k, self.graph.span()));
-        self.cache.lock().expect("cache lock").adopt(k, built)
     }
 
     /// Warms the cache for `k` without running a query; returns whether the
     /// skyline was already resident.
     pub fn warm(&self, k: usize) -> bool {
         let was_resident = self
+            .inner
             .cache
             .lock()
             .expect("cache lock")
             .entries
             .contains_key(&k);
-        let _ = self.span_skyline(k);
+        let _ = self.inner.span_skyline(k);
         was_resident
     }
 
@@ -363,35 +428,11 @@ impl QueryEngine {
         sink: &mut dyn ResultSink,
     ) -> Result<QueryStats, TkError> {
         let range = query.range();
-        let validated =
-            QueryRequest::single(query.k(), range.start(), range.end()).validate(&self.graph)?;
-        Ok(self.run_validated(query.k(), validated.window(), algorithm, sink))
-    }
-
-    /// Executes a query whose parameters already passed validation (`k >= 1`,
-    /// window inside the graph span).
-    fn run_validated(
-        &self,
-        k: usize,
-        range: temporal_graph::TimeWindow,
-        algorithm: Algorithm,
-        sink: &mut dyn ResultSink,
-    ) -> QueryStats {
-        let clamped = TimeRangeKCoreQuery::validated(k, range);
-        match algorithm {
-            Algorithm::Enum | Algorithm::EnumBase => {
-                let t0 = Instant::now();
-                let span_skyline = self.span_skyline(k);
-                let restricted = span_skyline.restrict(&self.graph, range);
-                let precompute_time = t0.elapsed();
-                let mut stats = clamped
-                    .run_with_skyline(&self.graph, &restricted, algorithm, sink)
-                    .expect("restricted skyline matches the clamped query by construction");
-                stats.precompute_time = precompute_time;
-                stats
-            }
-            Algorithm::Otcd | Algorithm::Naive => clamped.run_with(&self.graph, algorithm, sink),
-        }
+        let validated = QueryRequest::single(query.k(), range.start(), range.end())
+            .validate(&self.inner.graph)?;
+        Ok(self
+            .inner
+            .run_validated(query.k(), validated.window(), algorithm, sink))
     }
 
     /// Runs a batch of queries with `Enum`, counting results per query.
@@ -427,17 +468,60 @@ impl QueryEngine {
         make_sink: F,
     ) -> Result<(Vec<(S, QueryStats)>, BatchStats), TkError>
     where
-        S: ResultSink + Send,
-        F: Fn(usize) -> S + Sync,
+        S: ResultSink + Send + 'static,
+        F: Fn(usize) -> S + Send + Sync + 'static,
     {
         let t0 = Instant::now();
-        let validated = validate_batch(&self.graph, queries)?;
-        let threads = effective_threads(self.config.num_threads, validated.len());
-        let per_query = fan_out_batch(&validated, threads, make_sink, |k, window, sink| {
-            self.run_validated(k, window, algorithm, sink)
+        let validated = Arc::new(validate_batch(&self.inner.graph, queries)?);
+        let (threads, pool) = batch_executor(
+            &self.inner.pool,
+            self.inner.config.num_threads,
+            validated.len(),
+        );
+        let inner = Arc::clone(&self.inner);
+        let per_query = fan_out_batch(pool, validated, make_sink, move |k, window, sink| {
+            inner.run_validated(k, window, algorithm, sink)
         });
         let batch = aggregate_batch(&per_query, t0.elapsed(), threads, self.cache_stats());
         Ok((per_query, batch))
+    }
+}
+
+impl EngineInner {
+    /// Returns the span-wide skyline for `k`, building and caching it on a
+    /// miss.  The build runs outside the cache lock (see module docs).
+    fn span_skyline(&self, k: usize) -> Arc<EdgeCoreSkyline> {
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(k) {
+            return hit;
+        }
+        let built = Arc::new(EdgeCoreSkyline::build(&self.graph, k, self.graph.span()));
+        self.cache.lock().expect("cache lock").adopt(k, built)
+    }
+
+    /// Executes a query whose parameters already passed validation (`k >= 1`,
+    /// window inside the graph span).
+    fn run_validated(
+        &self,
+        k: usize,
+        range: temporal_graph::TimeWindow,
+        algorithm: Algorithm,
+        sink: &mut dyn ResultSink,
+    ) -> QueryStats {
+        let clamped = TimeRangeKCoreQuery::validated(k, range);
+        match algorithm {
+            Algorithm::Enum | Algorithm::EnumBase => {
+                let t0 = Instant::now();
+                let span_skyline = self.span_skyline(k);
+                let restricted = span_skyline.restrict(&self.graph, range);
+                let precompute_time = t0.elapsed();
+                let mut stats = clamped
+                    .run_with_skyline(&self.graph, &restricted, algorithm, sink)
+                    .expect("restricted skyline matches the clamped query by construction");
+                stats.precompute_time = precompute_time;
+                stats
+            }
+            Algorithm::Otcd | Algorithm::Naive => clamped.run_with(&self.graph, algorithm, sink),
+        }
     }
 }
 
@@ -460,69 +544,76 @@ pub(crate) fn validate_batch(
         .collect()
 }
 
-/// Resolves a configured thread count (`0` = one per available CPU) against
-/// the number of queries to run.
-pub(crate) fn effective_threads(configured: usize, num_queries: usize) -> usize {
-    let configured = if configured == 0 {
+/// Resolves a configured thread count: `0` means one per available CPU.
+pub(crate) fn resolve_threads(configured: usize) -> usize {
+    if configured == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
     } else {
         configured
-    };
-    configured.clamp(1, num_queries.max(1))
+    }
 }
 
-/// Fans validated `(k, window)` queries across `threads` scoped OS workers,
-/// one fresh sink per query, results back in query order.  Workers pull the
-/// next query index from a shared atomic counter, so long and short queries
-/// balance automatically.  `run` executes one already-validated query — this
-/// is the seam both the span-wide and the sharded engine plug their
-/// execution into.
+/// Resolves a configured thread count (`0` = one per available CPU) against
+/// the number of queries to run.
+pub(crate) fn effective_threads(configured: usize, num_queries: usize) -> usize {
+    resolve_threads(configured).clamp(1, num_queries.max(1))
+}
+
+/// Picks the executor for a batch of `num_queries`: the engine's persistent
+/// pool (created lazily on the first multi-threaded batch, or injected by a
+/// service at construction) plus the calling thread, or the inline
+/// single-threaded path.  Returns the thread count to report in
+/// [`BatchStats::threads`].  Shared by [`QueryEngine`] and
+/// [`crate::ShardedEngine`].
+pub(crate) fn batch_executor(
+    pool: &OnceLock<Arc<ExecPool>>,
+    configured_threads: usize,
+    num_queries: usize,
+) -> (usize, Option<Arc<ExecPool>>) {
+    if let Some(pool) = pool.get() {
+        let threads = (pool.num_workers() + 1).min(num_queries.max(1));
+        return (threads, Some(Arc::clone(pool)));
+    }
+    let threads = effective_threads(configured_threads, num_queries);
+    if threads <= 1 {
+        return (threads, None);
+    }
+    // The calling thread participates in every batch, so the pool provides
+    // the remaining threads.
+    let pool = pool.get_or_init(|| ExecPool::new(resolve_threads(configured_threads) - 1));
+    (threads, Some(Arc::clone(pool)))
+}
+
+/// Fans validated `(k, window)` queries across the persistent pool (plus the
+/// calling thread), one fresh sink per query, results back in query order.
+/// Workers claim the next query index from a shared atomic counter, so long
+/// and short queries balance automatically.  `run` executes one
+/// already-validated query — this is the seam both the span-wide and the
+/// sharded engine plug their execution into.  `pool = None` runs inline on
+/// the calling thread only.
 pub(crate) fn fan_out_batch<S, F, R>(
-    validated: &[(usize, temporal_graph::TimeWindow)],
-    threads: usize,
+    pool: Option<Arc<ExecPool>>,
+    validated: Arc<Vec<(usize, temporal_graph::TimeWindow)>>,
     make_sink: F,
     run: R,
 ) -> Vec<(S, QueryStats)>
 where
-    S: ResultSink + Send,
-    F: Fn(usize) -> S + Sync,
-    R: Fn(usize, temporal_graph::TimeWindow, &mut dyn ResultSink) -> QueryStats + Sync,
+    S: ResultSink + Send + 'static,
+    F: Fn(usize) -> S + Send + Sync + 'static,
+    R: Fn(usize, temporal_graph::TimeWindow, &mut dyn ResultSink) -> QueryStats
+        + Send
+        + Sync
+        + 'static,
 {
-    let results: Vec<Mutex<Option<(S, QueryStats)>>> =
-        validated.iter().map(|_| Mutex::new(None)).collect();
-    if threads <= 1 {
-        for (i, &(k, window)) in validated.iter().enumerate() {
-            let mut sink = make_sink(i);
-            let stats = run(k, window, &mut sink);
-            *results[i].lock().expect("result slot") = Some((sink, stats));
-        }
-    } else {
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= validated.len() {
-                        break;
-                    }
-                    let (k, window) = validated[i];
-                    let mut sink = make_sink(i);
-                    let stats = run(k, window, &mut sink);
-                    *results[i].lock().expect("result slot") = Some((sink, stats));
-                });
-            }
-        });
-    }
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot")
-                .expect("every query index was processed")
-        })
-        .collect()
+    let len = validated.len();
+    run_batch_inner(pool.as_deref(), len, move |i| {
+        let (k, window) = validated[i];
+        let mut sink = make_sink(i);
+        let stats = run(k, window, &mut sink);
+        (sink, stats)
+    })
 }
 
 /// Sums per-query statistics into a [`BatchStats`].
@@ -644,6 +735,7 @@ mod tests {
             EngineConfig {
                 memory_budget_bytes: one_index_bytes, // room for ~one index
                 num_threads: 1,
+                ..EngineConfig::default()
             },
         );
         for k in 1..=3 {

@@ -81,6 +81,13 @@ pub enum TkError {
     /// The [`crate::CoreService`] worker has shut down; the request cannot
     /// be accepted or its reply was dropped.
     ServiceStopped,
+    /// A service worker caught a panic while executing the request
+    /// (typically a panicking user sink).  The worker survived, its
+    /// statistics are intact, and only this request failed.
+    WorkerPanicked {
+        /// The rendered panic payload.
+        detail: String,
+    },
     /// An I/O error while loading inputs or persisting outputs.
     Io {
         /// The rendered underlying error.
@@ -133,6 +140,9 @@ impl fmt::Display for TkError {
                 )
             }
             TkError::ServiceStopped => write!(f, "the query service has shut down"),
+            TkError::WorkerPanicked { detail } => {
+                write!(f, "a service worker panicked while executing: {detail}")
+            }
             TkError::Io { detail } => write!(f, "I/O error: {detail}"),
         }
     }
@@ -190,6 +200,12 @@ mod tests {
             ),
             (TkError::GraphMismatch, "different graph"),
             (TkError::ServiceStopped, "shut down"),
+            (
+                TkError::WorkerPanicked {
+                    detail: "sink exploded".into(),
+                },
+                "sink exploded",
+            ),
             (
                 TkError::Io {
                     detail: "gone".into(),

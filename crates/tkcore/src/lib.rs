@@ -24,6 +24,39 @@
 //!   control ([`TkError::BudgetExceeded`]), and per-request [`RequestId`] +
 //!   latency accounting.
 //!
+//! # Execution model
+//!
+//! All parallelism runs on one primitive: [`exec::ExecPool`], a
+//! **persistent work-stealing pool** of named OS threads (per-worker task
+//! deques plus a shared injector; idle workers steal from the back of other
+//! lanes).  Nothing in the crate spawns transient per-call threads:
+//!
+//! * [`QueryEngine::run_batch`] and [`ShardedEngine::run_batch`] fan
+//!   queries across the engine's pool — created lazily on the first
+//!   multi-threaded batch ([`EngineConfig::num_threads`], the calling
+//!   thread counts as one of them and participates in every batch, so
+//!   nested fan-out never deadlocks;
+//! * [`CoreService`] owns a pool of [`ServiceConfig::workers`] threads and
+//!   routes every admitted request onto a **per-worker service lane**.
+//!   With [`Affinity::Shard`], a request whose window overlaps shards
+//!   `{i..j}` is scheduled onto the least-loaded worker owning one of
+//!   those shards' cache partitions (shards split into contiguous
+//!   per-worker blocks), keeping `(shard, k)` skylines and boundary-stitch
+//!   entries hot in one worker's hands; [`Affinity::Shared`] simply
+//!   load-balances.  Either way idle workers **steal** across lanes, so
+//!   affinity is a locality preference, never a stall.  Engines created by
+//!   `CoreService::start*` share the service's pool, so a multi-`k` sweep
+//!   fans out on the same threads that serve requests;
+//! * a panicking request (e.g. a panicking streaming sink) is caught on
+//!   the worker: the ticket resolves to [`TkError::WorkerPanicked`], the
+//!   thread survives, and [`ServiceStats`] — including the per-worker
+//!   [`LatencyHistogram`]s — stays intact;
+//! * boundary-spanning queries on a [`ShardedEngine`] reuse a small
+//!   LRU-cached **boundary-stitch index** (the cut-crossing minimal core
+//!   windows per `(shard range, k)`, see [`shard`]) instead of re-sweeping
+//!   a merged sub-window skyline per query; its counters appear in
+//!   [`CacheStats::boundary`].
+//!
 //! # Sharding
 //!
 //! A span-wide skyline per `k` is the memory and cold-build bottleneck on
@@ -91,9 +124,9 @@
 //! * [`QueryEngine`] — the cached batch-query engine underneath
 //!   [`CachedBackend`] and [`CoreService`].
 //!
-//! The pre-redesign entry points [`TimeRangeKCoreQuery::enumerate`] and
-//! [`TimeRangeKCoreQuery::count`] remain as deprecated shims for one
-//! release; see `CHANGES.md` for the migration table.
+//! The pre-redesign entry points `TimeRangeKCoreQuery::{enumerate, count}`
+//! (deprecated since the PR 2 API redesign) have been removed; see
+//! `CHANGES.md` for the migration table.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -104,6 +137,7 @@ pub mod engine;
 mod enum_base;
 mod enumerate;
 mod error;
+pub mod exec;
 mod historical;
 pub mod naive;
 mod otcd;
@@ -119,10 +153,13 @@ mod vct;
 
 pub use backend::{CachedBackend, CoreBackend};
 pub use ecs::EdgeCoreSkyline;
-pub use engine::{BatchStats, CacheStats, EngineConfig, QueryEngine, ShardCacheStats};
+pub use engine::{
+    BatchStats, BoundaryCacheStats, CacheStats, EngineConfig, QueryEngine, ShardCacheStats,
+};
 pub use enum_base::{enumerate_base, enumerate_base_from_graph, EnumBaseStats};
 pub use enumerate::{enumerate, enumerate_from_graph, EnumStats};
 pub use error::TkError;
+pub use exec::ExecPool;
 pub use historical::{historical_core_from_skyline, HistoricalKCoreIndex};
 pub use naive::{core_edges_of_window, enumerate_naive, naive_results};
 pub use otcd::{run_otcd, OtcdStats};
@@ -132,7 +169,8 @@ pub use request::{
 };
 pub use result::TemporalKCore;
 pub use service::{
-    CoreService, RequestId, ServiceConfig, ServiceReply, ServiceStats, Ticket, WorkerStats,
+    Affinity, CoreService, LatencyHistogram, RequestId, ServiceConfig, ServiceReply, ServiceStats,
+    Ticket, WorkerStats,
 };
 pub use shard::{ShardPlan, ShardedBackend, ShardedEngine};
 pub use sink::{CollectingSink, CountingSink, FnSink, ResultSink};

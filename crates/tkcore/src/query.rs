@@ -13,8 +13,7 @@ use crate::enumerate::enumerate;
 use crate::error::TkError;
 use crate::naive::enumerate_naive;
 use crate::otcd::run_otcd;
-use crate::result::TemporalKCore;
-use crate::sink::{CollectingSink, CountingSink, ResultSink};
+use crate::sink::ResultSink;
 use std::fmt;
 use std::str::FromStr;
 use std::time::{Duration, Instant};
@@ -155,32 +154,6 @@ impl TimeRangeKCoreQuery {
     /// The query time range.
     pub fn range(&self) -> TimeWindow {
         self.range
-    }
-
-    /// Enumerates all distinct temporal k-cores with the paper's final
-    /// algorithm and returns them in canonical order.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `QueryRequest::single(k, start, end).run(graph, &Algorithm::Enum)` \
-                and read `QueryResponse` instead"
-    )]
-    pub fn enumerate(&self, graph: &TemporalGraph) -> Vec<TemporalKCore> {
-        let mut sink = CollectingSink::default();
-        self.run_with(graph, Algorithm::Enum, &mut sink);
-        sink.into_sorted()
-    }
-
-    /// Counts results (number of cores and total result size `|R|`) without
-    /// materialising them.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `QueryRequest::single(k, start, end).count().run(graph, &Algorithm::Enum)` \
-                and read `QueryResponse` instead"
-    )]
-    pub fn count(&self, graph: &TemporalGraph) -> CountingSink {
-        let mut sink = CountingSink::default();
-        self.run_with(graph, Algorithm::Enum, &mut sink);
-        sink
     }
 
     /// Runs a skyline-based algorithm (`Enum` or `EnumBase`) over an
@@ -330,20 +303,18 @@ impl ResultSink for CountingForwarder<'_> {
 mod tests {
     use super::*;
     use crate::paper_example;
+    use crate::sink::CountingSink;
 
     #[test]
-    fn deprecated_shims_still_return_figure_2_results() {
+    fn accessors_and_counts_match_figure_2() {
         let g = paper_example::graph();
         let query = TimeRangeKCoreQuery::new(2, paper_example::example_query_range()).unwrap();
         assert_eq!(query.k(), 2);
         assert_eq!(query.range(), paper_example::example_query_range());
-        #[allow(deprecated)]
-        let cores = query.enumerate(&g);
-        assert_eq!(cores.len(), 2);
-        #[allow(deprecated)]
-        let count = query.count(&g);
-        assert_eq!(count.num_cores, 2);
-        assert_eq!(count.total_edges, 9); // 6 + 3 edges (Figure 2)
+        let mut sink = CountingSink::default();
+        query.run_with(&g, Algorithm::Enum, &mut sink);
+        assert_eq!(sink.num_cores, 2);
+        assert_eq!(sink.total_edges, 9); // 6 + 3 edges (Figure 2)
     }
 
     #[test]

@@ -1,63 +1,107 @@
-//! A thread-backed serving front end: [`CoreService`].
+//! A pool-backed serving front end: [`CoreService`].
 //!
 //! The ROADMAP's sharded / async serving layer needs a seam between clients
 //! and the query engines: a bounded queue with admission control, typed
-//! rejection, and per-request accounting.  `CoreService` is that seam —
-//! [`ServiceConfig::workers`] OS worker threads draining one shared bounded
-//! FIFO of validated requests, executing on either the span-wide
-//! [`QueryEngine`] or a time-interval [`ShardedEngine`]:
+//! rejection, and per-request accounting.  `CoreService` is that seam — a
+//! persistent [`ExecPool`] of
+//! [`ServiceConfig::workers`] threads executing validated requests from
+//! **per-worker service lanes**, on either the span-wide [`QueryEngine`] or
+//! a time-interval [`ShardedEngine`]:
 //!
 //! * [`CoreService::submit`] **validates synchronously** (malformed requests
 //!   never occupy queue capacity) and then applies **admission control**:
-//!   when the queue already holds [`ServiceConfig::queue_depth`] requests, or
+//!   when [`ServiceConfig::queue_depth`] requests are already waiting, or
 //!   the engine's skyline cache sits above
 //!   [`ServiceConfig::admission_memory_bytes`], the request is refused with
 //!   [`TkError::BudgetExceeded`] instead of being queued;
+//! * admitted requests are routed to a lane by [`ServiceConfig::affinity`]:
+//!   [`Affinity::Shard`] schedules a request whose window overlaps shards
+//!   `{i..j}` onto the least-loaded worker **owning one of those shards'
+//!   cache partitions** (shards are split into contiguous per-worker
+//!   blocks), so `(shard, k)` skylines and boundary-stitch entries stop
+//!   ping-ponging between threads; [`Affinity::Shared`] load-balances
+//!   across all lanes.  Idle workers **steal** from other lanes either way,
+//!   so affinity never strands a request behind a busy owner;
 //! * every admitted request gets a [`RequestId`] and a [`Ticket`]; the reply
 //!   carries queue-wait and execution latency alongside the
-//!   [`QueryResponse`];
-//! * with `workers > 1`, requests execute concurrently (each worker owns one
-//!   request at a time); per-worker latency counters are aggregated into the
-//!   shared [`ServiceStats`] and broken out in [`ServiceStats::per_worker`];
-//! * multi-`k` requests fan across the engine's batch path
-//!   ([`QueryEngine::run_batch_with`] or its sharded counterpart), so a
-//!   `k`-range sweep still costs at most one skyline build per `(shard, k)`.
-//!
-//! Swapping the worker pool for an async executor, or the single queue for
-//! per-shard queues, changes this module only — the admission and accounting
-//! surface is the contract the roadmap items plug into.
+//!   [`QueryResponse`], and [`ServiceStats::per_worker`] breaks latency out
+//!   per worker, including a [`LatencyHistogram`];
+//! * a **panicking request** (typically a panicking user sink in stream
+//!   mode) is caught on the worker: the caller's ticket resolves to
+//!   [`TkError::WorkerPanicked`], the worker thread survives, and every
+//!   statistic — including the per-worker histograms — remains intact;
+//! * multi-`k` requests fan across the engine's batch path on the **same
+//!   pool** (the executing worker participates, so nested fan-out cannot
+//!   deadlock), and a `k`-range sweep still costs at most one skyline build
+//!   per `(shard, k)`.
 
-use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use crate::engine::{CacheStats, EngineConfig, QueryEngine};
+use crate::engine::{CacheStats, QueryEngine};
 use crate::error::TkError;
+use crate::exec::ExecPool;
 use crate::query::{Algorithm, QueryStats, TimeRangeKCoreQuery};
 use crate::request::{KOutcome, KOutput, OutputMode, QueryRequest, QueryResponse};
 use crate::shard::{ShardPlan, ShardedBackend, ShardedEngine};
 use crate::sink::{CollectingSink, CountingSink, ResultSink};
-use temporal_graph::TemporalGraph;
+use temporal_graph::{TemporalGraph, TimeWindow};
+
+/// How [`CoreService`] routes admitted requests onto worker lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Affinity {
+    /// Load-balance every request onto the least-loaded lane.
+    #[default]
+    Shared,
+    /// Route a request to the least-loaded worker owning one of the shards
+    /// its window overlaps (shards are partitioned into contiguous
+    /// per-worker blocks).  Falls back to [`Affinity::Shared`] on an
+    /// unsharded engine.
+    Shard,
+}
+
+impl std::fmt::Display for Affinity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Affinity::Shared => write!(f, "shared"),
+            Affinity::Shard => write!(f, "shard"),
+        }
+    }
+}
+
+impl std::str::FromStr for Affinity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "shared" => Ok(Affinity::Shared),
+            "shard" => Ok(Affinity::Shard),
+            other => Err(format!("`{other}` is not `shared` or `shard`")),
+        }
+    }
+}
 
 /// Tuning knobs of a [`CoreService`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
-    /// Maximum number of requests waiting in the queue (not counting the
+    /// Maximum number of requests waiting in the lanes (not counting the
     /// ones currently executing on workers).  Submissions beyond this depth
     /// are refused with [`TkError::BudgetExceeded`].
     pub queue_depth: usize,
-    /// Worker threads draining the shared queue; `0` is treated as `1`.
-    /// Each worker executes one request at a time, so up to `workers`
+    /// Worker threads of the service's persistent pool; `0` is treated as
+    /// `1`.  Each worker executes one request at a time, so up to `workers`
     /// requests are in flight concurrently.
     pub workers: usize,
+    /// Lane-routing policy for admitted requests.
+    pub affinity: Affinity,
     /// Refuse new requests while the engine's skyline cache holds more than
     /// this many resident bytes (`None` disables the memory gate; the
     /// engine's own LRU budget still bounds the cache itself).
     pub admission_memory_bytes: Option<usize>,
     /// Configuration of the underlying engine.
-    pub engine: EngineConfig,
+    pub engine: crate::engine::EngineConfig,
 }
 
 impl Default for ServiceConfig {
@@ -65,8 +109,9 @@ impl Default for ServiceConfig {
         Self {
             queue_depth: 64,
             workers: 1,
+            affinity: Affinity::Shared,
             admission_memory_bytes: None,
-            engine: EngineConfig::default(),
+            engine: crate::engine::EngineConfig::default(),
         }
     }
 }
@@ -121,33 +166,90 @@ impl Ticket {
     }
 }
 
+/// Base-10 histogram of per-request execution latencies.
+///
+/// Bucket `i` counts requests faster than
+/// [`LatencyHistogram::BOUNDS_MICROS`]`[i]` microseconds (and at least the
+/// previous bound); the last bucket counts everything slower.  Stored in the
+/// shared [`ServiceStats`], not on the worker threads, so a worker panic
+/// cannot drop it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// The bucket counts, slowest bucket last.
+    pub buckets: [u64; LatencyHistogram::NUM_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Number of buckets (seven bounded decades plus the overflow bucket).
+    pub const NUM_BUCKETS: usize = 8;
+
+    /// Upper bounds (exclusive) of the bounded buckets, in microseconds:
+    /// 10µs, 100µs, 1ms, 10ms, 100ms, 1s, 10s.
+    pub const BOUNDS_MICROS: [u64; 7] = [10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+    /// Records one observed latency.
+    pub fn record(&mut self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = Self::BOUNDS_MICROS
+            .iter()
+            .position(|&bound| micros < bound)
+            .unwrap_or(Self::NUM_BUCKETS - 1);
+        self.buckets[bucket] += 1;
+    }
+
+    /// Total number of recorded latencies over all buckets.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; Self::NUM_BUCKETS],
+        }
+    }
+}
+
 /// Latency counters of one worker thread (see [`ServiceStats::per_worker`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkerStats {
-    /// Requests this worker fully executed and replied to.
+    /// Requests this worker fully executed and replied to (including
+    /// panicked ones, which reply with [`TkError::WorkerPanicked`]).
     pub completed: u64,
+    /// Requests whose execution panicked on this worker (the worker
+    /// survived; see the module docs).
+    pub panicked: u64,
     /// Summed execution time of this worker's completed requests.
     pub execute_total: Duration,
+    /// Execution-latency histogram of this worker's completed requests.
+    pub latency: LatencyHistogram,
 }
 
 /// Cumulative request accounting, readable via [`CoreService::stats`].
+///
+/// All counters — including the per-worker histograms — live in the
+/// service's shared state, never on a worker thread, so they survive
+/// panicking requests intact (a poisoned lock is recovered, not dropped).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServiceStats {
-    /// Requests admitted to the queue.
+    /// Requests admitted to the lanes.
     pub admitted: u64,
     /// Requests refused by admission control ([`TkError::BudgetExceeded`]).
     pub rejected: u64,
     /// Requests fully executed and replied to (sum of the per-worker
-    /// counters).
+    /// counters; includes panicked requests, which reply with an error).
     pub completed: u64,
+    /// Requests whose execution panicked (sum of the per-worker counters).
+    pub panicked: u64,
     /// Summed queue wait of completed requests.
     pub queue_wait_total: Duration,
     /// Summed execution time of completed requests (sum of the per-worker
     /// totals).
     pub execute_total: Duration,
-    /// High-water mark of the queue depth.
+    /// High-water mark of the number of waiting requests.
     pub max_queue_depth: usize,
-    /// Per-worker latency counters, one entry per worker thread.
+    /// Per-worker latency counters, one entry per pool worker.
     pub per_worker: Vec<WorkerStats>,
 }
 
@@ -159,15 +261,27 @@ struct Job {
     reply: mpsc::Sender<Result<ServiceReply, TkError>>,
 }
 
-struct State {
-    queue: VecDeque<Job>,
+struct ServiceState {
     open: bool,
+    /// Admitted requests not yet picked up by a worker.
+    queued: usize,
+    /// Requests currently executing.
+    in_flight: usize,
     stats: ServiceStats,
 }
 
-struct Shared {
-    state: Mutex<State>,
-    work_ready: Condvar,
+struct ServiceShared {
+    state: Mutex<ServiceState>,
+    /// Signalled whenever a request finishes (shutdown drains on it).
+    drained: Condvar,
+}
+
+impl ServiceShared {
+    /// Locks the service state, recovering from poisoning so statistics
+    /// survive a panic that unwound through the lock.
+    fn lock(&self) -> MutexGuard<'_, ServiceState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// The engine a service executes on: span-wide or time-interval sharded.
@@ -198,8 +312,8 @@ impl ServingEngine {
         make_sink: F,
     ) -> Result<Vec<(S, QueryStats)>, TkError>
     where
-        S: ResultSink + Send,
-        F: Fn(usize) -> S + Sync,
+        S: ResultSink + Send + 'static,
+        F: Fn(usize) -> S + Send + Sync + 'static,
     {
         match self {
             ServingEngine::Span(engine) => engine
@@ -212,9 +326,18 @@ impl ServingEngine {
     }
 }
 
-/// A query-serving front end: bounded queue + admission control over a
-/// span-wide [`QueryEngine`] or a [`ShardedEngine`], processed by a pool of
-/// [`ServiceConfig::workers`] worker threads.
+/// Maps a shard to the worker lane owning its cache partition: shards are
+/// split into `workers` contiguous blocks of the timeline.
+fn lane_of_shard(shard: usize, num_shards: usize, workers: usize) -> usize {
+    if num_shards == 0 || workers == 0 {
+        return 0;
+    }
+    (shard * workers / num_shards).min(workers - 1)
+}
+
+/// A query-serving front end: bounded per-worker lanes + admission control
+/// over a span-wide [`QueryEngine`] or a [`ShardedEngine`], executed by a
+/// persistent work-stealing pool of [`ServiceConfig::workers`] threads.
 ///
 /// # Example
 ///
@@ -240,23 +363,25 @@ impl ServingEngine {
 /// ```
 pub struct CoreService {
     engine: Arc<ServingEngine>,
-    shared: Arc<Shared>,
+    shared: Arc<ServiceShared>,
+    /// `None` only after shutdown; dropping the last reference joins the
+    /// pool threads.
+    pool: Option<Arc<ExecPool>>,
     config: ServiceConfig,
     next_id: AtomicU64,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl CoreService {
-    /// Starts a service owning `graph` on a span-wide engine, with its
-    /// worker pool running.
+    /// Starts a service owning `graph` on a span-wide engine; the engine's
+    /// batches share the service's worker pool.
     pub fn start(graph: TemporalGraph, config: ServiceConfig) -> Self {
-        Self::over(
-            Arc::new(QueryEngine::with_config(graph, config.engine)),
-            config,
-        )
+        let pool = ExecPool::new(config.workers.max(1));
+        let engine = QueryEngine::with_pool(graph, config.engine, Arc::clone(&pool));
+        Self::launch(ServingEngine::Span(Arc::new(engine)), config, pool)
     }
 
-    /// Starts a service owning `graph` on a [`ShardedEngine`] cut by `plan`.
+    /// Starts a service owning `graph` on a [`ShardedEngine`] cut by `plan`;
+    /// the engine's batches share the service's worker pool.
     ///
     /// # Errors
     /// [`TkError::InvalidShardPlan`] when `plan` does not resolve against
@@ -266,50 +391,52 @@ impl CoreService {
         plan: ShardPlan,
         config: ServiceConfig,
     ) -> Result<Self, TkError> {
-        let engine = Arc::new(ShardedEngine::with_config(graph, plan, config.engine)?);
-        Ok(Self::over_sharded(engine, config))
+        let pool = ExecPool::new(config.workers.max(1));
+        let engine = ShardedEngine::with_pool(graph, plan, config.engine, Arc::clone(&pool))?;
+        Ok(Self::launch(
+            ServingEngine::Sharded(Arc::new(engine)),
+            config,
+            pool,
+        ))
     }
 
-    /// Starts a service over an existing (possibly shared) span-wide engine.
+    /// Starts a service over an existing (possibly shared) span-wide
+    /// engine.  If the engine has not yet created or been given a pool of
+    /// its own, it adopts the service's pool, so one set of threads serves
+    /// both layers; otherwise it keeps its existing pool.
     pub fn over(engine: Arc<QueryEngine>, config: ServiceConfig) -> Self {
-        Self::launch(ServingEngine::Span(engine), config)
+        let pool = ExecPool::new(config.workers.max(1));
+        engine.adopt_pool(Arc::clone(&pool));
+        Self::launch(ServingEngine::Span(engine), config, pool)
     }
 
-    /// Starts a service over an existing (possibly shared) sharded engine.
+    /// Starts a service over an existing (possibly shared) sharded engine;
+    /// the same pool-adoption rule as [`CoreService::over`] applies.
     pub fn over_sharded(engine: Arc<ShardedEngine>, config: ServiceConfig) -> Self {
-        Self::launch(ServingEngine::Sharded(engine), config)
+        let pool = ExecPool::new(config.workers.max(1));
+        engine.adopt_pool(Arc::clone(&pool));
+        Self::launch(ServingEngine::Sharded(engine), config, pool)
     }
 
-    fn launch(engine: ServingEngine, config: ServiceConfig) -> Self {
-        let num_workers = config.workers.max(1);
-        let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                queue: VecDeque::new(),
+    fn launch(engine: ServingEngine, config: ServiceConfig, pool: Arc<ExecPool>) -> Self {
+        let shared = Arc::new(ServiceShared {
+            state: Mutex::new(ServiceState {
                 open: true,
+                queued: 0,
+                in_flight: 0,
                 stats: ServiceStats {
-                    per_worker: vec![WorkerStats::default(); num_workers],
+                    per_worker: vec![WorkerStats::default(); pool.num_workers()],
                     ..ServiceStats::default()
                 },
             }),
-            work_ready: Condvar::new(),
+            drained: Condvar::new(),
         });
-        let engine = Arc::new(engine);
-        let workers = (0..num_workers)
-            .map(|worker_idx| {
-                let worker_shared = Arc::clone(&shared);
-                let worker_engine = Arc::clone(&engine);
-                std::thread::Builder::new()
-                    .name(format!("tkcore-service-{worker_idx}"))
-                    .spawn(move || worker_loop(worker_engine, worker_shared, worker_idx))
-                    .expect("spawn service worker")
-            })
-            .collect();
         Self {
-            engine,
+            engine: Arc::new(engine),
             shared,
+            pool: Some(pool),
             config,
             next_id: AtomicU64::new(1),
-            workers,
         }
     }
 
@@ -331,19 +458,14 @@ impl CoreService {
     }
 
     /// Skyline-cache counters of whichever engine backs this service; a
-    /// sharded service reports the per-shard dimension.
+    /// sharded service reports the per-shard and boundary-stitch dimensions.
     pub fn cache_stats(&self) -> CacheStats {
         self.engine.cache_stats()
     }
 
     /// Cumulative admission and latency counters, including per-worker ones.
     pub fn stats(&self) -> ServiceStats {
-        self.shared
-            .state
-            .lock()
-            .expect("service state")
-            .stats
-            .clone()
+        self.shared.lock().stats.clone()
     }
 
     /// Submits a request running the paper's final algorithm (`Enum`).
@@ -354,14 +476,15 @@ impl CoreService {
         self.submit_with(request, Algorithm::Enum)
     }
 
-    /// Validates `request`, applies admission control, and enqueues it for
-    /// the chosen algorithm.
+    /// Validates `request`, applies admission control, and enqueues it on
+    /// the lane chosen by [`ServiceConfig::affinity`] for the chosen
+    /// algorithm.
     ///
     /// # Errors
     /// * the validation errors of [`QueryRequest::validate`] (checked
     ///   synchronously — malformed requests never consume queue capacity);
-    /// * [`TkError::BudgetExceeded`] when the queue is at
-    ///   [`ServiceConfig::queue_depth`] or the skyline cache exceeds
+    /// * [`TkError::BudgetExceeded`] when [`ServiceConfig::queue_depth`]
+    ///   requests are already waiting or the skyline cache exceeds
     ///   [`ServiceConfig::admission_memory_bytes`];
     /// * [`TkError::ServiceStopped`] after [`CoreService::shutdown`].
     pub fn submit_with(
@@ -376,7 +499,8 @@ impl CoreService {
             .config
             .admission_memory_bytes
             .map(|budget| self.engine.cache_stats().resident_bytes > budget);
-        let mut state = self.shared.state.lock().expect("service state");
+        let window = validated.window();
+        let mut state = self.shared.lock();
         if !state.open {
             // A stopped service is ServiceStopped, never BudgetExceeded.
             return Err(TkError::ServiceStopped);
@@ -391,7 +515,7 @@ impl CoreService {
                     .expect("gate only fires when configured"),
             });
         }
-        if state.queue.len() >= self.config.queue_depth {
+        if state.queued >= self.config.queue_depth {
             state.stats.rejected += 1;
             return Err(TkError::BudgetExceeded {
                 resource: "request queue",
@@ -400,35 +524,73 @@ impl CoreService {
         }
         let id = RequestId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = mpsc::channel();
-        state.queue.push_back(Job {
+        state.queued += 1;
+        state.stats.admitted += 1;
+        state.stats.max_queue_depth = state.stats.max_queue_depth.max(state.queued);
+        drop(state);
+        let job = Job {
             id,
             request: validated,
             algorithm,
             enqueued_at: Instant::now(),
             reply: tx,
+        };
+        let shared = Arc::clone(&self.shared);
+        let engine = Arc::clone(&self.engine);
+        let pool = self
+            .pool
+            .as_ref()
+            .expect("pool alive while the service is open");
+        pool.spawn_on(self.lane_for(window), move |worker| {
+            execute_service_job(&engine, &shared, job, worker);
         });
-        state.stats.admitted += 1;
-        state.stats.max_queue_depth = state.stats.max_queue_depth.max(state.queue.len());
-        drop(state);
-        self.shared.work_ready.notify_one();
         Ok(Ticket { id, rx })
     }
 
-    /// Stops accepting requests, drains the queue, and joins the worker
-    /// pool.  Dropping the service does the same.
+    /// Chooses the lane for a request over `window` (see
+    /// [`ServiceConfig::affinity`]).
+    fn lane_for(&self, window: TimeWindow) -> usize {
+        let pool = self
+            .pool
+            .as_ref()
+            .expect("pool alive while the service is open");
+        let lens = pool.lane_lens();
+        match (self.config.affinity, &*self.engine) {
+            (Affinity::Shard, ServingEngine::Sharded(engine)) => engine
+                .overlapping_shards(window)
+                .map(|shard| lane_of_shard(shard, engine.num_shards(), lens.len()))
+                .min_by_key(|&lane| (lens[lane], lane))
+                .unwrap_or(0),
+            _ => (0..lens.len())
+                .min_by_key(|&lane| (lens[lane], lane))
+                .unwrap_or(0),
+        }
+    }
+
+    /// Stops accepting requests, waits for every admitted request to finish,
+    /// and releases the worker pool.  Dropping the service does the same.
     pub fn shutdown(mut self) {
         self.close_and_join();
     }
 
     fn close_and_join(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("service state");
+            let mut state = self.shared.lock();
             state.open = false;
         }
-        self.shared.work_ready.notify_all();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        let mut state = self.shared.lock();
+        while state.queued + state.in_flight > 0 {
+            state = self
+                .shared
+                .drained
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
+        drop(state);
+        // Dropping the last pool reference joins the worker threads.  An
+        // engine created by `start`/`start_sharded` holds a reference for
+        // its own batches; its threads idle until the engine is dropped.
+        self.pool = None;
     }
 }
 
@@ -438,51 +600,74 @@ impl Drop for CoreService {
     }
 }
 
-fn worker_loop(engine: Arc<ServingEngine>, shared: Arc<Shared>, worker_idx: usize) {
-    loop {
-        let job = {
-            let mut state = shared.state.lock().expect("service state");
-            loop {
-                if let Some(job) = state.queue.pop_front() {
-                    break job;
-                }
-                if !state.open {
-                    return; // closed and drained
-                }
-                state = shared
-                    .work_ready
-                    .wait(state)
-                    .expect("service state poisoned");
-            }
-        };
-        let queue_wait = job.enqueued_at.elapsed();
-        let t0 = Instant::now();
-        let result = execute_job(&engine, job.request, job.algorithm);
-        let execute_time = t0.elapsed();
-        {
-            let mut state = shared.state.lock().expect("service state");
-            state.stats.completed += 1;
-            state.stats.queue_wait_total += queue_wait;
-            state.stats.execute_total += execute_time;
-            let lane = &mut state.stats.per_worker[worker_idx];
-            lane.completed += 1;
-            lane.execute_total += execute_time;
-        }
-        let reply = result.map(|response| ServiceReply {
-            id: job.id,
-            response,
-            queue_wait,
-            execute_time,
-            worker: worker_idx,
-        });
-        // The submitter may have dropped its ticket; that is not an error.
-        let _ = job.reply.send(reply);
+/// Renders a panic payload for [`TkError::WorkerPanicked`].
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
+/// Runs one admitted job on pool worker `worker`: accounting, execution
+/// with panic isolation, accounting again, reply.
+fn execute_service_job(engine: &ServingEngine, shared: &ServiceShared, job: Job, worker: usize) {
+    {
+        let mut state = shared.lock();
+        state.queued -= 1;
+        state.in_flight += 1;
+    }
+    let queue_wait = job.enqueued_at.elapsed();
+    let request = job.request;
+    let algorithm = job.algorithm;
+    let t0 = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| execute_job(engine, request, algorithm)));
+    let execute_time = t0.elapsed();
+    let (result, panicked) = match outcome {
+        Ok(result) => (result, false),
+        Err(payload) => (
+            Err(TkError::WorkerPanicked {
+                detail: panic_detail(payload.as_ref()),
+            }),
+            true,
+        ),
+    };
+    {
+        let mut state = shared.lock();
+        state.in_flight -= 1;
+        let stats = &mut state.stats;
+        stats.completed += 1;
+        stats.queue_wait_total += queue_wait;
+        stats.execute_total += execute_time;
+        if panicked {
+            stats.panicked += 1;
+        }
+        let lane = &mut stats.per_worker[worker];
+        lane.completed += 1;
+        lane.execute_total += execute_time;
+        lane.latency.record(execute_time);
+        if panicked {
+            lane.panicked += 1;
+        }
+    }
+    shared.drained.notify_all();
+    let reply = result.map(|response| ServiceReply {
+        id: job.id,
+        response,
+        queue_wait,
+        execute_time,
+        worker,
+    });
+    // The submitter may have dropped its ticket; that is not an error.
+    let _ = job.reply.send(reply);
+}
+
 /// Executes one validated request on the engine.  Count and materialize
-/// modes fan the per-`k` queries across the engine's batch path; stream
-/// mode runs sequentially because all `k` values share one sink.
+/// modes fan the per-`k` queries across the engine's batch path (which runs
+/// on the same pool, with this worker participating); stream mode runs
+/// sequentially because all `k` values share one sink.
 fn execute_job(
     engine: &ServingEngine,
     request: crate::request::ValidatedRequest,
@@ -568,10 +753,12 @@ mod tests {
         assert_eq!(stats.admitted, 1);
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.panicked, 0);
         assert!(stats.execute_total >= reply.execute_time);
         assert_eq!(stats.per_worker.len(), 1);
         assert_eq!(stats.per_worker[0].completed, 1);
         assert_eq!(stats.per_worker[0].execute_total, stats.execute_total);
+        assert_eq!(stats.per_worker[0].latency.count(), 1);
         service.shutdown();
     }
 
@@ -587,7 +774,7 @@ mod tests {
             Err(TkError::WindowPastTmax { .. })
         ));
         let stats = service.stats();
-        assert_eq!(stats.admitted, 0, "invalid requests never hit the queue");
+        assert_eq!(stats.admitted, 0, "invalid requests never hit the lanes");
     }
 
     #[test]
@@ -636,6 +823,81 @@ mod tests {
     }
 
     #[test]
+    fn shard_affinity_routes_and_answers_like_the_shared_queue() {
+        let graph = paper_example::graph();
+        let shared_q = CoreService::start_sharded(
+            graph.clone(),
+            ShardPlan::FixedCount(4),
+            ServiceConfig {
+                workers: 2,
+                affinity: Affinity::Shared,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let affine = CoreService::start_sharded(
+            graph,
+            ShardPlan::FixedCount(4),
+            ServiceConfig {
+                workers: 2,
+                affinity: Affinity::Shard,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        for (k, s, e) in [(2, 1, 4), (2, 2, 6), (1, 1, 7), (3, 5, 7), (2, 1, 2)] {
+            let a = shared_q
+                .submit(QueryRequest::single(k, s, e))
+                .unwrap()
+                .wait()
+                .unwrap();
+            let b = affine
+                .submit(QueryRequest::single(k, s, e))
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(
+                a.response.total_cores(),
+                b.response.total_cores(),
+                "k={k} [{s}, {e}]"
+            );
+        }
+        let stats = affine.stats();
+        assert_eq!(stats.completed, 5);
+        shared_q.shutdown();
+        affine.shutdown();
+    }
+
+    #[test]
+    fn lane_of_shard_partitions_contiguously() {
+        // 4 shards over 2 workers: first half owned by lane 0, second by 1.
+        assert_eq!(lane_of_shard(0, 4, 2), 0);
+        assert_eq!(lane_of_shard(1, 4, 2), 0);
+        assert_eq!(lane_of_shard(2, 4, 2), 1);
+        assert_eq!(lane_of_shard(3, 4, 2), 1);
+        // More workers than shards: every shard gets its own lane prefix.
+        assert_eq!(lane_of_shard(0, 2, 4), 0);
+        assert_eq!(lane_of_shard(1, 2, 4), 2);
+        // Degenerate inputs stay in range.
+        assert_eq!(lane_of_shard(5, 3, 2), 1);
+        assert_eq!(lane_of_shard(0, 0, 2), 0);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_by_decade() {
+        let mut histogram = LatencyHistogram::default();
+        histogram.record(Duration::from_micros(5));
+        histogram.record(Duration::from_micros(50));
+        histogram.record(Duration::from_millis(5));
+        histogram.record(Duration::from_secs(100));
+        assert_eq!(histogram.buckets[0], 1);
+        assert_eq!(histogram.buckets[1], 1);
+        assert_eq!(histogram.buckets[3], 1);
+        assert_eq!(histogram.buckets[LatencyHistogram::NUM_BUCKETS - 1], 1);
+        assert_eq!(histogram.count(), 4);
+    }
+
+    #[test]
     fn submissions_after_shutdown_are_refused() {
         let graph = paper_example::graph();
         let engine = Arc::new(QueryEngine::new(graph));
@@ -679,5 +941,55 @@ mod tests {
             }
         ));
         assert_eq!(service.stats().rejected, 1);
+    }
+
+    /// A sink that panics on the first emitted core.
+    struct PanickingSink;
+
+    impl ResultSink for PanickingSink {
+        fn emit(&mut self, _tti: TimeWindow, _edges: &[temporal_graph::EdgeId]) {
+            panic!("sink rejected the core");
+        }
+    }
+
+    #[test]
+    fn a_panicking_sink_fails_only_its_request_and_stats_survive() {
+        let service = CoreService::start(
+            paper_example::graph(),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let err = service
+            .submit(QueryRequest::single(2, 1, 4).stream(Box::new(PanickingSink)))
+            .unwrap()
+            .wait()
+            .expect_err("the panic surfaces as a typed error");
+        assert!(
+            matches!(&err, TkError::WorkerPanicked { detail } if detail.contains("rejected")),
+            "{err}"
+        );
+        // The worker survived: later requests complete on a full pool, and
+        // the per-worker histograms still include the panicked request.
+        for _ in 0..4 {
+            let reply = service
+                .submit(QueryRequest::single(2, 1, 4))
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(reply.response.total_cores(), 2);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.completed, 5);
+        assert_eq!(stats.panicked, 1);
+        assert_eq!(stats.per_worker.len(), 2);
+        let per_worker_completed: u64 = stats.per_worker.iter().map(|w| w.completed).sum();
+        assert_eq!(per_worker_completed, 5);
+        let per_worker_panicked: u64 = stats.per_worker.iter().map(|w| w.panicked).sum();
+        assert_eq!(per_worker_panicked, 1);
+        let histogram_total: u64 = stats.per_worker.iter().map(|w| w.latency.count()).sum();
+        assert_eq!(histogram_total, 5, "histograms survive the panic");
+        service.shutdown();
     }
 }

@@ -30,29 +30,52 @@
 //! 2. **Boundary-spanning cores** (TTI contains a cut, i.e. both `c` and
 //!    `c + 1` for some shard boundary after timestamp `c`): these cannot be
 //!    derived from per-shard skylines (their minimal windows were dropped at
-//!    build time), so they are re-verified against the **merged sub-window**:
-//!    a transient skyline is built for `W` itself and enumerated through a
+//!    build time) and are enumerated from a skyline of `W` itself through a
 //!    filter that forwards only cores whose TTI crosses a cut.
 //!
 //! The two sets are disjoint (a TTI either fits inside one shard or crosses
 //! a cut) and jointly exhaustive, and within one graph a TTI identifies its
 //! core uniquely — so the stitched answer equals the span-wide answer
-//! exactly.  The `shard_equivalence` test harness asserts this for random
-//! graphs, random plans and all four algorithms.  The transient merged
-//! skyline is dropped after the query: boundary-spanning queries pay a
-//! build, but never grow the resident cache beyond the per-shard budget.
+//! exactly.  The `shard_equivalence` and `boundary_index` test harnesses
+//! assert this for random graphs, random plans and all four algorithms.
+//!
+//! # The boundary-stitch index
+//!
+//! The skyline of `W` needed by step 2 used to be rebuilt transiently on
+//! *every* boundary-spanning query — a full CoreTime sweep per query.  The
+//! engine now assembles it from cached pieces instead:
+//!
+//! * minimality of a core window is a property of the graph alone, so the
+//!   skyline of `W` splits into the **intra-shard windows** (`w ⊆ W ∩ I_s`
+//!   for some shard `s` — exactly the restricted per-shard skylines already
+//!   fetched for step 1) and the **cut-crossing windows**;
+//! * the cut-crossing windows come from a small LRU-cached **stitch entry**
+//!   per `(shard range, k)` — for the common case of a window spanning one
+//!   cut, per adjacent shard pair `(i, i + 1, k)`.  An entry is built once,
+//!   on the first spanning query of its shard range (one merged-window
+//!   sweep, filtered down to the cut-crossing windows only), and reused by
+//!   every later spanning query of that range;
+//! * a per-edge merge of the two sorted classes reproduces the skyline of
+//!   `W` in `O(|E_W| + |ECS_W|)` — restriction cost, not sweep cost.
+//!
+//! Warm boundary-spanning queries therefore stop paying the per-query
+//! sweep.  The stitch cache is bounded by
+//! [`EngineConfig::boundary_cache_entries`] (LRU; `0` restores the
+//! transient rebuild) and its counters are reported in
+//! [`CacheStats::boundary`].
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::backend::{validate_query, CoreBackend};
 use crate::ecs::EdgeCoreSkyline;
 use crate::engine::{
-    aggregate_batch, effective_threads, fan_out_batch, validate_batch, BatchStats, CacheStats,
-    EngineConfig, ShardCacheStats,
+    aggregate_batch, batch_executor, fan_out_batch, validate_batch, BatchStats, BoundaryCacheStats,
+    CacheStats, EngineConfig, ShardCacheStats,
 };
 use crate::error::TkError;
+use crate::exec::ExecPool;
 use crate::query::{Algorithm, QueryStats, TimeRangeKCoreQuery};
 use crate::request::QueryRequest;
 use crate::sink::{CountingSink, ResultSink};
@@ -262,12 +285,118 @@ impl ShardCache {
             resident_bytes: self.resident_bytes,
             resident_indexes: self.entries.len(),
             per_shard: self.per_shard.clone(),
+            boundary: BoundaryCacheStats::default(),
         }
     }
 }
 
+struct BoundaryEntry {
+    /// Cut-crossing minimal core windows of the merged window of the
+    /// entry's shard range (a filtered, **incomplete** skyline — only
+    /// usable through [`compose_boundary_skyline`]).
+    crossing: Arc<EdgeCoreSkyline>,
+    last_used: u64,
+}
+
+/// LRU cache of boundary-stitch entries, keyed by `(lo shard, hi shard, k)`.
+struct BoundaryCache {
+    entries: HashMap<(usize, usize, usize), BoundaryEntry>,
+    /// Maximum resident entries; `0` disables the cache entirely.
+    capacity: usize,
+    clock: u64,
+    builds: u64,
+    hits: u64,
+    evictions: u64,
+    resident_bytes: usize,
+}
+
+impl BoundaryCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            capacity,
+            clock: 0,
+            builds: 0,
+            hits: 0,
+            evictions: 0,
+            resident_bytes: 0,
+        }
+    }
+
+    fn get(&mut self, lo: usize, hi: usize, k: usize) -> Option<Arc<EdgeCoreSkyline>> {
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = self.entries.get_mut(&(lo, hi, k))?;
+        entry.last_used = clock;
+        self.hits += 1;
+        Some(Arc::clone(&entry.crossing))
+    }
+
+    /// Inserts a freshly built stitch entry unless another thread won the
+    /// race, then evicts LRU entries (never the key itself) down to the
+    /// entry budget.
+    fn adopt(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        k: usize,
+        built: Arc<EdgeCoreSkyline>,
+    ) -> Arc<EdgeCoreSkyline> {
+        self.clock += 1;
+        let clock = self.clock;
+        let key = (lo, hi, k);
+        let crossing = match self.entries.get_mut(&key) {
+            Some(existing) => {
+                existing.last_used = clock;
+                Arc::clone(&existing.crossing)
+            }
+            None => {
+                self.builds += 1;
+                self.resident_bytes += built.memory_bytes();
+                self.entries.insert(
+                    key,
+                    BoundaryEntry {
+                        crossing: Arc::clone(&built),
+                        last_used: clock,
+                    },
+                );
+                built
+            }
+        };
+        while self.entries.len() > self.capacity.max(1) {
+            let Some((&victim, _)) = self
+                .entries
+                .iter()
+                .filter(|(&other, _)| other != key)
+                .min_by_key(|(_, e)| e.last_used)
+            else {
+                break;
+            };
+            let removed = self.entries.remove(&victim).expect("victim present");
+            self.resident_bytes -= removed.crossing.memory_bytes();
+            self.evictions += 1;
+        }
+        crossing
+    }
+
+    fn stats(&self) -> BoundaryCacheStats {
+        BoundaryCacheStats {
+            builds: self.builds,
+            hits: self.hits,
+            evictions: self.evictions,
+            resident_bytes: self.resident_bytes,
+            resident_entries: self.entries.len(),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.resident_bytes = 0;
+    }
+}
+
 /// Forwards only cores whose TTI crosses at least one shard cut, counting
-/// what it lets through (the stitching filter of the merged-window pass).
+/// what it lets through (the stitching filter of the boundary pass).
 struct BoundarySink<'a> {
     inner: &'a mut dyn ResultSink,
     /// Shard boundaries inside the query window: a cut after timestamp `c`
@@ -287,9 +416,56 @@ impl ResultSink for BoundarySink<'_> {
     }
 }
 
+/// Reassembles the exact skyline of `window` from the restricted per-shard
+/// skylines (`parts`, in timeline order, jointly covering `window`) and the
+/// cached cut-crossing windows (`crossing`, built over a superset range).
+///
+/// Minimality of a core window is a property of the graph alone, so the
+/// skyline of `window` is the disjoint union of the windows fitting inside
+/// one shard's slice (found in `parts`) and the cut-crossing ones (a
+/// contiguous containment slice of `crossing`, whose per-edge windows keep
+/// both endpoints strictly increasing).  A per-edge two-way merge by start
+/// time reproduces skyline order.  Cost: `O(|E_W| + |ECS_W|)` — the same as
+/// [`EdgeCoreSkyline::restrict`], with no CoreTime sweep.
+fn compose_boundary_skyline(
+    graph: &TemporalGraph,
+    k: usize,
+    window: TimeWindow,
+    parts: &[EdgeCoreSkyline],
+    crossing: &EdgeCoreSkyline,
+) -> EdgeCoreSkyline {
+    let edge_range = graph.edge_ids_in(window);
+    let first_edge = edge_range.start;
+    let num_edges = (edge_range.end - edge_range.start) as usize;
+    let mut windows: Vec<Vec<TimeWindow>> = vec![Vec::new(); num_edges];
+    for id in edge_range {
+        let cw = crossing.windows(id);
+        let lo = cw.partition_point(|w| w.start() < window.start());
+        let hi = cw.partition_point(|w| w.end() <= window.end());
+        let cross = if lo < hi { &cw[lo..hi] } else { &[] };
+        let merged = &mut windows[(id - first_edge) as usize];
+        let mut cross_iter = cross.iter().copied().peekable();
+        for part in parts {
+            for &w in part.windows(id) {
+                while let Some(&c) = cross_iter.peek() {
+                    if c.start() < w.start() {
+                        merged.push(c);
+                        cross_iter.next();
+                    } else {
+                        break;
+                    }
+                }
+                merged.push(w);
+            }
+        }
+        merged.extend(cross_iter);
+    }
+    EdgeCoreSkyline::from_parts(k, window, first_edge, windows)
+}
+
 /// A query engine over time-interval shards: per-`(shard, k)` skyline cache,
-/// exact boundary stitching, and the same batch surface as
-/// [`QueryEngine`](crate::QueryEngine).
+/// exact boundary stitching through a cached [`CacheStats::boundary`] index,
+/// and the same batch surface as [`QueryEngine`](crate::QueryEngine).
 ///
 /// See the [module documentation](self) for the sharding layout and the
 /// exactness argument.
@@ -308,10 +484,18 @@ impl ResultSink for BoundarySink<'_> {
 /// assert_eq!(stats.num_cores, 2); // Figure 2 of the paper, stitched across shards
 /// ```
 pub struct ShardedEngine {
+    inner: Arc<ShardInner>,
+}
+
+/// The shared core of a [`ShardedEngine`], behind one `Arc` so batch tasks
+/// handed to the persistent pool are `'static`.
+struct ShardInner {
     graph: TemporalGraph,
     shards: Vec<TimeWindow>,
     config: EngineConfig,
     cache: Mutex<ShardCache>,
+    boundary: Mutex<BoundaryCache>,
+    pool: OnceLock<Arc<ExecPool>>,
 }
 
 impl ShardedEngine {
@@ -336,84 +520,111 @@ impl ShardedEngine {
     ) -> Result<Self, TkError> {
         let shards = plan.resolve(&graph)?;
         let cache = Mutex::new(ShardCache::new(config.memory_budget_bytes, shards.len()));
+        let boundary = Mutex::new(BoundaryCache::new(config.boundary_cache_entries));
         Ok(Self {
-            graph,
-            shards,
-            config,
-            cache,
+            inner: Arc::new(ShardInner {
+                graph,
+                shards,
+                config,
+                cache,
+                boundary,
+                pool: OnceLock::new(),
+            }),
         })
+    }
+
+    /// Creates a sharded engine whose batches execute on an existing
+    /// persistent `pool` (typically shared with the [`crate::CoreService`]
+    /// that owns the engine) instead of a lazily created private one.
+    ///
+    /// # Errors
+    /// [`TkError::InvalidShardPlan`] when `plan` does not resolve.
+    pub fn with_pool(
+        graph: TemporalGraph,
+        plan: ShardPlan,
+        config: EngineConfig,
+        pool: Arc<ExecPool>,
+    ) -> Result<Self, TkError> {
+        let engine = Self::with_config(graph, plan, config)?;
+        engine
+            .inner
+            .pool
+            .set(pool)
+            .ok()
+            .expect("fresh engine has no pool yet");
+        Ok(engine)
+    }
+
+    /// Adopts `pool` for this engine's batches if it has not already
+    /// created or been given one; returns whether the pool was installed
+    /// (see [`QueryEngine::adopt_pool`](crate::QueryEngine::adopt_pool)).
+    pub fn adopt_pool(&self, pool: Arc<ExecPool>) -> bool {
+        self.inner.pool.set(pool).is_ok()
     }
 
     /// The graph this engine serves queries against.
     pub fn graph(&self) -> &TemporalGraph {
-        &self.graph
+        &self.inner.graph
     }
 
     /// The resolved shard intervals, contiguous and covering `[1, tmax]`.
     pub fn shards(&self) -> &[TimeWindow] {
-        &self.shards
+        &self.inner.shards
     }
 
     /// Number of time-interval shards.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.inner.shards.len()
     }
 
     /// Current cache counters; [`CacheStats::per_shard`] holds one entry per
-    /// shard with its build/hit/residency counters.
+    /// shard with its build/hit/residency counters and
+    /// [`CacheStats::boundary`] the stitch-index counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("shard cache lock").stats()
+        self.inner.cache_stats()
     }
 
-    /// Indexes of the shards overlapping `window` (always non-empty for a
-    /// validated, span-clamped window).
-    fn overlapping(&self, window: TimeWindow) -> std::ops::Range<usize> {
-        let lo = self.shards.partition_point(|s| s.end() < window.start());
-        let hi = self.shards.partition_point(|s| s.start() <= window.end());
-        lo..hi
-    }
-
-    /// Returns shard `shard`'s skyline for `k`, building and caching it on a
-    /// miss.  Like the span-wide engine, the build runs outside the cache
-    /// lock: two threads racing on the same cold `(shard, k)` may both
-    /// build; the loser's copy is dropped.
-    fn shard_skyline(&self, shard: usize, k: usize) -> Arc<EdgeCoreSkyline> {
-        if let Some(hit) = self.cache.lock().expect("shard cache lock").get(shard, k) {
-            return hit;
-        }
-        let built = Arc::new(EdgeCoreSkyline::build(&self.graph, k, self.shards[shard]));
-        self.cache
-            .lock()
-            .expect("shard cache lock")
-            .adopt(shard, k, built)
+    /// Indexes of the shards overlapping `window`, in timeline order
+    /// (always non-empty for a validated, span-clamped window).  This is
+    /// the routing key of [`crate::CoreService`]'s shard-affine scheduling.
+    pub fn overlapping_shards(&self, window: TimeWindow) -> std::ops::Range<usize> {
+        self.inner.overlapping(window)
     }
 
     /// Warms every shard skyline for `k`; returns whether all of them were
     /// already resident.
     pub fn warm(&self, k: usize) -> bool {
         let mut all_resident = true;
-        for shard in 0..self.shards.len() {
+        for shard in 0..self.inner.shards.len() {
             let resident = self
+                .inner
                 .cache
                 .lock()
                 .expect("shard cache lock")
                 .entries
                 .contains_key(&(shard, k));
             all_resident &= resident;
-            let _ = self.shard_skyline(shard, k);
+            let _ = self.inner.shard_skyline(shard, k);
         }
         all_resident
     }
 
-    /// Drops every cached shard skyline, keeping the counters.
+    /// Drops every cached shard skyline and stitch entry, keeping the
+    /// counters.
     pub fn clear_cache(&self) {
-        let mut cache = self.cache.lock().expect("shard cache lock");
+        let mut cache = self.inner.cache.lock().expect("shard cache lock");
         cache.entries.clear();
         cache.resident_bytes = 0;
         for shard in cache.per_shard.iter_mut() {
             shard.resident_bytes = 0;
             shard.resident_indexes = 0;
         }
+        drop(cache);
+        self.inner
+            .boundary
+            .lock()
+            .expect("boundary cache lock")
+            .clear();
     }
 
     /// Runs one query with the paper's final algorithm, streaming results
@@ -448,9 +659,123 @@ impl ShardedEngine {
         sink: &mut dyn ResultSink,
     ) -> Result<QueryStats, TkError> {
         let range = query.range();
-        let validated =
-            QueryRequest::single(query.k(), range.start(), range.end()).validate(&self.graph)?;
-        Ok(self.run_validated(query.k(), validated.window(), algorithm, sink))
+        let validated = QueryRequest::single(query.k(), range.start(), range.end())
+            .validate(&self.inner.graph)?;
+        Ok(self
+            .inner
+            .run_validated(query.k(), validated.window(), algorithm, sink))
+    }
+
+    /// Runs a batch of queries with `Enum`, counting results per query
+    /// (the sharded counterpart of
+    /// [`QueryEngine::run_batch`](crate::QueryEngine::run_batch)).
+    ///
+    /// # Errors
+    /// See [`ShardedEngine::run_batch_with`].
+    pub fn run_batch(
+        &self,
+        queries: &[TimeRangeKCoreQuery],
+    ) -> Result<(Vec<(CountingSink, QueryStats)>, BatchStats), TkError> {
+        self.run_batch_with(queries, Algorithm::Enum, |_| CountingSink::default())
+    }
+
+    /// Fans `queries` across the persistent pool, one fresh sink per query —
+    /// same contract as
+    /// [`QueryEngine::run_batch_with`](crate::QueryEngine::run_batch_with),
+    /// with workers warming different shards in parallel.
+    ///
+    /// # Errors
+    /// Every query is validated up front; the first invalid query fails the
+    /// whole batch before any work starts.
+    pub fn run_batch_with<S, F>(
+        &self,
+        queries: &[TimeRangeKCoreQuery],
+        algorithm: Algorithm,
+        make_sink: F,
+    ) -> Result<(Vec<(S, QueryStats)>, BatchStats), TkError>
+    where
+        S: ResultSink + Send + 'static,
+        F: Fn(usize) -> S + Send + Sync + 'static,
+    {
+        let t0 = Instant::now();
+        let validated = Arc::new(validate_batch(&self.inner.graph, queries)?);
+        let (threads, pool) = batch_executor(
+            &self.inner.pool,
+            self.inner.config.num_threads,
+            validated.len(),
+        );
+        let inner = Arc::clone(&self.inner);
+        let per_query = fan_out_batch(pool, validated, make_sink, move |k, window, sink| {
+            inner.run_validated(k, window, algorithm, sink)
+        });
+        let batch = aggregate_batch(&per_query, t0.elapsed(), threads, self.cache_stats());
+        Ok((per_query, batch))
+    }
+}
+
+impl ShardInner {
+    fn cache_stats(&self) -> CacheStats {
+        let mut stats = self.cache.lock().expect("shard cache lock").stats();
+        stats.boundary = self.boundary.lock().expect("boundary cache lock").stats();
+        stats
+    }
+
+    /// Indexes of the shards overlapping `window` (always non-empty for a
+    /// validated, span-clamped window).
+    fn overlapping(&self, window: TimeWindow) -> std::ops::Range<usize> {
+        let lo = self.shards.partition_point(|s| s.end() < window.start());
+        let hi = self.shards.partition_point(|s| s.start() <= window.end());
+        lo..hi
+    }
+
+    /// Returns shard `shard`'s skyline for `k`, building and caching it on a
+    /// miss.  Like the span-wide engine, the build runs outside the cache
+    /// lock: two threads racing on the same cold `(shard, k)` may both
+    /// build; the loser's copy is dropped.
+    fn shard_skyline(&self, shard: usize, k: usize) -> Arc<EdgeCoreSkyline> {
+        if let Some(hit) = self.cache.lock().expect("shard cache lock").get(shard, k) {
+            return hit;
+        }
+        let built = Arc::new(EdgeCoreSkyline::build(&self.graph, k, self.shards[shard]));
+        self.cache
+            .lock()
+            .expect("shard cache lock")
+            .adopt(shard, k, built)
+    }
+
+    /// Returns the stitch entry for shard range `lo..=hi` and parameter
+    /// `k` — the cut-crossing minimal core windows of the merged window —
+    /// building and caching it on a miss (one merged-window sweep, like the
+    /// shard skylines built outside the cache lock).  The second component
+    /// is the transient peak of that build (the full merged skyline held
+    /// while filtering), `0` on a cache hit.
+    ///
+    /// The build covers the shard range's whole merged window, not just the
+    /// triggering query's window, so the entry serves *every* later
+    /// spanning window of the range; a one-off spanning query thus pays a
+    /// wider sweep than the transient path would — the trade
+    /// [`EngineConfig::boundary_cache_entries`]` = 0` opts out of.
+    fn stitch_entry(&self, lo: usize, hi: usize, k: usize) -> (Arc<EdgeCoreSkyline>, usize) {
+        if let Some(hit) = self
+            .boundary
+            .lock()
+            .expect("boundary cache lock")
+            .get(lo, hi, k)
+        {
+            return (hit, 0);
+        }
+        let merged_window = TimeWindow::new(self.shards[lo].start(), self.shards[hi].end());
+        let cuts: Vec<Timestamp> = (lo..hi).map(|s| self.shards[s].end()).collect();
+        let merged = EdgeCoreSkyline::build(&self.graph, k, merged_window);
+        let build_peak = merged.memory_bytes();
+        let crossing =
+            Arc::new(merged.filtered(|w| cuts.iter().any(|&c| w.start() <= c && c < w.end())));
+        let adopted = self
+            .boundary
+            .lock()
+            .expect("boundary cache lock")
+            .adopt(lo, hi, k, crossing);
+        (adopted, build_peak)
     }
 
     /// Executes a query whose parameters already passed validation (`k >= 1`,
@@ -469,10 +794,15 @@ impl ShardedEngine {
             Algorithm::Enum | Algorithm::EnumBase => {
                 let shards = self.overlapping(window);
                 debug_assert!(!shards.is_empty(), "validated window overlaps a shard");
+                let spanning = shards.len() > 1;
+                let stitch_cached = self.config.boundary_cache_entries > 0;
                 let mut total = QueryStats::zeroed(algorithm);
+                let mut parts: Vec<EdgeCoreSkyline> = Vec::new();
 
                 // Intra-shard cores: restrict each overlapping shard's
-                // cached skyline to its part of the window.
+                // cached skyline to its part of the window.  The restricted
+                // skylines double as the intra-shard half of the boundary
+                // stitch, so they are kept when a spanning pass follows.
                 for shard in shards.clone() {
                     let part = self.shards[shard]
                         .intersect(&window)
@@ -489,19 +819,28 @@ impl ShardedEngine {
                     total.precompute_time += precompute;
                     total.enumerate_time += stats.enumerate_time;
                     total.peak_memory_bytes = total.peak_memory_bytes.max(stats.peak_memory_bytes);
+                    if spanning && stitch_cached {
+                        parts.push(restricted);
+                    }
                 }
 
-                // Boundary-spanning cores: re-verify against the merged
-                // sub-window.  The transient skyline is dropped afterwards,
-                // so it never counts against the resident cache budget.
-                if shards.len() > 1 {
-                    let cuts: Vec<Timestamp> = shards
-                        .clone()
-                        .take(shards.len() - 1)
-                        .map(|shard| self.shards[shard].end())
-                        .collect();
+                // Boundary-spanning cores: enumerate the skyline of the
+                // window itself through the cut-crossing filter.  With the
+                // stitch cache on, that skyline is assembled from the
+                // restricted shard skylines plus the cached cut-crossing
+                // windows; with the cache off it is rebuilt transiently
+                // (one CoreTime sweep per spanning query).
+                if spanning {
+                    let (lo, hi) = (shards.start, shards.end - 1);
+                    let cuts: Vec<Timestamp> = (lo..hi).map(|s| self.shards[s].end()).collect();
                     let t0 = Instant::now();
-                    let merged = EdgeCoreSkyline::build(&self.graph, k, window);
+                    let stitched = if stitch_cached {
+                        let (crossing, build_peak) = self.stitch_entry(lo, hi, k);
+                        total.peak_memory_bytes = total.peak_memory_bytes.max(build_peak);
+                        compose_boundary_skyline(&self.graph, k, window, &parts, &crossing)
+                    } else {
+                        EdgeCoreSkyline::build(&self.graph, k, window)
+                    };
                     total.precompute_time += t0.elapsed();
                     let mut boundary = BoundarySink {
                         inner: sink,
@@ -512,10 +851,11 @@ impl ShardedEngine {
                     let t1 = Instant::now();
                     let peak = match algorithm {
                         Algorithm::Enum => {
-                            crate::enumerate(&self.graph, &merged, &mut boundary).peak_memory_bytes
+                            crate::enumerate(&self.graph, &stitched, &mut boundary)
+                                .peak_memory_bytes
                         }
                         Algorithm::EnumBase => {
-                            crate::enumerate_base(&self.graph, &merged, &mut boundary)
+                            crate::enumerate_base(&self.graph, &stitched, &mut boundary)
                                 .peak_memory_bytes
                         }
                         _ => unreachable!("outer match covers Otcd and Naive"),
@@ -523,53 +863,14 @@ impl ShardedEngine {
                     total.enumerate_time += t1.elapsed();
                     total.num_cores += boundary.cores;
                     total.total_result_edges += boundary.edges;
-                    total.peak_memory_bytes =
-                        total.peak_memory_bytes.max(peak).max(merged.memory_bytes());
+                    total.peak_memory_bytes = total
+                        .peak_memory_bytes
+                        .max(peak)
+                        .max(stitched.memory_bytes());
                 }
                 total
             }
         }
-    }
-
-    /// Runs a batch of queries with `Enum`, counting results per query
-    /// (the sharded counterpart of
-    /// [`QueryEngine::run_batch`](crate::QueryEngine::run_batch)).
-    ///
-    /// # Errors
-    /// See [`ShardedEngine::run_batch_with`].
-    pub fn run_batch(
-        &self,
-        queries: &[TimeRangeKCoreQuery],
-    ) -> Result<(Vec<(CountingSink, QueryStats)>, BatchStats), TkError> {
-        self.run_batch_with(queries, Algorithm::Enum, |_| CountingSink::default())
-    }
-
-    /// Fans `queries` across worker threads, one fresh sink per query —
-    /// same contract as
-    /// [`QueryEngine::run_batch_with`](crate::QueryEngine::run_batch_with),
-    /// with workers warming different shards in parallel.
-    ///
-    /// # Errors
-    /// Every query is validated up front; the first invalid query fails the
-    /// whole batch before any work starts.
-    pub fn run_batch_with<S, F>(
-        &self,
-        queries: &[TimeRangeKCoreQuery],
-        algorithm: Algorithm,
-        make_sink: F,
-    ) -> Result<(Vec<(S, QueryStats)>, BatchStats), TkError>
-    where
-        S: ResultSink + Send,
-        F: Fn(usize) -> S + Sync,
-    {
-        let t0 = Instant::now();
-        let validated = validate_batch(&self.graph, queries)?;
-        let threads = effective_threads(self.config.num_threads, validated.len());
-        let per_query = fan_out_batch(&validated, threads, make_sink, |k, window, sink| {
-            self.run_validated(k, window, algorithm, sink)
-        });
-        let batch = aggregate_batch(&per_query, t0.elapsed(), threads, self.cache_stats());
-        Ok((per_query, batch))
     }
 }
 
@@ -774,6 +1075,99 @@ mod tests {
         assert_eq!(stats.per_shard[1].builds, 0);
         assert_eq!(stats.misses, 1);
         assert!(stats.per_shard[0].resident_bytes <= stats.resident_bytes);
+        // No boundary was crossed, so no stitch entry was built.
+        assert_eq!(stats.boundary.builds, 0);
+        assert_eq!(stats.boundary.resident_entries, 0);
+    }
+
+    #[test]
+    fn spanning_queries_build_one_stitch_entry_and_reuse_it() {
+        let g = paper_example::graph();
+        let engine = ShardedEngine::new(g.clone(), ShardPlan::ExplicitCuts(vec![4])).unwrap();
+        let query = TimeRangeKCoreQuery::new(2, TimeWindow::new(2, 6)).unwrap();
+        let mut first = CollectingSink::default();
+        engine.run(&query, &mut first).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.boundary.builds, 1, "{stats:?}");
+        assert_eq!(stats.boundary.hits, 0, "{stats:?}");
+        assert_eq!(stats.boundary.resident_entries, 1);
+        // The second spanning query over the same shard pair hits the entry.
+        let mut second = CollectingSink::default();
+        engine.run(&query, &mut second).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.boundary.builds, 1, "{stats:?}");
+        assert_eq!(stats.boundary.hits, 1, "{stats:?}");
+        assert_eq!(canonical(first.cores), canonical(second.cores));
+        // A different window over the same shard pair reuses the entry too.
+        let other = TimeRangeKCoreQuery::new(2, TimeWindow::new(4, 5)).unwrap();
+        let mut third = CollectingSink::default();
+        engine.run(&other, &mut third).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.boundary.builds, 1, "{stats:?}");
+        assert_eq!(stats.boundary.hits, 2, "{stats:?}");
+    }
+
+    #[test]
+    fn stitch_cache_lru_respects_the_entry_budget() {
+        let g = paper_example::graph();
+        let engine = ShardedEngine::with_config(
+            g.clone(),
+            ShardPlan::FixedCount(7),
+            EngineConfig {
+                boundary_cache_entries: 1,
+                num_threads: 1,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        // Two spanning queries over different shard ranges: the second entry
+        // evicts the first.
+        let mut sink = CountingSink::default();
+        engine
+            .run(
+                &TimeRangeKCoreQuery::new(2, TimeWindow::new(1, 2)).unwrap(),
+                &mut sink,
+            )
+            .unwrap();
+        engine
+            .run(
+                &TimeRangeKCoreQuery::new(2, TimeWindow::new(5, 7)).unwrap(),
+                &mut sink,
+            )
+            .unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.boundary.builds, 2, "{stats:?}");
+        assert_eq!(stats.boundary.resident_entries, 1, "{stats:?}");
+        assert!(stats.boundary.evictions >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn disabled_stitch_cache_matches_the_cached_path() {
+        let g = paper_example::graph();
+        let cached = ShardedEngine::new(g.clone(), ShardPlan::FixedCount(4)).unwrap();
+        let transient = ShardedEngine::with_config(
+            g.clone(),
+            ShardPlan::FixedCount(4),
+            EngineConfig {
+                boundary_cache_entries: 0,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        for k in 1..=3 {
+            for window in [g.span(), TimeWindow::new(2, 6), TimeWindow::new(3, 5)] {
+                let query = TimeRangeKCoreQuery::new(k, window).unwrap();
+                let mut a = CollectingSink::default();
+                cached.run(&query, &mut a).unwrap();
+                let mut b = CollectingSink::default();
+                transient.run(&query, &mut b).unwrap();
+                assert_eq!(canonical(a.cores), canonical(b.cores), "k={k} {window}");
+            }
+        }
+        let stats = transient.cache_stats();
+        assert_eq!(stats.boundary.builds, 0, "disabled cache never builds");
+        assert_eq!(stats.boundary.resident_entries, 0);
+        assert!(cached.cache_stats().boundary.builds >= 1);
     }
 
     #[test]
@@ -786,6 +1180,7 @@ mod tests {
             EngineConfig {
                 memory_budget_bytes: shard_bytes, // room for ~one shard index
                 num_threads: 1,
+                ..EngineConfig::default()
             },
         )
         .unwrap();
@@ -859,6 +1254,8 @@ mod tests {
         let hits: u64 = stats.per_shard.iter().map(|s| s.hits).sum();
         assert!(builds >= 3, "{stats:?}");
         assert_eq!(hits, stats.hits, "{stats:?}");
+        // Spanning queries in the batch exercised the stitch cache.
+        assert!(stats.boundary.builds >= 1, "{stats:?}");
     }
 
     #[test]
@@ -893,5 +1290,16 @@ mod tests {
         assert_eq!(stats.resident_indexes, 0);
         assert_eq!(stats.resident_bytes, 0);
         assert!(stats.per_shard.iter().all(|s| s.resident_indexes == 0));
+        assert_eq!(stats.boundary.resident_entries, 0);
+    }
+
+    #[test]
+    fn overlapping_shards_reports_the_routing_range() {
+        let g = paper_example::graph();
+        let engine = ShardedEngine::new(g, ShardPlan::ExplicitCuts(vec![2, 4])).unwrap();
+        assert_eq!(engine.overlapping_shards(TimeWindow::new(1, 2)), 0..1);
+        assert_eq!(engine.overlapping_shards(TimeWindow::new(3, 4)), 1..2);
+        assert_eq!(engine.overlapping_shards(TimeWindow::new(2, 5)), 0..3);
+        assert_eq!(engine.overlapping_shards(TimeWindow::new(5, 7)), 2..3);
     }
 }

@@ -35,13 +35,16 @@ fn main() {
     let span_mib = span_index.memory_bytes() as f64 / (1024.0 * 1024.0);
     drop(span_index);
 
-    // A sharded service: 8 time-interval shards, 2 worker threads.
+    // A sharded service: 8 time-interval shards, 2 worker threads with
+    // shard-affine routing — each request lands on the worker owning the
+    // shards its window overlaps, and idle workers steal across lanes.
     let shards = 8;
     let service = CoreService::start_sharded(
         graph.clone(),
         ShardPlan::FixedCount(shards),
         ServiceConfig {
             workers: 2,
+            affinity: Affinity::Shard,
             ..ServiceConfig::default()
         },
     )
@@ -98,6 +101,14 @@ fn main() {
     println!(
         "shard builds for k = {k}: {builds:?} ({} hits, {} misses)",
         cache.hits, cache.misses
+    );
+    println!(
+        "boundary stitch index: {} builds, {} hits, {} entries ({:.2} MiB) — spanning \
+         windows reuse cut-crossing skylines instead of re-sweeping",
+        cache.boundary.builds,
+        cache.boundary.hits,
+        cache.boundary.resident_entries,
+        cache.boundary.resident_bytes as f64 / (1024.0 * 1024.0)
     );
     println!("peak resident shard index: {peak_shard_mib:.2} MiB vs span-wide {span_mib:.2} MiB");
     let per_worker: Vec<u64> = service_stats

@@ -77,11 +77,12 @@ pub mod prelude {
     };
     pub use tkc_datasets::{DatasetProfile, DatasetStats, QueryWorkload, WorkloadConfig};
     pub use tkcore::{
-        Algorithm, BatchStats, CacheStats, CachedBackend, CollectingSink, CoreBackend, CoreService,
-        CountingSink, EdgeCoreSkyline, EngineConfig, FrameworkStats, KOutcome, KOutput, KSelection,
-        OutputMode, QueryEngine, QueryRequest, QueryResponse, QueryStats, RequestId, ResultSink,
-        ServiceConfig, ServiceReply, ServiceStats, ShardCacheStats, ShardPlan, ShardedBackend,
-        ShardedEngine, TemporalKCore, Ticket, TimeRangeKCoreQuery, TkError, ValidatedRequest,
-        VertexCoreTimeIndex, WorkerStats,
+        Affinity, Algorithm, BatchStats, BoundaryCacheStats, CacheStats, CachedBackend,
+        CollectingSink, CoreBackend, CoreService, CountingSink, EdgeCoreSkyline, EngineConfig,
+        ExecPool, FrameworkStats, KOutcome, KOutput, KSelection, LatencyHistogram, OutputMode,
+        QueryEngine, QueryRequest, QueryResponse, QueryStats, RequestId, ResultSink, ServiceConfig,
+        ServiceReply, ServiceStats, ShardCacheStats, ShardPlan, ShardedBackend, ShardedEngine,
+        TemporalKCore, Ticket, TimeRangeKCoreQuery, TkError, ValidatedRequest, VertexCoreTimeIndex,
+        WorkerStats,
     };
 }

@@ -8,7 +8,14 @@
 //!   random graphs, random shard plans (including the degenerate one-shard
 //!   and one-shard-per-timestamp layouts), all four algorithms and the
 //!   `CachedBackend`/`ShardedBackend` pair; every `(k, window)` query must
-//!   return identical cores and counts through both engines;
+//!   return identical cores and counts through both engines.  The sharded
+//!   engine runs with its default boundary-stitch cache, so the property
+//!   also proves the stitched boundary pass exact (the dedicated
+//!   `boundary_index` harness additionally compares it against the
+//!   transient-merge path);
+//! * `affine_service_matches_unsharded` — the same equivalence through a
+//!   shard-affinity multi-worker `CoreService` (per-shard lanes, stealing),
+//!   proving the scheduler never changes answers;
 //! * boundary regression tests on the paper's running example: windows that
 //!   exactly coincide with a shard cut, span one cut, span every cut, and
 //!   start past `tmax` (which must stay a typed `WindowPastTmax` refusal,
@@ -125,6 +132,58 @@ proptest! {
         prop_assert_eq!(canonical(a.cores), canonical(b.cores), "{:?} k={}", plan, k);
         prop_assert_eq!(stats_a.num_cores, stats_b.num_cores);
         prop_assert_eq!(stats_a.total_result_edges, stats_b.total_result_edges);
+    }
+
+    /// The shard-affinity scheduler (per-shard lanes + work stealing) never
+    /// changes answers: a 2-worker `Affinity::Shard` service over a sharded
+    /// engine returns the same cores as the unsharded engine for random
+    /// graphs, plans and windows.
+    #[test]
+    fn affine_service_matches_unsharded(
+        g in arb_graph(10, 40, 8),
+        k in 1usize..4,
+        (kind, param) in (0u8..5, 0usize..16),
+        (raw_start, raw_len) in (1u32..=8, 0u32..8),
+    ) {
+        let plan = plan_for(kind, param, g.tmax());
+        let span_engine = QueryEngine::new(g.clone());
+        let sharded = Arc::new(
+            ShardedEngine::new(g.clone(), plan.clone()).expect("derived plans are valid"),
+        );
+        let service = CoreService::over_sharded(
+            Arc::clone(&sharded),
+            ServiceConfig {
+                workers: 2,
+                affinity: Affinity::Shard,
+                ..ServiceConfig::default()
+            },
+        );
+
+        let start = raw_start.min(g.tmax());
+        let window = TimeWindow::new(start, (start + raw_len).min(g.tmax()));
+        for window in [g.span(), window] {
+            let query = TimeRangeKCoreQuery::new(k, window).expect("k >= 1");
+            let mut expected = CollectingSink::default();
+            span_engine.run_with(&query, Algorithm::Enum, &mut expected)
+                .expect("window is inside the span");
+            let reply = service
+                .submit(
+                    QueryRequest::single(k, window.start(), window.end()).materialize(),
+                )
+                .expect("valid request is admitted")
+                .wait()
+                .expect("request completes");
+            let KOutput::Cores(cores) = &reply.response.outcomes[0].output else {
+                panic!("materialized request");
+            };
+            prop_assert_eq!(
+                canonical(cores.clone()),
+                canonical(expected.cores),
+                "{:?} k={} window={}",
+                plan, k, window
+            );
+        }
+        service.shutdown();
     }
 }
 
