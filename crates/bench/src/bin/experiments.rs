@@ -15,6 +15,8 @@
 //! times scale with `k` and with the range length — are the reproduction
 //! target and are recorded in EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 use tkc_bench::Report;
 use tkc_datasets::{DatasetProfile, DatasetStats, QueryWorkload, WorkloadConfig, ALL_PROFILES};
@@ -77,6 +79,13 @@ fn main() {
         println!();
         if let Err(e) = report.save_csv(OUT_DIR, experiment) {
             eprintln!("warning: could not save CSV for {experiment}: {e}");
+        }
+        // The engine batch additionally lands as a checked-in JSON artifact
+        // at the workspace root, so timing regressions show up in review.
+        if experiment == "engine" {
+            if let Err(e) = report.save_json("BENCH_engine.json") {
+                eprintln!("warning: could not save BENCH_engine.json: {e}");
+            }
         }
     }
 }

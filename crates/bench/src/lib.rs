@@ -1,6 +1,8 @@
 //! Benchmark harness library: shared reporting utilities and workload
 //! builders used by the `experiments` binary and the Criterion benches.
 
+#![forbid(unsafe_code)]
+
 pub mod report;
 
 pub use report::{Report, Row};

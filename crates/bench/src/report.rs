@@ -105,6 +105,76 @@ impl Report {
         fs::create_dir_all(dir)?;
         fs::write(dir.join(format!("{file_stem}.csv")), self.to_csv())
     }
+
+    /// Renders the report as machine-readable JSON (std-only, no serde).
+    /// Cell values that parse as finite numbers are emitted as JSON numbers;
+    /// anything else (e.g. `TL` time-limit markers) stays a string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"title\": {},", json_str(&self.title));
+        let _ = writeln!(out, "  \"label_header\": {},", json_str(&self.label_header));
+        let cols: Vec<String> = self.columns.iter().map(|c| json_str(c)).collect();
+        let _ = writeln!(out, "  \"columns\": [{}],", cols.join(", "));
+        out.push_str("  \"rows\": [\n");
+        for (r, row) in self.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"label\": {}, \"values\": {{",
+                json_str(&row.label)
+            );
+            for (i, column) in self.columns.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let value = row.values.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(out, "{}: {}", json_str(column), json_value(value));
+            }
+            let comma = if r + 1 < self.rows.len() { "," } else { "" };
+            let _ = writeln!(out, "}}}}{comma}");
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON rendering to `path`, creating parent directories if
+    /// needed.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        fs::write(path, self.to_json())
+    }
+}
+
+/// JSON string literal with the escapes that can occur in report text.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A cell as a JSON value: a number when it parses as one, else a string.
+fn json_value(s: &str) -> String {
+    match s.parse::<f64>() {
+        Ok(n) if n.is_finite() => s.to_string(),
+        _ => json_str(s),
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +202,33 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(lines.next().unwrap(), "dataset,a,b");
         assert_eq!(lines.next().unwrap(), "CM,1,2.5");
+    }
+
+    #[test]
+    fn json_rendering_types_cells() {
+        let json = sample().to_json();
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"columns\": [\"a\", \"b\"]"));
+        // Numeric cells become numbers, not strings.
+        assert!(json.contains("\"a\": 1, \"b\": 2.5"));
+        assert!(json.contains("\"label\": \"EM-analogue\""));
+    }
+
+    #[test]
+    fn json_rendering_keeps_non_numeric_cells_as_strings() {
+        let mut r = Report::new("TL demo", "dataset", vec!["time_ms".into()]);
+        r.push("big", vec!["TL".into()]);
+        assert!(r.to_json().contains("\"time_ms\": \"TL\""));
+    }
+
+    #[test]
+    fn save_json_writes_file() {
+        let dir = std::env::temp_dir().join("tkc-report-json-test");
+        sample().save_json(dir.join("demo.json")).unwrap();
+        let content = std::fs::read_to_string(dir.join("demo.json")).unwrap();
+        assert!(content.trim_start().starts_with('{'));
+        assert!(content.contains("\"rows\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! `tkc` — command-line front end for time-range temporal k-core queries.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

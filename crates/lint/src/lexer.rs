@@ -1,0 +1,461 @@
+//! A small Rust lexer, sufficient for rule matching.
+//!
+//! The rules only need a *token* view of a source file — identifiers,
+//! punctuation and comments with correct line numbers — but getting that
+//! view right requires handling every Rust construct that can make naive
+//! string search lie:
+//!
+//! * **raw strings** (`r"..."`, `r#"..."#` with any number of hashes, and
+//!   the `b`/`br` byte forms), inside which `// thread::spawn` is data, not
+//!   a violation;
+//! * **nested block comments** (`/* /* */ */` is one comment in Rust);
+//! * **char literals vs. lifetimes** (`'a'` is a literal, `'a` is a
+//!   lifetime, `b'x'` is a byte literal) — mixing these up would make the
+//!   lexer swallow code after a generic parameter list;
+//! * **raw identifiers** (`r#fn` is an identifier, not a raw string);
+//! * **doc comments** (`///`, `//!`, `/** .. */`), which are comments to the
+//!   rules but must not hide a `tkc-lint: allow(...)` pragma (pragmas live
+//!   in plain `//` comments only).
+//!
+//! The lexer is deliberately lossless about *placement* (every token knows
+//! its 1-based line) and lossy about things the rules never look at
+//! (numeric literal suffixes are not validated, multi-character operators
+//! come out as single-character [`TokenKind::Punct`] tokens).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#fn`).
+    Ident,
+    /// A lifetime or loop label: `'a`, `'static`, `'_`.
+    Lifetime,
+    /// Character literal `'x'` / byte literal `b'x'`, escapes included.
+    CharLit,
+    /// String literal `"..."` / byte string `b"..."`, escapes included.
+    StrLit,
+    /// Raw (byte) string literal `r"..."` / `r#"..."#` / `br#"..."#`.
+    RawStrLit,
+    /// Numeric literal (integers, floats, any radix; suffixes included).
+    Number,
+    /// A `//` comment (plain or doc); text includes the slashes.
+    LineComment,
+    /// A `/* ... */` comment (doc or not), nesting handled.
+    BlockComment,
+    /// Any other single character: braces, `::` comes out as two `:`.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Raw text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into tokens; never fails (unterminated constructs run to end
+/// of input, which is the useful behaviour for a linter).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking the line counter.
+    fn bump(&mut self, out: &mut String) {
+        if let Some(c) = self.chars.get(self.pos) {
+            if *c == '\n' {
+                self.line += 1;
+            }
+            out.push(*c);
+            self.pos += 1;
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    let mut sink = String::new();
+                    self.bump(&mut sink);
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                'r' | 'b' if self.raw_or_byte_prefix() => {}
+                '"' => self.string_lit(line),
+                '\'' => self.quote(line),
+                _ if c == '_' || c.is_alphabetic() => self.ident(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    let mut text = String::new();
+                    self.bump(&mut text);
+                    self.push(TokenKind::Punct, text, line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump(&mut text);
+        }
+        self.push(TokenKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump(&mut text);
+                self.bump(&mut text);
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump(&mut text);
+                self.bump(&mut text);
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump(&mut text);
+            }
+        }
+        self.push(TokenKind::BlockComment, text, line);
+    }
+
+    /// Handles the `r` / `b` / `br` / `rb` prefixes: raw strings, byte
+    /// strings, byte chars and raw identifiers.  Returns whether a token was
+    /// consumed; `false` means the caller should lex a plain identifier.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let line = self.line;
+        let c = self.peek(0).unwrap_or(' ');
+        // b'x' — byte char literal.
+        if c == 'b' && self.peek(1) == Some('\'') {
+            let mut text = String::new();
+            self.bump(&mut text); // b
+            self.char_lit_into(text, line);
+            return true;
+        }
+        // b"..." — byte string.
+        if c == 'b' && self.peek(1) == Some('"') {
+            let mut text = String::new();
+            self.bump(&mut text); // b
+            self.string_lit_into(text, line);
+            return true;
+        }
+        // r"..." / r#"..."# / br#"..."# / r#ident.
+        let (prefix_len, after) = if c == 'r' {
+            (1, 1)
+        } else if c == 'b' && self.peek(1) == Some('r') {
+            (2, 2)
+        } else {
+            return false;
+        };
+        // Count hashes after the prefix.
+        let mut hashes = 0usize;
+        while self.peek(after + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(after + hashes) {
+            Some('"') => {
+                let mut text = String::new();
+                for _ in 0..prefix_len {
+                    self.bump(&mut text);
+                }
+                self.raw_string_body(text, hashes, line);
+                true
+            }
+            // r#ident — raw identifier (only the single-# form exists).
+            Some(id) if prefix_len == 1 && hashes == 1 && (id == '_' || id.is_alphabetic()) => {
+                let mut text = String::new();
+                self.bump(&mut text); // r
+                self.bump(&mut text); // #
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        self.bump(&mut text);
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Ident, text, line);
+                true
+            }
+            _ => false, // a plain identifier starting with r / br
+        }
+    }
+
+    /// Lexes `#*"..."#*` after `text` already holds the `r`/`br` prefix.
+    fn raw_string_body(&mut self, mut text: String, hashes: usize, line: u32) {
+        for _ in 0..hashes {
+            self.bump(&mut text); // opening #s
+        }
+        self.bump(&mut text); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '"' {
+                let closed = (1..=hashes).all(|i| self.peek(i) == Some('#'));
+                self.bump(&mut text);
+                if closed {
+                    for _ in 0..hashes {
+                        self.bump(&mut text);
+                    }
+                    break;
+                }
+            } else {
+                self.bump(&mut text);
+            }
+        }
+        self.push(TokenKind::RawStrLit, text, line);
+    }
+
+    fn string_lit(&mut self, line: u32) {
+        self.string_lit_into(String::new(), line);
+    }
+
+    fn string_lit_into(&mut self, mut text: String, line: u32) {
+        self.bump(&mut text); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump(&mut text);
+                self.bump(&mut text);
+            } else if c == '"' {
+                self.bump(&mut text);
+                break;
+            } else {
+                self.bump(&mut text);
+            }
+        }
+        self.push(TokenKind::StrLit, text, line);
+    }
+
+    /// A `'` can open a char literal (`'a'`, `'\n'`) or a lifetime (`'a`,
+    /// `'static`, `'_`).  Disambiguation: an escape is always a literal; an
+    /// identifier char followed directly by `'` is a literal; otherwise an
+    /// identifier-start char begins a lifetime.
+    fn quote(&mut self, line: u32) {
+        match self.peek(1) {
+            Some('\\') => self.char_lit_into(String::new(), line),
+            Some(c) if (c == '_' || c.is_alphanumeric()) && self.peek(2) == Some('\'') => {
+                self.char_lit_into(String::new(), line)
+            }
+            Some(c) if c == '_' || c.is_alphabetic() => {
+                let mut text = String::new();
+                self.bump(&mut text); // '
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        self.bump(&mut text);
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Lifetime, text, line);
+            }
+            // `'('`-style literal of a non-identifier char.
+            _ => self.char_lit_into(String::new(), line),
+        }
+    }
+
+    fn char_lit_into(&mut self, mut text: String, line: u32) {
+        self.bump(&mut text); // opening '
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump(&mut text);
+                self.bump(&mut text);
+            } else if c == '\'' {
+                self.bump(&mut text);
+                break;
+            } else if c == '\n' {
+                break; // unterminated; don't eat the rest of the file
+            } else {
+                self.bump(&mut text);
+            }
+        }
+        self.push(TokenKind::CharLit, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.bump(&mut text);
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    /// Numbers: digits, radix prefixes, underscores, type suffixes and a
+    /// fractional part when the dot is followed by a digit (so `1..=3` lexes
+    /// as `1`, `.`, `.`, `=`, `3`).
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let fraction_dot = c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit());
+            if c == '_' || c.is_alphanumeric() || fraction_dot {
+                self.bump(&mut text);
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{lex, TokenKind};
+
+    /// `(kind, text)` pairs with comments and whitespace intact.
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_single_tokens() {
+        let tokens = kinds(r####"let s = r#"panic!("no") and "quotes""#;"####);
+        assert_eq!(
+            tokens[3],
+            (
+                TokenKind::RawStrLit,
+                r####"r#"panic!("no") and "quotes""#"####.to_string()
+            )
+        );
+        assert_eq!(tokens[4].1, ";");
+    }
+
+    #[test]
+    fn a_raw_string_needs_matching_hash_counts_to_close() {
+        let tokens = kinds(r#####"r##"ends with "# but not here"##"#####);
+        assert_eq!(tokens.len(), 1);
+        assert_eq!(tokens[0].0, TokenKind::RawStrLit);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_lex_as_literals() {
+        let tokens = kinds(r###"(br#"x"#, b"y", b'z')"###);
+        assert_eq!(tokens[1].0, TokenKind::RawStrLit);
+        assert_eq!(tokens[3].0, TokenKind::StrLit);
+        assert_eq!(tokens[5], (TokenKind::CharLit, "b'z'".to_string()));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let tokens = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(tokens.len(), 3);
+        assert_eq!(tokens[1].0, TokenKind::BlockComment);
+        assert_eq!(tokens[2].1, "b");
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_disambiguate() {
+        let tokens = kinds("<'a> 'a' '\\'' '_ '_' '(' b'x'");
+        let expect = [
+            (TokenKind::Punct, "<"),
+            (TokenKind::Lifetime, "'a"),
+            (TokenKind::Punct, ">"),
+            (TokenKind::CharLit, "'a'"),
+            (TokenKind::CharLit, "'\\''"),
+            (TokenKind::Lifetime, "'_"),
+            (TokenKind::CharLit, "'_'"),
+            (TokenKind::CharLit, "'('"),
+            (TokenKind::CharLit, "b'x'"),
+        ];
+        let got: Vec<(TokenKind, &str)> = tokens.iter().map(|(k, t)| (*k, t.as_str())).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_raw_strings() {
+        let tokens = kinds("let r#fn = r#type;");
+        assert_eq!(tokens[1], (TokenKind::Ident, "r#fn".to_string()));
+        assert_eq!(tokens[3], (TokenKind::Ident, "r#type".to_string()));
+    }
+
+    #[test]
+    fn idents_starting_with_r_or_b_are_plain_idents() {
+        let tokens = kinds("ready break branch r b");
+        assert!(tokens.iter().all(|(k, _)| *k == TokenKind::Ident));
+        assert_eq!(tokens.len(), 5);
+    }
+
+    #[test]
+    fn doc_and_plain_line_comments_keep_their_slashes() {
+        let tokens = kinds("/// doc\n//! inner\n// plain\ncode");
+        assert_eq!(tokens[0], (TokenKind::LineComment, "/// doc".to_string()));
+        assert_eq!(tokens[1].1, "//! inner");
+        assert_eq!(tokens[2].1, "// plain");
+        assert_eq!(tokens[3], (TokenKind::Ident, "code".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nr#\"raw\nstring\"#\nb";
+        let tokens = lex(src);
+        let lines: Vec<(String, u32)> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident || t.kind == TokenKind::RawStrLit)
+            .map(|t| (t.text.clone(), t.line))
+            .collect();
+        assert_eq!(lines[0], ("a".to_string(), 1));
+        assert_eq!(lines[1], ("r#\"raw\nstring\"#".to_string(), 4));
+        assert_eq!(lines[2], ("b".to_string(), 6));
+    }
+
+    #[test]
+    fn ranges_do_not_glue_into_floats() {
+        let tokens = kinds("1..=3 1.5 0xFF_u32");
+        let texts: Vec<&str> = tokens.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["1", ".", ".", "=", "3", "1.5", "0xFF_u32"]);
+    }
+
+    #[test]
+    fn strings_with_escaped_quotes_stay_closed() {
+        let tokens = kinds(r#""a \" b" next"#);
+        assert_eq!(tokens[0].0, TokenKind::StrLit);
+        assert_eq!(tokens[1], (TokenKind::Ident, "next".to_string()));
+    }
+
+    #[test]
+    fn unterminated_constructs_run_to_end_without_panicking() {
+        for src in ["\"open", "r#\"open", "/* open", "'", "b'"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! CLI for `tkc-lint`: scans the workspace, prints findings, gates CI.
+//!
+//! ```text
+//! cargo run -p tkc-lint --               # report findings, exit 0
+//! cargo run -p tkc-lint -- --deny       # exit 1 on any active finding
+//! cargo run -p tkc-lint -- --format json
+//! cargo run -p tkc-lint -- --rule lock-order --rule no-println
+//! cargo run -p tkc-lint -- --list-rules
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny = false;
+    let mut json = false;
+    let mut show_suppressed = false;
+    let mut only_rules: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(dir);
+            }
+            "--deny" => deny = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!("--format expects `text` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--show-suppressed" => show_suppressed = true,
+            "--rule" => {
+                let Some(rule) = args.next() else {
+                    eprintln!("--rule needs a rule name");
+                    return ExitCode::from(2);
+                };
+                if !tkc_lint::RULES.contains(&rule.as_str()) {
+                    eprintln!(
+                        "unknown rule `{rule}` (known: {})",
+                        tkc_lint::RULES.join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+                only_rules.push(rule);
+            }
+            "--list-rules" => {
+                for rule in tkc_lint::RULES {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "tkc-lint [--root DIR] [--deny] [--format text|json] \
+                     [--rule NAME]... [--show-suppressed] [--list-rules]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Anchor at the workspace root so `cargo run -p tkc-lint` works from
+    // anywhere inside the repo: walk up until a Cargo.toml with [workspace].
+    if root == Path::new(".") {
+        root = find_workspace_root().unwrap_or(root);
+    }
+    let files = match tkc_lint::scan_workspace(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("tkc-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut findings = tkc_lint::check(&files);
+    if !only_rules.is_empty() {
+        findings.retain(|f| only_rules.iter().any(|r| r == f.rule));
+    }
+    let summary = tkc_lint::Summary::of(files.len(), &findings);
+    if json {
+        print!("{}", tkc_lint::to_json(&findings, summary));
+    } else {
+        print!(
+            "{}",
+            tkc_lint::to_text(&findings, summary, show_suppressed || !deny)
+        );
+    }
+    if deny && summary.active > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` declaring
+/// `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Rendering findings: human text and machine-readable JSON.
+
+use crate::rules::Finding;
+use std::fmt::Write as _;
+
+/// Counts of one lint run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Files scanned.
+    pub files: usize,
+    /// Findings not covered by a pragma (these fail `--deny`).
+    pub active: usize,
+    /// Findings covered by a justified pragma.
+    pub suppressed: usize,
+}
+
+impl Summary {
+    /// Tallies `findings` over a scan of `files` files.
+    pub fn of(files: usize, findings: &[Finding]) -> Self {
+        let suppressed = findings.iter().filter(|f| f.suppressed.is_some()).count();
+        Self {
+            files,
+            active: findings.len() - suppressed,
+            suppressed,
+        }
+    }
+}
+
+/// Renders findings as `path:line: [rule] message` lines plus a summary.
+pub fn to_text(findings: &[Finding], summary: Summary, show_suppressed: bool) -> String {
+    let mut out = String::new();
+    for finding in findings {
+        match &finding.suppressed {
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{}:{}: [{}] {}",
+                    finding.path, finding.line, finding.rule, finding.message
+                );
+            }
+            Some(justification) if show_suppressed => {
+                let _ = writeln!(
+                    out,
+                    "{}:{}: [{}] suppressed ({justification}): {}",
+                    finding.path, finding.line, finding.rule, finding.message
+                );
+            }
+            Some(_) => {}
+        }
+    }
+    let _ = writeln!(
+        out,
+        "tkc-lint: {} file(s), {} active finding(s), {} suppressed",
+        summary.files, summary.active, summary.suppressed
+    );
+    out
+}
+
+/// Renders findings as one JSON document (std-only writer).
+pub fn to_json(findings: &[Finding], summary: Summary) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, finding) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \
+             \"suppressed\": {}, \"justification\": {}}}",
+            json_str(finding.rule),
+            json_str(&finding.path),
+            finding.line,
+            json_str(&finding.message),
+            finding.suppressed.is_some(),
+            match &finding.suppressed {
+                Some(j) => json_str(j),
+                None => "null".to_string(),
+            },
+        );
+    }
+    let _ = write!(
+        out,
+        "\n  ],\n  \"summary\": {{\"files\": {}, \"active\": {}, \"suppressed\": {}}}\n}}\n",
+        summary.files, summary.active, summary.suppressed
+    );
+    out
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

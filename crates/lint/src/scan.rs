@@ -1,0 +1,323 @@
+//! Item scanning: turns a lexed file into the model the rules run over.
+//!
+//! On top of the raw token stream this pass reconstructs just enough
+//! structure for the rules to be scope-aware:
+//!
+//! * **test regions** — the brace span of any item annotated
+//!   `#[cfg(test)]` (or any `cfg` attribute mentioning `test`), any
+//!   `#[test]` function, and any `mod tests` block.  Rules treat code
+//!   inside these regions as test code, where the production invariants
+//!   (no panics, no raw threads, ...) deliberately do not apply;
+//! * **function spans** — the body brace span of every `fn`, which is the
+//!   scope unit of the intraprocedural `lock-order` analysis;
+//! * **suppression pragmas** — `// tkc-lint: allow(rule, ...) — reason`
+//!   comments.  A pragma on its own line covers the next source line; a
+//!   trailing pragma covers its own line.  The justification is mandatory:
+//!   a pragma without one is itself reported by the rules engine;
+//! * **`#![forbid(unsafe_code)]`** presence, for the workspace-uniformity
+//!   check on crate roots.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// How a file's crate participates in the rules (see [`crate::rules`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateKind {
+    /// Library code serving production queries: `tkcore`, `temporal-graph`,
+    /// `static-kcore`, `datasets`, and the facade crate's `src/`.
+    Library,
+    /// Binaries and dev tooling: `cli`, `bench`, `lint`, `examples/`.
+    Tool,
+    /// Offline stand-ins for crates.io dependencies (`crates/compat/*`);
+    /// exempt from every rule — they mirror external APIs.
+    Compat,
+}
+
+/// One suppression pragma parsed from a `//` comment.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Rules the pragma suppresses (lower-case, as written).
+    pub rules: Vec<String>,
+    /// The human justification after the separator; empty if missing.
+    pub justification: String,
+    /// Line the pragma comment itself is on.
+    pub comment_line: u32,
+    /// Line the pragma applies to (its own line for a trailing comment,
+    /// the next line for a comment alone on its line).
+    pub applies_to: u32,
+}
+
+/// Body span of one `fn`, in indexes into [`FileModel::code`].
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Function name (`fn name(...)`).
+    pub name: String,
+    /// Index of the opening `{` of the body.
+    pub body_start: usize,
+    /// Index of the matching closing `}` (exclusive end is `body_end + 1`).
+    pub body_end: usize,
+}
+
+/// Everything the rules need to know about one source file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Path as discovered (workspace-relative when walking a workspace).
+    pub path: PathBuf,
+    /// Directory name of the owning crate (`tkcore`, `cli`, ...).
+    pub crate_name: String,
+    /// Rule participation class of the owning crate.
+    pub kind: CrateKind,
+    /// Whether the file as a whole is test/bench/example code (under a
+    /// `tests/`, `benches/` or `examples/` directory).
+    pub is_test_file: bool,
+    /// Whether this file is a crate root (`src/lib.rs`, `src/main.rs`,
+    /// `src/bin/*.rs`) — the places `#![forbid(unsafe_code)]` must live.
+    pub is_crate_root: bool,
+    /// Non-comment tokens, in source order.
+    pub code: Vec<Token>,
+    /// Parallel to `code`: whether the token sits inside a test region.
+    pub in_test: Vec<bool>,
+    /// Body spans of every `fn`, outermost first.
+    pub fns: Vec<FnSpan>,
+    /// Pragmas by the line they apply to.
+    pub pragmas: BTreeMap<u32, Vec<Pragma>>,
+    /// Whether the file carries `#![forbid(unsafe_code)]`.
+    pub has_forbid_unsafe: bool,
+}
+
+impl FileModel {
+    /// Lexes and scans `src`.  `path`/`crate_name`/`kind` classify the file
+    /// for the rules; see [`crate::workspace`] for how a workspace walk
+    /// assigns them.
+    pub fn scan(
+        path: PathBuf,
+        crate_name: String,
+        kind: CrateKind,
+        is_test_file: bool,
+        is_crate_root: bool,
+        src: &str,
+    ) -> Self {
+        let tokens = lex(src);
+        let mut code: Vec<Token> = Vec::with_capacity(tokens.len());
+        let mut pragmas: BTreeMap<u32, Vec<Pragma>> = BTreeMap::new();
+        let mut comment_queue: Vec<(u32, String)> = Vec::new();
+        for token in tokens {
+            if token.kind == TokenKind::LineComment {
+                if !token.text.starts_with("///") && !token.text.starts_with("//!") {
+                    comment_queue.push((token.line, token.text.clone()));
+                }
+            } else if !token.is_comment() {
+                code.push(token);
+            }
+        }
+        let has_forbid_unsafe = find_forbid_unsafe(&code);
+        let in_test = mark_test_regions(&code);
+        let fns = find_fns(&code);
+        // A pragma trails code if any code token shares its line.
+        let code_lines: std::collections::BTreeSet<u32> = code.iter().map(|t| t.line).collect();
+        for (line, text) in comment_queue {
+            if let Some(mut pragma) = parse_pragma(&text) {
+                pragma.comment_line = line;
+                pragma.applies_to = if code_lines.contains(&line) {
+                    line
+                } else {
+                    line + 1
+                };
+                pragmas.entry(pragma.applies_to).or_default().push(pragma);
+            }
+        }
+        Self {
+            path,
+            crate_name,
+            kind,
+            is_test_file,
+            is_crate_root,
+            code,
+            in_test,
+            fns,
+            pragmas,
+            has_forbid_unsafe,
+        }
+    }
+
+    /// The pragmas covering `line` that name `rule`.
+    pub fn pragma_for(&self, line: u32, rule: &str) -> Option<&Pragma> {
+        self.pragmas
+            .get(&line)?
+            .iter()
+            .find(|p| p.rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Parses `tkc-lint: allow(rule, ...) <sep> justification` from one `//`
+/// comment; returns `None` for ordinary comments.  Accepted separators
+/// between the rule list and the justification: `—`, `--`, `-`, `:`.
+fn parse_pragma(comment: &str) -> Option<Pragma> {
+    let body = comment.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("tkc-lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_lowercase())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let mut justification = rest[close + 1..].trim();
+    for sep in ["—", "--", "-", ":"] {
+        if let Some(j) = justification.strip_prefix(sep) {
+            justification = j.trim();
+            break;
+        }
+    }
+    Some(Pragma {
+        rules,
+        justification: justification.to_string(),
+        comment_line: 0,
+        applies_to: 0,
+    })
+}
+
+/// Whether the token stream contains `#![forbid(unsafe_code)]`.
+fn find_forbid_unsafe(code: &[Token]) -> bool {
+    code.windows(8).any(|w| {
+        w[0].text == "#"
+            && w[1].text == "!"
+            && w[2].text == "["
+            && w[3].text == "forbid"
+            && w[4].text == "("
+            && w[5].text == "unsafe_code"
+            && w[6].text == ")"
+            && w[7].text == "]"
+    })
+}
+
+/// Marks every token inside a test region (see module docs).
+fn mark_test_regions(code: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut i = 0usize;
+    while i < code.len() {
+        // `#[...]` outer attribute: scan its bracket span.
+        if code[i].text == "#" && i + 1 < code.len() && code[i + 1].text == "[" {
+            let attr_end = match matching(code, i + 1, "[", "]") {
+                Some(end) => end,
+                None => break,
+            };
+            let attr = &code[i + 2..attr_end];
+            let is_cfg_test = attr.first().is_some_and(|t| t.text == "cfg")
+                && attr.iter().any(|t| t.text == "test");
+            let is_test_attr = attr.len() == 1 && attr[0].text == "test";
+            if is_cfg_test || is_test_attr {
+                if let Some((start, end)) = item_body_after(code, attr_end + 1) {
+                    mark(&mut in_test, start, end);
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        // `mod tests { ... }` without an attribute.
+        if code[i].text == "mod"
+            && code.get(i + 1).is_some_and(|t| t.text == "tests")
+            && code.get(i + 2).is_some_and(|t| t.text == "{")
+        {
+            if let Some(end) = matching(code, i + 2, "{", "}") {
+                mark(&mut in_test, i, end);
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    in_test
+}
+
+fn mark(in_test: &mut [bool], start: usize, end: usize) {
+    let end = end.min(in_test.len() - 1);
+    for flag in &mut in_test[start..=end] {
+        *flag = true;
+    }
+}
+
+/// Finds the brace span of the item starting at `from` (skipping further
+/// attributes), or `None` if the item has no body (`;`-terminated).
+fn item_body_after(code: &[Token], mut from: usize) -> Option<(usize, usize)> {
+    // Skip stacked attributes: #[..] #[..] item.
+    while from + 1 < code.len() && code[from].text == "#" && code[from + 1].text == "[" {
+        from = matching(code, from + 1, "[", "]")? + 1;
+    }
+    let item_start = from;
+    // Walk to the first `{` at this nesting level; give up at `;`.
+    let mut j = from;
+    while j < code.len() {
+        match code[j].text.as_str() {
+            "{" => {
+                let end = matching(code, j, "{", "}")?;
+                return Some((item_start, end));
+            }
+            ";" => return None,
+            "(" => j = matching(code, j, "(", ")")? + 1,
+            "[" => j = matching(code, j, "[", "]")? + 1,
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Index of the token closing the bracket opened at `open`.
+fn matching(code: &[Token], open: usize, open_text: &str, close_text: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, token) in code.iter().enumerate().skip(open) {
+        if token.text == open_text {
+            depth += 1;
+        } else if token.text == close_text {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Finds the body span of every `fn` (including nested ones).
+fn find_fns(code: &[Token]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    for i in 0..code.len() {
+        if code[i].kind != TokenKind::Ident || code[i].text != "fn" {
+            continue;
+        }
+        let Some(name_token) = code.get(i + 1) else {
+            continue;
+        };
+        if name_token.kind != TokenKind::Ident {
+            continue; // `fn(...)` type position
+        }
+        // Walk the signature to the body `{`; trait method decls end in `;`.
+        let mut j = i + 2;
+        while j < code.len() {
+            match code[j].text.as_str() {
+                "{" => {
+                    if let Some(end) = matching(code, j, "{", "}") {
+                        fns.push(FnSpan {
+                            name: name_token.text.clone(),
+                            body_start: j,
+                            body_end: end,
+                        });
+                    }
+                    break;
+                }
+                ";" => break,
+                "(" => match matching(code, j, "(", ")") {
+                    Some(end) => j = end + 1,
+                    None => break,
+                },
+                "<" | ">" | "-" | "where" | "&" | "'" | ":" | "," | "]" | "[" | "::" => j += 1,
+                _ => j += 1,
+            }
+        }
+    }
+    fns
+}

@@ -1,0 +1,93 @@
+//! Workspace discovery: finds and classifies every `.rs` source.
+//!
+//! Classification is by path, mirroring the workspace layout:
+//!
+//! * `crates/compat/**` — [`CrateKind::Compat`], exempt from all rules
+//!   (offline stand-ins for crates.io APIs);
+//! * `crates/cli/**`, `crates/bench/**`, `crates/lint/**`, `examples/**` —
+//!   [`CrateKind::Tool`]: binaries and harnesses, allowed to print and
+//!   panic, still forbidden from raw threads;
+//! * every other `crates/*/` plus the facade `src/` — [`CrateKind::Library`];
+//! * any file under a `tests/` or `benches/` directory is test code
+//!   (production rules off for the whole file).
+//!
+//! Directories named `target`, `fixtures` and dot-directories are skipped —
+//! lint fixtures *contain* seeded violations.
+
+use crate::scan::{CrateKind, FileModel};
+use std::path::{Path, PathBuf};
+
+/// Scans the workspace rooted at `root`, returning a model per `.rs` file
+/// (sorted by path) and the number of files read.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<FileModel>> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, root, &mut paths)?;
+    paths.sort();
+    let mut models = Vec::with_capacity(paths.len());
+    for rel in paths {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        models.push(classify_and_scan(rel, &src));
+    }
+    Ok(models)
+}
+
+/// Classifies `rel` (workspace-relative) and scans `src` into a model.
+/// Public so the fixture tests can run single files through the same path.
+pub fn classify_and_scan(rel: PathBuf, src: &str) -> FileModel {
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    let kind = if parts.first().map(String::as_str) == Some("crates") {
+        match parts.get(1).map(String::as_str) {
+            Some("compat") => CrateKind::Compat,
+            Some("cli") | Some("bench") | Some("lint") => CrateKind::Tool,
+            _ => CrateKind::Library,
+        }
+    } else if parts.first().map(String::as_str) == Some("examples") {
+        CrateKind::Tool
+    } else {
+        // Facade crate: src/, tests/.
+        CrateKind::Library
+    };
+    let crate_name = if parts.first().map(String::as_str) == Some("crates") {
+        parts.get(1).cloned().unwrap_or_default()
+    } else {
+        "temporal-kcore".to_string()
+    };
+    let is_test_file = parts
+        .iter()
+        .any(|p| p == "tests" || p == "benches" || p == "examples");
+    let file_name = rel
+        .file_name()
+        .map(|f| f.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let in_src = parts.iter().any(|p| p == "src");
+    let is_crate_root = in_src
+        && (file_name == "lib.rs"
+            || file_name == "main.rs"
+            || rel
+                .parent()
+                .and_then(Path::file_name)
+                .is_some_and(|d| d == "bin"));
+    FileModel::scan(rel, crate_name, kind, is_test_file, is_crate_root, src)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if name.starts_with('.') || name == "target" || name == "fixtures" || name == "data" {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Lexer torture fixture: every construct below would make a naive
+//! string-searching "linter" report a violation.  A correct lexer reports
+//! zero findings for this file (linted as tkcore library code).
+
+/// Doc comment decoy: thread::spawn(|| ()); println!("hi"); .lock().unwrap()
+pub struct Torture<'a> {
+    /// Lifetimes vs char literals below must not confuse the lexer.
+    pub name: &'a str,
+}
+
+pub fn raw_strings() -> (&'static str, String) {
+    // The raw strings contain decoys that are *data*, not code.
+    let plain = r"thread::spawn inside a raw string";
+    let hashed = r#"panic!("not a real panic") and "quotes" and .lock().unwrap()"#;
+    let nested_hashes = r##"ends with "# but not here: println!("x")"##;
+    let bytes = br#"thread::scope(|s| s.spawn(..))"#;
+    let escaped = "a \" quote then thread::spawn and a backslash \\";
+    let _ = (plain, nested_hashes, bytes, escaped);
+    (hashed, format!("{plain}"))
+}
+
+/* Nested block comments are one comment in Rust:
+   /* inner comment with decoys: thread::spawn(|| ()); unwrap() */
+   still inside the outer comment: panic!("boom")
+*/
+pub fn chars_and_lifetimes<'b>(x: &'b [char]) -> char {
+    let quote = '\'';
+    let newline = '\n';
+    let underscore = '_';
+    let paren = '(';
+    let letter = 'a'; // char literal, not lifetime 'a
+    let byte = b'x';
+    let _ = (quote, newline, underscore, paren, byte);
+    let r#fn = x.first().copied(); // raw identifier, not a raw string
+    r#fn.unwrap_or(letter) // tkc-lint: allow(no-panic-api) — false positive guard: unwrap_or is not unwrap
+}
+
+pub fn numbers_and_ranges() -> usize {
+    let spread: Vec<usize> = (1..=3).collect();
+    let float = 1.5_f64;
+    let hex = 0xFF_usize;
+    let _ = float;
+    spread.len() + hex
+}

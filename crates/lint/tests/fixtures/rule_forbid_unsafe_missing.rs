@@ -1,0 +1,6 @@
+//! Fixture: a crate root (linted as `src/lib.rs`) missing
+//! `#![forbid(unsafe_code)]` — one active `forbid-unsafe` finding.
+
+pub fn answer() -> u32 {
+    42
+}

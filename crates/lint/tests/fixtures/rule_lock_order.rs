@@ -1,0 +1,85 @@
+//! Fixture: `lock-order` — an ABBA cycle between two named locks, a
+//! re-entrant self-deadlock, an ordered (acyclic) nesting that must NOT be
+//! flagged, and a suppressed edge.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Engine {
+    cache: Mutex<Vec<u64>>,
+    stats: Mutex<u64>,
+    log: Mutex<Vec<String>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Engine {
+    /// Takes `cache` then `stats` ...
+    pub fn ab_path(&self) {
+        let guard = lock(&self.cache);
+        let mut stats = lock(&self.stats); // edge cache -> stats (cyclic: finding)
+        *stats += guard.len() as u64;
+    }
+
+    /// ... while this path takes `stats` then `cache`: ABBA.
+    pub fn ba_path(&self) {
+        let stats = lock(&self.stats);
+        let guard = lock(&self.cache); // edge stats -> cache (cyclic: finding)
+        let _ = (guard.len(), *stats);
+    }
+
+    /// Re-acquiring a non-reentrant mutex while holding it: self-loop.
+    pub fn reentrant(&self) -> u64 {
+        let first = lock(&self.stats);
+        let second = lock(&self.stats); // self-loop: finding
+        *first + *second
+    }
+
+    /// Ordered nesting (log only ever acquired *after* cache, never the
+    /// reverse): acyclic, no finding.
+    pub fn ordered(&self) {
+        let guard = lock(&self.cache);
+        let mut log = lock(&self.log);
+        log.push(format!("{} entries", guard.len()));
+    }
+
+    /// Scoped guards never overlap: no finding.
+    pub fn scoped(&self) {
+        {
+            let mut log = lock(&self.log);
+            log.clear();
+        }
+        let guard = lock(&self.cache);
+        let _ = guard.len();
+    }
+
+    /// Dropped guard before the next acquisition: no finding.
+    pub fn dropped(&self) {
+        let guard = lock(&self.cache);
+        drop(guard);
+        let mut log = lock(&self.log);
+        log.clear();
+    }
+}
+
+pub struct Suppressed {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Suppressed {
+    pub fn ab(&self) {
+        let a = lock(&self.a);
+        // tkc-lint: allow(lock-order) — fixture: the b->a path is unreachable while `a` is held
+        let b = lock(&self.b);
+        let _ = (*a, *b);
+    }
+
+    pub fn ba(&self) {
+        let b = lock(&self.b);
+        // tkc-lint: allow(lock-order) — fixture: see ab(); ordering enforced by the caller
+        let a = lock(&self.a);
+        let _ = (*a, *b);
+    }
+}

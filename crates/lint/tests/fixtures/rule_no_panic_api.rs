@@ -1,0 +1,41 @@
+//! Fixture: `no-panic-api` — active `unwrap`/`expect`/`panic!`/
+//! `unreachable!`, one suppressed case, and `#[cfg(test)]` exclusion.
+
+pub fn bad_unwrap(values: &[u32]) -> u32 {
+    *values.first().unwrap() // line 5: active finding
+}
+
+pub fn bad_expect(values: &[u32]) -> u32 {
+    *values.last().expect("non-empty") // line 9: active finding
+}
+
+pub fn bad_panic(flag: bool) {
+    if flag {
+        panic!("boom"); // line 14: active finding
+    }
+}
+
+pub fn bad_unreachable(x: u8) -> u8 {
+    match x {
+        0..=254 => x + 1,
+        _ => unreachable!(), // line 21: active finding
+    }
+}
+
+pub fn suppressed(values: &[u32]) -> u32 {
+    // tkc-lint: allow(no-panic-api) — fixture: slice verified non-empty by the caller's contract
+    *values.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v = [1u32, 2];
+        assert_eq!(super::suppressed(&v), 1);
+        let _ = v.first().unwrap();
+        if v.len() > 2 {
+            panic!("unreachable in tests is fine");
+        }
+    }
+}

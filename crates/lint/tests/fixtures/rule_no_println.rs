@@ -1,0 +1,21 @@
+//! Fixture: `no-println` — active `println!`/`eprintln!`/`dbg!`, one
+//! suppressed, plus decoys that must not match.
+
+pub fn violations(x: u64) -> u64 {
+    println!("serving {x}"); // line 5: active finding
+    eprintln!("warn: {x}"); // line 6: active finding
+    let y = dbg!(x + 1); // line 7: active finding
+    y
+}
+
+pub fn suppressed(x: u64) {
+    // tkc-lint: allow(no-println) — fixture: one-off startup banner requested by ops
+    println!("booted with {x}");
+}
+
+/// Decoys: `println!` in a doc comment, a string, and a method named print.
+pub fn decoys(x: u64) -> String {
+    let template = "println!(\"not code\")";
+    let raw = r#"eprintln!("also not code")"#;
+    format!("{template} {raw} {x}")
+}

@@ -1,0 +1,24 @@
+//! Fixture: `no-raw-threads` — one active violation, one suppressed, one
+//! test-scoped (exempt).
+
+use std::thread;
+
+pub fn violation() {
+    let handle = std::thread::spawn(|| 40 + 2); // line 7: active finding
+    let _ = handle.join();
+}
+
+pub fn suppressed() {
+    // tkc-lint: allow(no-raw-threads) — fixture: measuring bare-thread overhead against the pool
+    let handle = thread::spawn(|| ());
+    let _ = handle.join();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_use_threads() {
+        let handle = std::thread::spawn(|| ());
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture: `poison-safe-locks` — one active `.lock().unwrap()`, one active
+//! `.lock().expect(..)`, one suppressed, and the sanctioned helper form.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+pub struct Cache {
+    entries: Mutex<Vec<u64>>,
+}
+
+impl Cache {
+    pub fn bad_unwrap(&self) -> usize {
+        self.entries.lock().unwrap().len() // line 12: active finding
+    }
+
+    pub fn bad_expect(&self) -> usize {
+        self.entries.lock().expect("cache lock").len() // line 16: active finding
+    }
+
+    pub fn suppressed(&self) -> usize {
+        // tkc-lint: allow(poison-safe-locks) — fixture: poisoning is fatal here by design
+        self.entries.lock().unwrap().len()
+    }
+
+    pub fn sanctioned(&self) -> MutexGuard<'_, Vec<u64>> {
+        // The shared-helper idiom: recovery instead of unwrap.
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: `pragma` — a suppression without a justification and one
+//! naming an unknown rule are themselves findings.
+
+pub fn unjustified(values: &[u32]) -> u32 {
+    // tkc-lint: allow(no-panic-api)
+    *values.first().unwrap()
+}
+
+pub fn unknown_rule(values: &[u32]) -> u32 {
+    // tkc-lint: allow(no-unicorns) — fixture: there is no such rule
+    values.iter().sum()
+}

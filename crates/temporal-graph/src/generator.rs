@@ -39,6 +39,7 @@ pub fn uniform_random(
         builder = builder.add_edge(u, v, t);
         added += 1;
     }
+    // tkc-lint: allow(no-panic-api) — a generator bug, not caller input; the loops above always add edges
     builder.build().expect("generator always produces edges")
 }
 
@@ -89,6 +90,7 @@ pub fn preferential_attachment(
             endpoints.push(v);
         }
     }
+    // tkc-lint: allow(no-panic-api) — a generator bug, not caller input; the loops above always add edges
     builder.build().expect("generator always produces edges")
 }
 
@@ -168,6 +170,7 @@ pub fn planted_bursty_cores(config: &BurstyConfig, seed: u64) -> TemporalGraph {
             }
         }
     }
+    // tkc-lint: allow(no-panic-api) — a generator bug, not caller input; the loops above always add edges
     builder.build().expect("generator always produces edges")
 }
 

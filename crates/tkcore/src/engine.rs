@@ -69,6 +69,7 @@ use crate::exec::{run_batch_inner, ExecPool};
 use crate::query::{Algorithm, QueryStats, TimeRangeKCoreQuery};
 use crate::request::QueryRequest;
 use crate::sink::{CountingSink, ResultSink};
+use crate::sync;
 use temporal_graph::TemporalGraph;
 
 /// Tuning knobs of a [`QueryEngine`].
@@ -242,6 +243,7 @@ impl SkylineCache {
             else {
                 break;
             };
+            // tkc-lint: allow(no-panic-api) — the victim key was just yielded by iterating `entries`
             let removed = self.entries.remove(&victim).expect("victim present");
             self.resident_bytes -= removed.skyline.memory_bytes();
             self.evictions += 1;
@@ -350,6 +352,7 @@ impl QueryEngine {
             .pool
             .set(pool)
             .ok()
+            // tkc-lint: allow(no-panic-api) — the OnceLock is set exactly once, on a freshly constructed engine
             .expect("fresh engine has no pool yet");
         engine
     }
@@ -370,12 +373,12 @@ impl QueryEngine {
 
     /// Current cache counters (cumulative since construction).
     pub fn cache_stats(&self) -> CacheStats {
-        self.inner.cache.lock().expect("cache lock").stats()
+        sync::lock(&self.inner.cache).stats()
     }
 
     /// Drops every cached skyline, keeping the counters.
     pub fn clear_cache(&self) {
-        let mut cache = self.inner.cache.lock().expect("cache lock");
+        let mut cache = sync::lock(&self.inner.cache);
         cache.entries.clear();
         cache.resident_bytes = 0;
     }
@@ -383,13 +386,7 @@ impl QueryEngine {
     /// Warms the cache for `k` without running a query; returns whether the
     /// skyline was already resident.
     pub fn warm(&self, k: usize) -> bool {
-        let was_resident = self
-            .inner
-            .cache
-            .lock()
-            .expect("cache lock")
-            .entries
-            .contains_key(&k);
+        let was_resident = sync::lock(&self.inner.cache).entries.contains_key(&k);
         let _ = self.inner.span_skyline(k);
         was_resident
     }
@@ -491,11 +488,11 @@ impl EngineInner {
     /// Returns the span-wide skyline for `k`, building and caching it on a
     /// miss.  The build runs outside the cache lock (see module docs).
     fn span_skyline(&self, k: usize) -> Arc<EdgeCoreSkyline> {
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(k) {
+        if let Some(hit) = sync::lock(&self.cache).get(k) {
             return hit;
         }
         let built = Arc::new(EdgeCoreSkyline::build(&self.graph, k, self.graph.span()));
-        self.cache.lock().expect("cache lock").adopt(k, built)
+        sync::lock(&self.cache).adopt(k, built)
     }
 
     /// Executes a query whose parameters already passed validation (`k >= 1`,
@@ -516,6 +513,7 @@ impl EngineInner {
                 let precompute_time = t0.elapsed();
                 let mut stats = clamped
                     .run_with_skyline(&self.graph, &restricted, algorithm, sink)
+                    // tkc-lint: allow(no-panic-api) — restrict() targets exactly the clamped range, so validation cannot reject it
                     .expect("restricted skyline matches the clamped query by construction");
                 stats.precompute_time = precompute_time;
                 stats
@@ -819,6 +817,61 @@ mod tests {
             "one span-wide build serves the whole batch"
         );
         assert!(batch.threads >= 1);
+    }
+
+    /// A sink that panics mid-stream: the engine must treat the panic as
+    /// contained (exec-pool isolation) and every lock it might have been
+    /// near must stay usable afterwards.
+    struct ExplodingSink;
+
+    impl crate::sink::ResultSink for ExplodingSink {
+        fn emit(&mut self, _tti: TimeWindow, _edges: &[temporal_graph::EdgeId]) {
+            panic!("sink exploded mid-stream");
+        }
+    }
+
+    #[test]
+    fn a_panicking_sink_does_not_wedge_later_cache_stats_calls() {
+        let g = paper_example::graph();
+        let engine = Arc::new(QueryEngine::new(g.clone()));
+        let queries = vec![TimeRangeKCoreQuery::new(2, g.span()).unwrap(); 4];
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.run_batch_with(&queries, Algorithm::Enum, |_| ExplodingSink)
+        }));
+        assert!(panicked.is_err(), "the sink panic reaches the caller");
+        // The regression PR 6 guards against: the panic above (or any panic
+        // that unwound with a cache guard held) used to poison the cache
+        // mutex, and the old `.lock().expect("cache lock")` then took down
+        // every later caller.  Stats and fresh queries must still work.
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1, "the skyline build survived the panic");
+        let mut sink = CountingSink::default();
+        engine
+            .run(&TimeRangeKCoreQuery::new(2, g.span()).unwrap(), &mut sink)
+            .unwrap();
+        assert!(sink.num_cores > 0);
+    }
+
+    #[test]
+    fn a_poisoned_cache_lock_recovers_instead_of_wedging() {
+        let g = graph();
+        let engine = QueryEngine::new(g.clone());
+        engine.warm(2);
+        // Poison the cache mutex directly: panic while holding the guard.
+        let inner = Arc::clone(&engine.inner);
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = inner.cache.lock().expect("not poisoned yet");
+            panic!("poison the cache lock");
+        }));
+        assert!(poisoned.is_err());
+        assert!(inner.cache.is_poisoned());
+        // Every later caller recovers the guard instead of propagating.
+        assert_eq!(engine.cache_stats().resident_indexes, 1);
+        assert!(engine.warm(2), "cached skyline still resident");
+        let mut sink = CountingSink::default();
+        engine
+            .run(&TimeRangeKCoreQuery::new(2, g.span()).unwrap(), &mut sink)
+            .unwrap();
     }
 
     #[test]

@@ -33,8 +33,10 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+
+use crate::sync;
 
 /// One unit of work; receives the index of the worker executing it.
 type Task = Box<dyn FnOnce(usize) + Send + 'static>;
@@ -57,7 +59,7 @@ impl PoolShared {
     /// Locks the scheduler state, recovering from poisoning: a panicking
     /// task cannot take the whole pool down with it.
     fn lock(&self) -> MutexGuard<'_, PoolState> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        sync::lock(&self.state)
     }
 }
 
@@ -100,6 +102,7 @@ impl ExecPool {
                 std::thread::Builder::new()
                     .name(format!("tkcore-exec-{worker}"))
                     .spawn(move || worker_loop(&worker_shared, worker))
+                    // tkc-lint: allow(no-panic-api) — failing to spawn pool workers at startup is unrecoverable; no queries are in flight yet
                     .expect("spawn exec pool worker")
             })
             .collect();
@@ -172,8 +175,7 @@ impl ExecPool {
 impl Drop for ExecPool {
     fn drop(&mut self) {
         self.close();
-        let handles =
-            std::mem::take(&mut *self.handles.lock().unwrap_or_else(PoisonError::into_inner));
+        let handles = std::mem::take(&mut *sync::lock(&self.handles));
         for handle in handles {
             let _ = handle.join();
         }
@@ -210,10 +212,7 @@ fn worker_loop(shared: &PoolShared, worker: usize) {
                 if !state.open {
                     return; // closed and fully drained
                 }
-                state = shared
-                    .work_ready
-                    .wait(state)
-                    .unwrap_or_else(PoisonError::into_inner);
+                state = sync::wait(&shared.work_ready, state);
             }
         };
         // A panicking task must not kill the worker: lanes pinned to this
@@ -262,22 +261,16 @@ where
         }
     }
     drain_batch(&batch, run.as_ref(), len);
-    let mut remaining = batch
-        .remaining
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner);
+    let mut remaining = sync::lock(&batch.remaining);
     while *remaining > 0 {
-        remaining = batch
-            .done
-            .wait(remaining)
-            .unwrap_or_else(PoisonError::into_inner);
+        remaining = sync::wait(&batch.done, remaining);
     }
     drop(remaining);
-    let results =
-        std::mem::take(&mut *batch.results.lock().unwrap_or_else(PoisonError::into_inner));
+    let results = std::mem::take(&mut *sync::lock(&batch.results));
     results
         .into_iter()
         .map(
+            // tkc-lint: allow(no-panic-api) — run_batch stores every index exactly once before signalling done
             |slot| match slot.expect("every index was claimed and stored") {
                 Ok(result) => result,
                 Err(payload) => std::panic::resume_unwind(payload),
@@ -300,13 +293,10 @@ where
         }
         let outcome = catch_unwind(AssertUnwindSafe(|| run(i)));
         {
-            let mut results = batch.results.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut results = sync::lock(&batch.results);
             results[i] = Some(outcome);
         }
-        let mut remaining = batch
-            .remaining
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut remaining = sync::lock(&batch.remaining);
         *remaining -= 1;
         if *remaining == 0 {
             batch.done.notify_all();

@@ -83,7 +83,9 @@ impl<'g> HistoricalKCoreIndex<'g> {
         if edges.is_empty() {
             return None;
         }
+        // tkc-lint: allow(no-panic-api) — `edges` was verified non-empty just above
         let min_t = edges.iter().map(|&e| self.graph.edge(e).t).min().unwrap();
+        // tkc-lint: allow(no-panic-api) — `edges` was verified non-empty just above
         let max_t = edges.iter().map(|&e| self.graph.edge(e).t).max().unwrap();
         Some(TemporalKCore::new(TimeWindow::new(min_t, max_t), edges))
     }
@@ -105,7 +107,9 @@ pub fn historical_core_from_skyline(
     if edges.is_empty() {
         return None;
     }
+    // tkc-lint: allow(no-panic-api) — `edges` was verified non-empty just above
     let min_t = edges.iter().map(|&e| graph.edge(e).t).min().unwrap();
+    // tkc-lint: allow(no-panic-api) — `edges` was verified non-empty just above
     let max_t = edges.iter().map(|&e| graph.edge(e).t).max().unwrap();
     Some(TemporalKCore::new(TimeWindow::new(min_t, max_t), edges))
 }

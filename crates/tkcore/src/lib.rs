@@ -127,6 +127,32 @@
 //! The pre-redesign entry points `TimeRangeKCoreQuery::{enumerate, count}`
 //! (deprecated since the PR 2 API redesign) have been removed; see
 //! `CHANGES.md` for the migration table.
+//!
+//! # Workspace invariants
+//!
+//! The concurrency and error-handling guarantees above are invariants of
+//! *convention*, so the workspace machine-checks them on every PR with
+//! `tkc-lint` (`cargo run -p tkc-lint -- --deny`; see `crates/lint/README.md`
+//! for rule rationale and the suppression-pragma syntax):
+//!
+//! * **no-raw-threads** — all fan-out goes through [`exec::ExecPool`];
+//!   `thread::{spawn, scope, Builder}` appears only in `exec.rs`.  This is
+//!   what makes panic isolation, nested-batch deadlock freedom and the
+//!   service's lane accounting hold everywhere by construction.
+//! * **poison-safe-locks** — library code never calls `.lock().unwrap()`;
+//!   it recovers poisoned mutexes with [`sync::lock`] /​ [`sync::wait`], so
+//!   one contained panic (always possible: sinks are user code) cannot wedge
+//!   every later caller of a shared cache or stats lock.
+//! * **no-panic-api** — non-test `tkcore` / `temporal-graph` code returns
+//!   [`TkError`] on public paths; every intentional `unwrap` / `expect` /
+//!   `unreachable!` carries an inline pragma stating why it cannot fire.
+//! * **lock-order** — the nested-lock acquisition graph over named lock
+//!   sites stays acyclic, ruling out ABBA deadlocks between the engine,
+//!   shard and service mutexes.
+//! * **no-println** — library crates return data; stdout/stderr belong to
+//!   the CLI and bench binaries.
+//! * **forbid-unsafe** — every non-compat crate root carries
+//!   `#![forbid(unsafe_code)]`, uniformly and enforced.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -149,6 +175,7 @@ pub mod service;
 pub mod shard;
 mod sink;
 mod stats;
+pub mod sync;
 mod vct;
 
 pub use backend::{CachedBackend, CoreBackend};

@@ -92,7 +92,9 @@ pub fn enumerate_naive(
         if seen.contains(&edges) {
             continue;
         }
+        // tkc-lint: allow(no-panic-api) — candidate cores are non-empty by construction of the enumeration
         let min_t = edges.iter().map(|&e| graph.edge(e).t).min().unwrap();
+        // tkc-lint: allow(no-panic-api) — candidate cores are non-empty by construction of the enumeration
         let max_t = edges.iter().map(|&e| graph.edge(e).t).max().unwrap();
         seen.insert(edges.clone());
         results.push(TemporalKCore::new(TimeWindow::new(min_t, max_t), edges));

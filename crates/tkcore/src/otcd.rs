@@ -155,6 +155,7 @@ impl<'g> CoreSubgraph<'g> {
         let mult = self
             .pair_mult
             .get_mut(&(e.u, e.v))
+            // tkc-lint: allow(no-panic-api) — the pair entry was inserted when this edge became alive and `mult > 0` keeps it
             .expect("alive edge has a pair entry");
         *mult -= 1;
         if *mult == 0 {

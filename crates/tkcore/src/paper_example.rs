@@ -39,6 +39,7 @@ pub fn graph() -> TemporalGraph {
             (1, 5, 7),
         ])
         .build()
+        // tkc-lint: allow(no-panic-api) — the example graph is fixed, known-good data from the paper
         .expect("the paper example graph is valid")
 }
 
@@ -58,6 +59,7 @@ pub fn vertex(graph: &TemporalGraph, label: u64) -> VertexId {
         .labels()
         .iter()
         .position(|&l| l == label)
+        // tkc-lint: allow(no-panic-api) — callers pass labels present in the fixed example graph
         .expect("label exists in the example graph") as VertexId
 }
 
@@ -141,6 +143,7 @@ pub fn edge_id(graph: &TemporalGraph, u: u64, v: u64, t: Timestamp) -> temporal_
         .edges()
         .iter()
         .position(|e| e.u == a && e.v == b && e.t == t)
+        // tkc-lint: allow(no-panic-api) — callers pass edges present in the fixed example graph
         .expect("edge exists in the example graph") as temporal_graph::EdgeId
 }
 

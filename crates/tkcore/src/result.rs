@@ -56,6 +56,7 @@ impl TemporalKCore {
         let Some(min_t) = self.edges.iter().map(|&e| graph.edge(e).t).min() else {
             return false;
         };
+        // tkc-lint: allow(no-panic-api) — max exists on the same non-empty iterator that produced min
         let max_t = self.edges.iter().map(|&e| graph.edge(e).t).max().unwrap();
         self.tti == TimeWindow::new(min_t, max_t)
     }

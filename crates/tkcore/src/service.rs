@@ -37,7 +37,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use crate::engine::{CacheStats, QueryEngine};
@@ -280,7 +280,7 @@ impl ServiceShared {
     /// Locks the service state, recovering from poisoning so statistics
     /// survive a panic that unwound through the lock.
     fn lock(&self) -> MutexGuard<'_, ServiceState> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        crate::sync::lock(&self.state)
     }
 }
 
@@ -512,6 +512,7 @@ impl CoreService {
                 limit: self
                     .config
                     .admission_memory_bytes
+                    // tkc-lint: allow(no-panic-api) — this branch is only reached when the admission gate is configured
                     .expect("gate only fires when configured"),
             });
         }
@@ -540,6 +541,7 @@ impl CoreService {
         let pool = self
             .pool
             .as_ref()
+            // tkc-lint: allow(no-panic-api) — `pool` is Some from construction until close_and_join tears the service down
             .expect("pool alive while the service is open");
         pool.spawn_on(self.lane_for(window), move |worker| {
             execute_service_job(&engine, &shared, job, worker);
@@ -553,6 +555,7 @@ impl CoreService {
         let pool = self
             .pool
             .as_ref()
+            // tkc-lint: allow(no-panic-api) — `pool` is Some from construction until close_and_join tears the service down
             .expect("pool alive while the service is open");
         let lens = pool.lane_lens();
         match (self.config.affinity, &*self.engine) {
@@ -580,11 +583,7 @@ impl CoreService {
         }
         let mut state = self.shared.lock();
         while state.queued + state.in_flight > 0 {
-            state = self
-                .shared
-                .drained
-                .wait(state)
-                .unwrap_or_else(PoisonError::into_inner);
+            state = crate::sync::wait(&self.shared.drained, state);
         }
         drop(state);
         // Dropping the last pool reference joins the worker threads.  An

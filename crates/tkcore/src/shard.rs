@@ -79,6 +79,7 @@ use crate::exec::ExecPool;
 use crate::query::{Algorithm, QueryStats, TimeRangeKCoreQuery};
 use crate::request::QueryRequest;
 use crate::sink::{CountingSink, ResultSink};
+use crate::sync;
 use temporal_graph::{EdgeId, TemporalGraph, TimeWindow, Timestamp};
 
 /// How to cut the graph's timeline `[1, tmax]` into contiguous shards.
@@ -267,6 +268,7 @@ impl ShardCache {
             else {
                 break;
             };
+            // tkc-lint: allow(no-panic-api) — the victim key was just yielded by iterating `entries`
             let removed = self.entries.remove(&victim).expect("victim present");
             let bytes = removed.skyline.memory_bytes();
             self.resident_bytes -= bytes;
@@ -372,6 +374,7 @@ impl BoundaryCache {
             else {
                 break;
             };
+            // tkc-lint: allow(no-panic-api) — the victim key was just yielded by iterating `entries`
             let removed = self.entries.remove(&victim).expect("victim present");
             self.resident_bytes -= removed.crossing.memory_bytes();
             self.evictions += 1;
@@ -551,6 +554,7 @@ impl ShardedEngine {
             .pool
             .set(pool)
             .ok()
+            // tkc-lint: allow(no-panic-api) — the OnceLock is set exactly once, on a freshly constructed engine
             .expect("fresh engine has no pool yet");
         Ok(engine)
     }
@@ -596,11 +600,7 @@ impl ShardedEngine {
     pub fn warm(&self, k: usize) -> bool {
         let mut all_resident = true;
         for shard in 0..self.inner.shards.len() {
-            let resident = self
-                .inner
-                .cache
-                .lock()
-                .expect("shard cache lock")
+            let resident = sync::lock(&self.inner.cache)
                 .entries
                 .contains_key(&(shard, k));
             all_resident &= resident;
@@ -612,7 +612,7 @@ impl ShardedEngine {
     /// Drops every cached shard skyline and stitch entry, keeping the
     /// counters.
     pub fn clear_cache(&self) {
-        let mut cache = self.inner.cache.lock().expect("shard cache lock");
+        let mut cache = sync::lock(&self.inner.cache);
         cache.entries.clear();
         cache.resident_bytes = 0;
         for shard in cache.per_shard.iter_mut() {
@@ -620,11 +620,7 @@ impl ShardedEngine {
             shard.resident_indexes = 0;
         }
         drop(cache);
-        self.inner
-            .boundary
-            .lock()
-            .expect("boundary cache lock")
-            .clear();
+        sync::lock(&self.inner.boundary).clear();
     }
 
     /// Runs one query with the paper's final algorithm, streaming results
@@ -715,8 +711,8 @@ impl ShardedEngine {
 
 impl ShardInner {
     fn cache_stats(&self) -> CacheStats {
-        let mut stats = self.cache.lock().expect("shard cache lock").stats();
-        stats.boundary = self.boundary.lock().expect("boundary cache lock").stats();
+        let mut stats = sync::lock(&self.cache).stats();
+        stats.boundary = sync::lock(&self.boundary).stats();
         stats
     }
 
@@ -733,14 +729,11 @@ impl ShardInner {
     /// lock: two threads racing on the same cold `(shard, k)` may both
     /// build; the loser's copy is dropped.
     fn shard_skyline(&self, shard: usize, k: usize) -> Arc<EdgeCoreSkyline> {
-        if let Some(hit) = self.cache.lock().expect("shard cache lock").get(shard, k) {
+        if let Some(hit) = sync::lock(&self.cache).get(shard, k) {
             return hit;
         }
         let built = Arc::new(EdgeCoreSkyline::build(&self.graph, k, self.shards[shard]));
-        self.cache
-            .lock()
-            .expect("shard cache lock")
-            .adopt(shard, k, built)
+        sync::lock(&self.cache).adopt(shard, k, built)
     }
 
     /// Returns the stitch entry for shard range `lo..=hi` and parameter
@@ -756,12 +749,7 @@ impl ShardInner {
     /// wider sweep than the transient path would — the trade
     /// [`EngineConfig::boundary_cache_entries`]` = 0` opts out of.
     fn stitch_entry(&self, lo: usize, hi: usize, k: usize) -> (Arc<EdgeCoreSkyline>, usize) {
-        if let Some(hit) = self
-            .boundary
-            .lock()
-            .expect("boundary cache lock")
-            .get(lo, hi, k)
-        {
+        if let Some(hit) = sync::lock(&self.boundary).get(lo, hi, k) {
             return (hit, 0);
         }
         let merged_window = TimeWindow::new(self.shards[lo].start(), self.shards[hi].end());
@@ -770,11 +758,7 @@ impl ShardInner {
         let build_peak = merged.memory_bytes();
         let crossing =
             Arc::new(merged.filtered(|w| cuts.iter().any(|&c| w.start() <= c && c < w.end())));
-        let adopted = self
-            .boundary
-            .lock()
-            .expect("boundary cache lock")
-            .adopt(lo, hi, k, crossing);
+        let adopted = sync::lock(&self.boundary).adopt(lo, hi, k, crossing);
         (adopted, build_peak)
     }
 
@@ -806,6 +790,7 @@ impl ShardInner {
                 for shard in shards.clone() {
                     let part = self.shards[shard]
                         .intersect(&window)
+                        // tkc-lint: allow(no-panic-api) — `shards` only lists shards overlapping `window`, so the intersection is non-empty
                         .expect("overlapping shard intersects the window");
                     let t0 = Instant::now();
                     let skyline = self.shard_skyline(shard, k);
@@ -813,6 +798,7 @@ impl ShardInner {
                     let precompute = t0.elapsed();
                     let stats = TimeRangeKCoreQuery::validated(k, part)
                         .run_with_skyline(&self.graph, &restricted, algorithm, sink)
+                        // tkc-lint: allow(no-panic-api) — restrict() targets exactly the shard part, so validation cannot reject it
                         .expect("restricted shard skyline matches the part by construction");
                     total.num_cores += stats.num_cores;
                     total.total_result_edges += stats.total_result_edges;
@@ -858,6 +844,7 @@ impl ShardInner {
                             crate::enumerate_base(&self.graph, &stitched, &mut boundary)
                                 .peak_memory_bytes
                         }
+                        // tkc-lint: allow(no-panic-api) — the outer match already handled Otcd and Naive
                         _ => unreachable!("outer match covers Otcd and Naive"),
                     };
                     total.enumerate_time += t1.elapsed();
@@ -1301,5 +1288,37 @@ mod tests {
         assert_eq!(engine.overlapping_shards(TimeWindow::new(3, 4)), 1..2);
         assert_eq!(engine.overlapping_shards(TimeWindow::new(2, 5)), 0..3);
         assert_eq!(engine.overlapping_shards(TimeWindow::new(5, 7)), 2..3);
+    }
+
+    #[test]
+    fn poisoned_shard_and_boundary_locks_recover_instead_of_wedging() {
+        let g = paper_example::graph();
+        let engine = ShardedEngine::new(g.clone(), ShardPlan::FixedCount(3)).unwrap();
+        engine.warm(2);
+        // Poison both cache mutexes: panic while holding each guard.  The
+        // old `.lock().expect("shard cache lock")` sites turned this into a
+        // panic on every later cache_stats()/query; the shared sync helper
+        // recovers the guards instead.
+        let inner = Arc::clone(&engine.inner);
+        for poisoner in [
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = inner.cache.lock().expect("not poisoned yet");
+                panic!("poison the shard cache lock");
+            })),
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = inner.boundary.lock().expect("not poisoned yet");
+                panic!("poison the boundary cache lock");
+            })),
+        ] {
+            assert!(poisoner.is_err());
+        }
+        assert!(inner.cache.is_poisoned() && inner.boundary.is_poisoned());
+        let stats = engine.cache_stats();
+        assert_eq!(stats.resident_indexes, 3, "shard skylines still resident");
+        let mut sink = CountingSink::default();
+        engine
+            .run(&TimeRangeKCoreQuery::new(2, g.span()).unwrap(), &mut sink)
+            .unwrap();
+        assert!(sink.num_cores > 0, "spanning query runs after poisoning");
     }
 }
