@@ -163,6 +163,12 @@ impl Lexer {
     /// Handles the `r` / `b` / `br` / `rb` prefixes: raw strings, byte
     /// strings, byte chars and raw identifiers.  Returns whether a token was
     /// consumed; `false` means the caller should lex a plain identifier.
+    ///
+    /// `rb"..."` is not accepted by rustc (only `br` is a valid prefix), but
+    /// the lexer still folds it into one raw-string token: splitting it into
+    /// an identifier plus a string would let the string body re-enter the
+    /// token stream on almost-Rust input and desync pragma line attribution.
+    /// A linter must stay lossless on input it cannot reject.
     fn raw_or_byte_prefix(&mut self) -> bool {
         let line = self.line;
         let c = self.peek(0).unwrap_or(' ');
@@ -180,8 +186,10 @@ impl Lexer {
             self.string_lit_into(text, line);
             return true;
         }
-        // r"..." / r#"..."# / br#"..."# / r#ident.
-        let (prefix_len, after) = if c == 'r' {
+        // r"..." / r#"..."# / br#"..."# / rb#"..."# / r#ident.
+        let (prefix_len, after) = if c == 'r' && self.peek(1) == Some('b') {
+            (2, 2)
+        } else if c == 'r' {
             (1, 1)
         } else if c == 'b' && self.peek(1) == Some('r') {
             (2, 2)
@@ -373,6 +381,36 @@ mod tests {
         assert_eq!(tokens[1].0, TokenKind::RawStrLit);
         assert_eq!(tokens[3].0, TokenKind::StrLit);
         assert_eq!(tokens[5], (TokenKind::CharLit, "b'z'".to_string()));
+    }
+
+    #[test]
+    fn byte_string_prefixes_lex_losslessly() {
+        // `b".."` and `br".."` are real Rust; `rb".."` is not accepted by
+        // rustc but the lexer must still swallow it as one literal instead
+        // of splitting it into `rb` + a string (which would leak decoy
+        // contents into rule matching).
+        let tokens = kinds(r###"b"one" br"two" br##"with "# inside"## rb"three" done"###);
+        let expect = [
+            (TokenKind::StrLit, r#"b"one""#),
+            (TokenKind::RawStrLit, r#"br"two""#),
+            (TokenKind::RawStrLit, r###"br##"with "# inside"##"###),
+            (TokenKind::RawStrLit, r#"rb"three""#),
+            (TokenKind::Ident, "done"),
+        ];
+        let got: Vec<(TokenKind, &str)> = tokens.iter().map(|(k, t)| (*k, t.as_str())).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn multiline_byte_strings_attribute_following_tokens_correctly() {
+        let src = "b\"first\nsecond\"\nafter br\"x\ny\" tail";
+        let tokens = lex(src);
+        let placed: Vec<(&str, u32)> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.text.as_str(), t.line))
+            .collect();
+        assert_eq!(placed, [("after", 3), ("tail", 4)]);
     }
 
     #[test]

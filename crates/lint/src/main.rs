@@ -5,6 +5,9 @@
 //! cargo run -p tkc-lint -- --deny       # exit 1 on any active finding
 //! cargo run -p tkc-lint -- --format json
 //! cargo run -p tkc-lint -- --rule lock-order --rule no-println
+//! cargo run -p tkc-lint -- --graph      # call-graph resolution dump
+//! cargo run -p tkc-lint -- --deny --baseline report.json   # new findings only
+//! cargo run -p tkc-lint -- --deny --only-path crates/lint  # self-lint
 //! cargo run -p tkc-lint -- --list-rules
 //! ```
 
@@ -18,6 +21,9 @@ fn main() -> ExitCode {
     let mut deny = false;
     let mut json = false;
     let mut show_suppressed = false;
+    let mut graph_dump = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut only_paths: Vec<String> = Vec::new();
     let mut only_rules: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -39,6 +45,21 @@ fn main() -> ExitCode {
                 }
             },
             "--show-suppressed" => show_suppressed = true,
+            "--graph" => graph_dump = true,
+            "--baseline" => {
+                let Some(file) = args.next() else {
+                    eprintln!("--baseline needs a JSON report file");
+                    return ExitCode::from(2);
+                };
+                baseline = Some(PathBuf::from(file));
+            }
+            "--only-path" => {
+                let Some(prefix) = args.next() else {
+                    eprintln!("--only-path needs a path prefix");
+                    return ExitCode::from(2);
+                };
+                only_paths.push(prefix);
+            }
             "--rule" => {
                 let Some(rule) = args.next() else {
                     eprintln!("--rule needs a rule name");
@@ -62,7 +83,8 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "tkc-lint [--root DIR] [--deny] [--format text|json] \
-                     [--rule NAME]... [--show-suppressed] [--list-rules]"
+                     [--rule NAME]... [--only-path PREFIX]... [--baseline FILE] \
+                     [--show-suppressed] [--graph] [--list-rules]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -84,20 +106,55 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let (symtab, graph) = tkc_lint::analyze(&files);
+    let stats = graph.stats(&symtab);
+    if graph_dump {
+        print!("{}", tkc_lint::graph_text(&stats));
+        return ExitCode::SUCCESS;
+    }
     let mut findings = tkc_lint::check(&files);
     if !only_rules.is_empty() {
         findings.retain(|f| only_rules.iter().any(|r| r == f.rule));
     }
+    // Self-lint / scoped runs: the whole workspace is scanned (the
+    // interprocedural rules need global context), then the *report* is
+    // narrowed to the requested path prefixes.
+    if !only_paths.is_empty() {
+        findings.retain(|f| only_paths.iter().any(|p| f.path.starts_with(p.as_str())));
+    }
+    // Baseline: findings recorded in an earlier JSON report do not fail
+    // `--deny`; only new ones do.
+    let mut baselined = 0usize;
+    if let Some(file) = &baseline {
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("tkc-lint: cannot read baseline {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        let known = tkc_lint::parse_baseline(&text);
+        baselined = findings
+            .iter()
+            .filter(|f| {
+                f.suppressed.is_none()
+                    && known.contains(&(f.rule.to_string(), f.path.clone(), f.message.clone()))
+            })
+            .count();
+    }
     let summary = tkc_lint::Summary::of(files.len(), &findings);
     if json {
-        print!("{}", tkc_lint::to_json(&findings, summary));
+        print!("{}", tkc_lint::to_json(&findings, summary, Some(&stats)));
     } else {
         print!(
             "{}",
             tkc_lint::to_text(&findings, summary, show_suppressed || !deny)
         );
+        if baselined > 0 {
+            println!("tkc-lint: {baselined} active finding(s) matched the baseline");
+        }
     }
-    if deny && summary.active > 0 {
+    if deny && summary.active > baselined {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

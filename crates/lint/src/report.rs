@@ -1,6 +1,10 @@
-//! Rendering findings: human text and machine-readable JSON.
+//! Rendering findings: human text and machine-readable JSON — plus the
+//! `--graph` dump of call-graph resolution statistics and the parser for
+//! `--baseline` files (which are simply earlier JSON reports).
 
+use crate::callgraph::GraphStats;
 use crate::rules::Finding;
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 /// Counts of one lint run.
@@ -56,9 +60,11 @@ pub fn to_text(findings: &[Finding], summary: Summary, show_suppressed: bool) ->
     out
 }
 
-/// Renders findings as one JSON document (std-only writer).
-pub fn to_json(findings: &[Finding], summary: Summary) -> String {
-    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+/// Renders findings as one JSON document (std-only writer).  When `graph`
+/// is present the document carries a `"graph"` object with the call-graph
+/// resolution statistics (version 2 of the format; version 1 lacked it).
+pub fn to_json(findings: &[Finding], summary: Summary, graph: Option<&GraphStats>) -> String {
+    let mut out = String::from("{\n  \"version\": 2,\n  \"findings\": [");
     for (i, finding) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -78,12 +84,140 @@ pub fn to_json(findings: &[Finding], summary: Summary) -> String {
             },
         );
     }
+    out.push_str("\n  ],\n");
+    if let Some(stats) = graph {
+        let _ = writeln!(
+            out,
+            "  \"graph\": {{\"functions\": {}, \"call_sites\": {}, \"unique\": {}, \
+             \"ambiguous\": {}, \"external\": {}, \"unresolved\": {}, \
+             \"internal\": {}, \"resolution_rate\": {:.4}}},",
+            stats.functions,
+            stats.call_sites,
+            stats.unique,
+            stats.ambiguous,
+            stats.external,
+            stats.unresolved,
+            stats.internal(),
+            stats.resolution_rate(),
+        );
+    }
     let _ = write!(
         out,
-        "\n  ],\n  \"summary\": {{\"files\": {}, \"active\": {}, \"suppressed\": {}}}\n}}\n",
+        "  \"summary\": {{\"files\": {}, \"active\": {}, \"suppressed\": {}}}\n}}\n",
         summary.files, summary.active, summary.suppressed
     );
     out
+}
+
+/// Renders the `--graph` debug dump: symbol/call-graph sizes and the
+/// resolution breakdown the acceptance gate reads.
+pub fn graph_text(stats: &GraphStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "call graph: {} function(s)", stats.functions);
+    let _ = writeln!(
+        out,
+        "  call sites: {} ({} unique, {} ambiguous, {} external, {} unresolved)",
+        stats.call_sites, stats.unique, stats.ambiguous, stats.external, stats.unresolved
+    );
+    let _ = writeln!(
+        out,
+        "  workspace-internal: {} resolved {}/{} ({:.1}%)",
+        stats.internal(),
+        stats.unique + stats.ambiguous,
+        stats.internal(),
+        stats.resolution_rate() * 100.0
+    );
+    out
+}
+
+/// Parses a `--baseline` file (an earlier JSON report) into the set of
+/// `(rule, path, message)` triples it recorded.  A minimal std-only string
+/// scanner: it walks `"key": "value"` pairs in order (`rule`, `path`,
+/// `message` per finding object) and is the exact inverse of `json_str`
+/// for the strings this tool itself emits.
+pub fn parse_baseline(json: &str) -> BTreeSet<(String, String, String)> {
+    let mut out = BTreeSet::new();
+    let bytes: Vec<char> = json.chars().collect();
+    let mut i = 0usize;
+    let mut rule: Option<String> = None;
+    let mut path: Option<String> = None;
+    while i < bytes.len() {
+        if bytes[i] != '"' {
+            i += 1;
+            continue;
+        }
+        let (key, next) = parse_json_string(&bytes, i);
+        i = next;
+        // A key is a string followed by `:`.
+        let mut j = i;
+        while j < bytes.len() && bytes[j].is_whitespace() {
+            j += 1;
+        }
+        if bytes.get(j) != Some(&':') {
+            continue; // a value we already consumed, or an array element
+        }
+        j += 1;
+        while j < bytes.len() && bytes[j].is_whitespace() {
+            j += 1;
+        }
+        if bytes.get(j) != Some(&'"') {
+            i = j;
+            continue; // non-string value (number, bool, null, object)
+        }
+        let (value, next) = parse_json_string(&bytes, j);
+        i = next;
+        match key.as_str() {
+            "rule" => {
+                rule = Some(value);
+                path = None;
+            }
+            "path" => path = Some(value),
+            "message" => {
+                if let (Some(r), Some(p)) = (rule.take(), path.take()) {
+                    out.insert((r, p, value));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Parses the JSON string starting at the `"` at `from`; returns the
+/// unescaped contents and the index just past the closing quote.
+fn parse_json_string(chars: &[char], from: usize) -> (String, usize) {
+    let mut out = String::new();
+    let mut i = from + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '"' => return (out, i + 1),
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('u') => {
+                        let hex: String = chars.iter().skip(i + 1).take(4).collect();
+                        if let Ok(code) = u32::from_str_radix(&hex, 16) {
+                            if let Some(c) = char::from_u32(code) {
+                                out.push(c);
+                            }
+                        }
+                        i += 4;
+                    }
+                    Some(&c) => out.push(c),
+                    None => break,
+                }
+                i += 1;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    (out, i)
 }
 
 /// Escapes `s` as a JSON string literal.

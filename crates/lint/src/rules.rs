@@ -10,6 +10,9 @@
 //! | `poison-safe-locks` | library code never `.lock().unwrap()`s; it recovers poison via `tkcore::sync::lock` |
 //! | `no-panic-api` | non-test `tkcore`/`temporal-graph` code returns `TkError`, it does not `unwrap`/`panic!` |
 //! | `lock-order` | the intraprocedural nested-lock graph over named lock sites is acyclic (no ABBA deadlocks) |
+//! | `lock-order-global` | the same graph extended with held-lock propagation across calls stays acyclic (see [`crate::interproc`]) |
+//! | `no-blocking-in-worker` | nothing reachable from an `ExecPool` task closure blocks (`Ticket::wait`, `Condvar::wait`, `JoinHandle::join`, `sync::wait`) |
+//! | `hot-path-alloc` | `// tkc-lint: hot` functions and everything reachable from them allocate nothing per call |
 //! | `no-println` | library crates never write to stdout/stderr; reporting belongs to the CLI |
 //! | `forbid-unsafe` | every non-compat crate root carries `#![forbid(unsafe_code)]` |
 //!
@@ -27,6 +30,9 @@ pub const RULES: &[&str] = &[
     "poison-safe-locks",
     "no-panic-api",
     "lock-order",
+    "lock-order-global",
+    "no-blocking-in-worker",
+    "hot-path-alloc",
     "no-println",
     "forbid-unsafe",
     "pragma",
@@ -65,6 +71,11 @@ pub fn check(files: &[FileModel]) -> Vec<Finding> {
         lock_graph.collect(file);
     }
     lock_graph.report(files, &mut findings);
+    // The interprocedural stage: symbol table → call graph → the three
+    // cross-function rules (see `crate::interproc`).
+    let symtab = crate::symtab::SymbolTable::build(files);
+    let graph = crate::callgraph::CallGraph::build(files, &symtab);
+    crate::interproc::check_interprocedural(files, &symtab, &graph, &mut findings);
     findings.sort_by(|a, b| {
         (&a.path, a.line, a.rule)
             .partial_cmp(&(&b.path, b.line, b.rule))
@@ -456,18 +467,22 @@ impl LockGraph {
 }
 
 /// One recognised lock acquisition starting at token `i`.
-struct Acquisition {
+pub(crate) struct Acquisition {
     /// Final identifier of the locked path (`cache` in `self.inner.cache`).
-    lock_name: String,
+    pub(crate) lock_name: String,
     /// `Some(variable)` when the guard is bound by a `let` and survives the
     /// statement.
-    bound_to: Option<String>,
+    pub(crate) bound_to: Option<String>,
     /// First token index after the acquisition expression.
-    next: usize,
+    pub(crate) next: usize,
 }
 
 /// Recognises `<recv>.lock()` and `lock(&<recv>)`-style calls at `i`.
-fn acquisition_at(code: &[crate::lexer::Token], i: usize, end: usize) -> Option<Acquisition> {
+pub(crate) fn acquisition_at(
+    code: &[crate::lexer::Token],
+    i: usize,
+    end: usize,
+) -> Option<Acquisition> {
     if code[i].text != "lock" {
         return None;
     }
@@ -578,7 +593,11 @@ fn binding_of(code: &[crate::lexer::Token], lock_ident: usize, after: usize) -> 
 }
 
 /// Index of the `)` matching the `(` at `open`, bounded by `end`.
-fn matching_paren(code: &[crate::lexer::Token], open: usize, end: usize) -> Option<usize> {
+pub(crate) fn matching_paren(
+    code: &[crate::lexer::Token],
+    open: usize,
+    end: usize,
+) -> Option<usize> {
     let mut depth = 0usize;
     for (j, token) in code.iter().enumerate().skip(open).take(end + 2 - open) {
         if token.text == "(" {

@@ -53,6 +53,10 @@ pub struct Pragma {
 pub struct FnSpan {
     /// Function name (`fn name(...)`).
     pub name: String,
+    /// Index of the `fn` keyword token that declares it.
+    pub decl_index: usize,
+    /// Line of the `fn` keyword (where `// tkc-lint: hot` markers attach).
+    pub decl_line: u32,
     /// Index of the opening `{` of the body.
     pub body_start: usize,
     /// Index of the matching closing `}` (exclusive end is `body_end + 1`).
@@ -82,6 +86,12 @@ pub struct FileModel {
     pub fns: Vec<FnSpan>,
     /// Pragmas by the line they apply to.
     pub pragmas: BTreeMap<u32, Vec<Pragma>>,
+    /// Lines carrying a `// tkc-lint: hot` marker, resolved to the line the
+    /// marker applies to (same semantics as pragmas: a marker alone on its
+    /// line covers the next line, a trailing marker covers its own line).  A
+    /// function whose `fn` keyword sits on a marked line is a hot-path seed
+    /// for the `hot-path-alloc` rule.
+    pub hot_lines: std::collections::BTreeSet<u32>,
     /// Whether the file carries `#![forbid(unsafe_code)]`.
     pub has_forbid_unsafe: bool,
 }
@@ -116,14 +126,18 @@ impl FileModel {
         let fns = find_fns(&code);
         // A pragma trails code if any code token shares its line.
         let code_lines: std::collections::BTreeSet<u32> = code.iter().map(|t| t.line).collect();
+        let mut hot_lines = std::collections::BTreeSet::new();
         for (line, text) in comment_queue {
-            if let Some(mut pragma) = parse_pragma(&text) {
+            let applies_to = if code_lines.contains(&line) {
+                line
+            } else {
+                line + 1
+            };
+            if is_hot_marker(&text) {
+                hot_lines.insert(applies_to);
+            } else if let Some(mut pragma) = parse_pragma(&text) {
                 pragma.comment_line = line;
-                pragma.applies_to = if code_lines.contains(&line) {
-                    line
-                } else {
-                    line + 1
-                };
+                pragma.applies_to = applies_to;
                 pragmas.entry(pragma.applies_to).or_default().push(pragma);
             }
         }
@@ -137,6 +151,7 @@ impl FileModel {
             in_test,
             fns,
             pragmas,
+            hot_lines,
             has_forbid_unsafe,
         }
     }
@@ -148,6 +163,20 @@ impl FileModel {
             .iter()
             .find(|p| p.rules.iter().any(|r| r == rule))
     }
+}
+
+/// Recognises a `// tkc-lint: hot` marker (optionally followed by a note
+/// after the same separators pragmas accept).
+fn is_hot_marker(comment: &str) -> bool {
+    let body = comment.trim_start_matches('/').trim();
+    let Some(rest) = body.strip_prefix("tkc-lint:") else {
+        return false;
+    };
+    let rest = rest.trim_start();
+    rest == "hot"
+        || rest
+            .strip_prefix("hot")
+            .is_some_and(|r| r.starts_with([' ', '—', '-', ':']))
 }
 
 /// Parses `tkc-lint: allow(rule, ...) <sep> justification` from one `//`
@@ -303,6 +332,8 @@ fn find_fns(code: &[Token]) -> Vec<FnSpan> {
                     if let Some(end) = matching(code, j, "{", "}") {
                         fns.push(FnSpan {
                             name: name_token.text.clone(),
+                            decl_index: i,
+                            decl_line: code[i].line,
                             body_start: j,
                             body_end: end,
                         });

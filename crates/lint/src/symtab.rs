@@ -1,0 +1,286 @@
+//! Workspace symbol table: every `fn`, with its crate, module path and
+//! impl self type.
+//!
+//! This is the name-resolution substrate of the interprocedural stage (see
+//! [`crate::callgraph`]).  It is deliberately *syntactic*: built from the
+//! same token stream the rules already run over, with no type information.
+//! For each [`crate::scan::FnSpan`] the builder reconstructs the lexical scope chain —
+//! enclosing `mod` blocks and the self type of the enclosing `impl` block —
+//! which is enough for the conservative suffix-resolution strategy the call
+//! graph uses (documented in `crates/lint/README.md`).
+
+use crate::lexer::{Token, TokenKind};
+use crate::scan::FileModel;
+use std::collections::BTreeMap;
+
+/// One function known to the workspace.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Index of the owning file in the slice passed to
+    /// [`SymbolTable::build`].
+    pub file: usize,
+    /// Index of the matching span in `files[file].fns`.
+    pub span: usize,
+    /// Owning crate directory name (`tkcore`, `cli`, ...).
+    pub crate_name: String,
+    /// Names of the enclosing `mod` blocks, outermost first.  Inline
+    /// modules only: file-level module structure is approximated by the
+    /// file path, which the resolution strategy never needs.
+    pub module_path: Vec<String>,
+    /// Self type of the enclosing `impl` block, if any (`EdgeCoreSkyline`
+    /// for both `impl EdgeCoreSkyline` and `impl Iterator for
+    /// EdgeCoreSkyline`).
+    pub self_type: Option<String>,
+    /// Bare function name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub decl_line: u32,
+    /// Whether the first parameter is (a borrow of) `self` — i.e. the
+    /// function is callable with method syntax.
+    pub has_self: bool,
+    /// Whether the function lives in test code (test file or test region).
+    pub is_test: bool,
+    /// Whether a `// tkc-lint: hot` marker covers the declaration line.
+    pub is_hot: bool,
+}
+
+impl FnInfo {
+    /// Human-readable qualified name: `crate::module::Type::name`.
+    pub fn qualified(&self) -> String {
+        let mut parts: Vec<&str> = vec![self.crate_name.as_str()];
+        parts.extend(self.module_path.iter().map(String::as_str));
+        if let Some(ty) = &self.self_type {
+            parts.push(ty);
+        }
+        parts.push(&self.name);
+        parts.join("::")
+    }
+}
+
+/// Every function in the workspace, indexed by bare name.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// All functions, in (file, declaration) order.  Indexes into this
+    /// vector are the node ids of the call graph.
+    pub fns: Vec<FnInfo>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl SymbolTable {
+    /// Builds the table from scanned files (compat crates excluded — they
+    /// mirror external APIs and must not capture resolutions).
+    pub fn build(files: &[FileModel]) -> Self {
+        let mut table = Self::default();
+        for (file_idx, file) in files.iter().enumerate() {
+            if file.kind == crate::scan::CrateKind::Compat {
+                continue;
+            }
+            collect_file(&mut table, file_idx, file);
+        }
+        for (id, info) in table.fns.iter().enumerate() {
+            table.by_name.entry(info.name.clone()).or_default().push(id);
+        }
+        table
+    }
+
+    /// Ids of every function named `name`, in declaration order.
+    pub fn candidates(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// A lexical scope the walker is currently inside.
+enum Scope {
+    /// `mod name { ... }` — closes at the token index held alongside.
+    Mod(String, usize),
+    /// `impl [Trait for] Type { ... }`.
+    Impl(Option<String>, usize),
+}
+
+/// Walks one file's token stream, attaching scope context to each `FnSpan`.
+fn collect_file(table: &mut SymbolTable, file_idx: usize, file: &FileModel) {
+    let code = &file.code;
+    let mut scopes: Vec<Scope> = Vec::new();
+    // `fns` is in declaration order (see `scan::find_fns`).
+    let mut next_fn = 0usize;
+    let mut i = 0usize;
+    while i < code.len() {
+        while let Some(scope) = scopes.last() {
+            let close = match scope {
+                Scope::Mod(_, close) | Scope::Impl(_, close) => *close,
+            };
+            if i > close {
+                scopes.pop();
+            } else {
+                break;
+            }
+        }
+        // Attach any fn declared at or before this token (the walker can
+        // step over several tokens at once when opening a scope).
+        while next_fn < file.fns.len() && file.fns[next_fn].decl_index <= i {
+            let span = &file.fns[next_fn];
+            let module_path = scopes
+                .iter()
+                .filter_map(|s| match s {
+                    Scope::Mod(name, _) => Some(name.clone()),
+                    Scope::Impl(..) => None,
+                })
+                .collect();
+            let self_type = scopes.iter().rev().find_map(|s| match s {
+                Scope::Impl(ty, _) => ty.clone(),
+                Scope::Mod(..) => None,
+            });
+            table.fns.push(FnInfo {
+                file: file_idx,
+                span: next_fn,
+                crate_name: file.crate_name.clone(),
+                module_path,
+                self_type,
+                name: span.name.clone(),
+                decl_line: span.decl_line,
+                has_self: has_self_receiver(code, span.decl_index),
+                is_test: file.is_test_file || file.in_test[span.decl_index],
+                is_hot: file.hot_lines.contains(&span.decl_line),
+            });
+            next_fn += 1;
+        }
+        // Open new scopes.
+        if code[i].text == "mod"
+            && code.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+            && code.get(i + 2).is_some_and(|t| t.text == "{")
+        {
+            if let Some(close) = matching_brace(code, i + 2) {
+                scopes.push(Scope::Mod(code[i + 1].text.clone(), close));
+                i += 3;
+                continue;
+            }
+        }
+        if code[i].text == "impl" && (i == 0 || code[i - 1].text != ".") {
+            if let Some((ty, body_open)) = impl_self_type(code, i) {
+                if let Some(close) = matching_brace(code, body_open) {
+                    scopes.push(Scope::Impl(ty, close));
+                    i = body_open + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(code: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, token) in code.iter().enumerate().skip(open) {
+        if token.text == "{" {
+            depth += 1;
+        } else if token.text == "}" {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Parses the header of an `impl` block starting at `start` and names its
+/// self type: the last angle-depth-0 identifier of the type segment (after
+/// a top-level `for` when the impl is a trait impl), stopping at `where`.
+/// Returns the type (if one could be named) and the index of the body `{`.
+fn impl_self_type(code: &[Token], start: usize) -> Option<(Option<String>, usize)> {
+    // The header runs to the first `{`: where-clauses contain no braces.
+    let mut body_open = None;
+    for (j, token) in code.iter().enumerate().skip(start + 1) {
+        if token.text == "{" {
+            body_open = Some(j);
+            break;
+        }
+        if token.text == ";" {
+            return None; // `impl Foo;` — not a block
+        }
+    }
+    let body_open = body_open?;
+    let header = &code[start + 1..body_open];
+    // Split at a `for` outside angle brackets (`impl Trait for Type`),
+    // tracking `<`/`>` depth and skipping `->` arrows.
+    let mut depth = 0i32;
+    let mut type_from = 0usize;
+    let mut j = 0usize;
+    while j < header.len() {
+        match header[j].text.as_str() {
+            "<" => depth += 1,
+            ">" => depth = (depth - 1).max(0),
+            "-" if header.get(j + 1).is_some_and(|t| t.text == ">") => j += 1,
+            "for" if depth == 0 => type_from = j + 1,
+            "where" if depth == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    // If there was no `for`, skip the leading generic parameter list.
+    if type_from == 0 && header.first().is_some_and(|t| t.text == "<") {
+        let mut depth = 0i32;
+        for (k, token) in header.iter().enumerate() {
+            match token.text.as_str() {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        type_from = k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Name = last angle-depth-0 identifier of the type segment.
+    let mut depth = 0i32;
+    let mut name = None;
+    let mut j = type_from;
+    while j < header.len() {
+        match header[j].text.as_str() {
+            "<" => depth += 1,
+            ">" => depth = (depth - 1).max(0),
+            "-" if header.get(j + 1).is_some_and(|t| t.text == ">") => j += 1,
+            "where" if depth == 0 => break,
+            _ => {
+                if depth == 0 && header[j].kind == TokenKind::Ident {
+                    name = Some(header[j].text.clone());
+                }
+            }
+        }
+        j += 1;
+    }
+    Some((name, body_open))
+}
+
+/// Whether the fn declared at `decl_index` takes `self` (incl. `&self`,
+/// `&'a mut self`, `mut self`) as its first parameter.
+fn has_self_receiver(code: &[Token], decl_index: usize) -> bool {
+    // Find the parameter list `(`: first paren after the name, skipping a
+    // generic parameter list (angle-depth tracked, `->` arrows skipped).
+    let mut j = decl_index + 2;
+    let mut depth = 0i32;
+    while j < code.len() {
+        match code[j].text.as_str() {
+            "<" => depth += 1,
+            ">" => depth = (depth - 1).max(0),
+            "-" if code.get(j + 1).is_some_and(|t| t.text == ">") => j += 1,
+            "(" if depth == 0 => break,
+            "{" | ";" => return false,
+            _ => {}
+        }
+        j += 1;
+    }
+    let mut k = j + 1;
+    while k < code.len() {
+        match code[k].kind {
+            TokenKind::Lifetime => k += 1,
+            _ if matches!(code[k].text.as_str(), "&" | "mut") => k += 1,
+            _ => return code[k].text == "self",
+        }
+    }
+    false
+}

@@ -1,0 +1,102 @@
+//! Integration tests of the analysis stage over the public API: symbol-table
+//! construction, impl-method resolution, and the composition property of the
+//! global lock-order rule (each half is innocent; only the composed pair
+//! closes a cycle).
+
+use tkc_lint::{analyze, classify_and_scan, lint_source, FileModel, Finding, Resolution};
+
+fn model(path: &str, src: &str) -> FileModel {
+    classify_and_scan(std::path::PathBuf::from(path), src)
+}
+
+fn active(findings: &[Finding], rule: &str) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && f.suppressed.is_none())
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn method_calls_resolve_to_the_enclosing_impl() {
+    // Two impls define `step`; a `self.step()` call inside `Widget::run`
+    // must resolve uniquely to `Widget::step`, not to both.
+    let src = "pub struct Widget;\n\
+               pub struct Gadget;\n\
+               impl Widget {\n\
+                   fn step(&self) -> u32 { 1 }\n\
+                   pub fn run(&self) -> u32 { self.step() }\n\
+               }\n\
+               impl Gadget {\n\
+                   fn step(&self) -> u32 { 2 }\n\
+               }\n";
+    let files = [model("crates/skyline/src/widgets.rs", src)];
+    let (symtab, graph) = analyze(&files);
+    let site = graph
+        .sites
+        .iter()
+        .find(|s| s.name == "step")
+        .expect("the self.step() call site is extracted");
+    assert!(site.is_method && site.receiver_is_self, "{site:?}");
+    assert_eq!(site.resolution, Resolution::Unique);
+    assert_eq!(site.targets.len(), 1);
+    let target = &symtab.fns[site.targets[0]];
+    assert_eq!(target.self_type.as_deref(), Some("Widget"));
+    assert_eq!(target.name, "step");
+    assert_eq!(target.crate_name, "skyline");
+}
+
+#[test]
+fn qualified_names_carry_crate_and_impl_type() {
+    let src = "pub struct Widget;\n\
+               impl Widget {\n\
+                   pub fn run(&self) {}\n\
+               }\n\
+               pub fn free() {}\n";
+    let files = [model("crates/skyline/src/widgets.rs", src)];
+    let (symtab, _) = analyze(&files);
+    let names: Vec<String> = symtab.fns.iter().map(|f| f.qualified()).collect();
+    assert!(
+        names.iter().any(|n| n == "skyline::Widget::run"),
+        "{names:?}"
+    );
+    assert!(names.iter().any(|n| n == "skyline::free"), "{names:?}");
+}
+
+/// One lock-ordered path: hold `a`, call a helper that takes `b`.
+const HALF_AB: &str = "use std::sync::{Mutex, PoisonError};\n\
+    fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {\n\
+        m.lock().unwrap_or_else(PoisonError::into_inner)\n\
+    }\n\
+    pub struct Pair { a: Mutex<u64>, b: Mutex<u64> }\n\
+    impl Pair {\n\
+        fn take_a(&self) -> u64 { *lock(&self.a) }\n\
+        fn take_b(&self) -> u64 { *lock(&self.b) }\n\
+        pub fn a_then_b(&self) -> u64 {\n\
+            let a = lock(&self.a);\n\
+            *a + self.take_b()\n\
+        }\n\
+    }\n";
+
+/// The reverse path; composed with [`HALF_AB`] it closes an ABBA cycle.
+const HALF_BA: &str = "impl Pair {\n\
+    pub fn b_then_a(&self) -> u64 {\n\
+        let b = lock(&self.b);\n\
+        *b + self.take_a()\n\
+    }\n\
+}\n";
+
+#[test]
+fn a_lock_cycle_needs_both_composed_functions() {
+    // Each half alone is acyclic: no finding.
+    let half = lint_source("crates/skyline/src/locks.rs", HALF_AB);
+    assert!(
+        active(&half, "lock-order-global").is_empty(),
+        "one direction alone must be acyclic: {half:?}"
+    );
+    // Composed, the two held-across-call edges form a→b→a: both call
+    // sites are findings.
+    let composed = format!("{HALF_AB}{HALF_BA}");
+    let both = lint_source("crates/skyline/src/locks.rs", &composed);
+    assert_eq!(active(&both, "lock-order-global").len(), 2, "{both:?}");
+}

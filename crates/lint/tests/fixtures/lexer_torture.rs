@@ -15,7 +15,15 @@ pub fn raw_strings() -> (&'static str, String) {
     let nested_hashes = r##"ends with "# but not here: println!("x")"##;
     let bytes = br#"thread::scope(|s| s.spawn(..))"#;
     let escaped = "a \" quote then thread::spawn and a backslash \\";
+    let plain_bytes = b"std::thread::spawn(|| ()).join().unwrap()";
+    let raw_bytes = br"Mutex::lock().unwrap() inside a raw byte string";
+    let nested_raw_bytes = br##"ends with "# inside: .wait() and panic!("x")"##;
+    let swapped_prefix = rb"invalid-Rust rb literal: thread::spawn decoy";
+    let multiline_bytes = b"first line with .unwrap()
+second line with panic!(\"no\")";
     let _ = (plain, nested_hashes, bytes, escaped);
+    let _ = (plain_bytes, raw_bytes, nested_raw_bytes, swapped_prefix);
+    let _ = multiline_bytes;
     (hashed, format!("{plain}"))
 }
 

@@ -1,0 +1,44 @@
+//! Fixture: `hot-path-alloc` — allocations in a `// tkc-lint: hot` seed, in
+//! a function only *reachable* from the seed, a pragma-suppressed hot
+//! allocation, `Vec::new` inside vs. outside a loop, and an identical
+//! allocation in a cold function that must NOT fire.
+
+pub struct Sweep {
+    data: Vec<u64>,
+}
+
+impl Sweep {
+    // tkc-lint: hot
+    pub fn advance(&self) -> Vec<u64> {
+        let copy = self.data.clone(); // .clone( in the hot seed: finding
+        self.merge(copy)
+    }
+
+    /// Not annotated, but uniquely reachable from the hot seed above.
+    fn merge(&self, mut acc: Vec<u64>) -> Vec<u64> {
+        acc.extend(self.data.to_vec()); // .to_vec( reachable from seed: finding
+        acc
+    }
+
+    // tkc-lint: hot
+    pub fn label(&self) -> String {
+        // tkc-lint: allow(hot-path-alloc) — fixture: rendered once per query, amortised by the result cache
+        format!("{} windows", self.data.len())
+    }
+
+    // tkc-lint: hot
+    pub fn totals(&self) -> u64 {
+        let mut total = 0;
+        for x in &self.data {
+            let scratch: Vec<u64> = Vec::new(); // Vec::new in a loop: finding
+            total += *x + scratch.len() as u64;
+        }
+        let outside: Vec<u64> = Vec::new(); // outside any loop: no finding
+        total + outside.len() as u64
+    }
+
+    /// Cold: same allocation as the seed, but not hot-reachable: no finding.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.data.clone()
+    }
+}

@@ -1,0 +1,85 @@
+//! Fixture: `lock-order-global` — an ABBA cycle that only exists when two
+//! functions are *composed* (each one is innocent in isolation, so the
+//! intraprocedural `lock-order` rule cannot see it), a cross-function
+//! re-entrant self-deadlock, an acyclic helper call that must NOT be
+//! flagged, and a suppressed pair.
+
+use std::sync::{Mutex, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+    c: Mutex<u64>,
+}
+
+impl Pair {
+    fn take_a(&self) -> u64 {
+        *lock(&self.a)
+    }
+
+    fn take_b(&self) -> u64 {
+        *lock(&self.b)
+    }
+
+    fn take_c(&self) -> u64 {
+        *lock(&self.c)
+    }
+
+    /// Holds `a` across a call whose callee acquires `b`: global edge a→b.
+    pub fn a_then_b(&self) -> u64 {
+        let a = lock(&self.a);
+        *a + self.take_b() // cross edge a->b (cycle with b->a below): finding
+    }
+
+    /// Holds `b` across a call whose callee acquires `a`: global edge b→a —
+    /// composed with [`Pair::a_then_b`], a cross-function ABBA cycle.
+    pub fn b_then_a(&self) -> u64 {
+        let b = lock(&self.b);
+        *b + self.take_a() // cross edge b->a: finding
+    }
+
+    /// Holds `c` across a call whose callee re-acquires `c`: a guaranteed
+    /// self-deadlock that no single-function analysis can see.
+    pub fn reentrant_via_helper(&self) -> u64 {
+        let c = lock(&self.c);
+        *c + self.take_c() // cross self-loop c->c: finding
+    }
+
+    /// Holds `a` across a call that only takes `c` (and nothing ever takes
+    /// `a` while holding `c`): acyclic, no finding.
+    pub fn ordered(&self) -> u64 {
+        let a = lock(&self.a);
+        *a + self.take_c()
+    }
+}
+
+pub struct Suppressed {
+    x: Mutex<u64>,
+    y: Mutex<u64>,
+}
+
+impl Suppressed {
+    fn take_x(&self) -> u64 {
+        *lock(&self.x)
+    }
+
+    fn take_y(&self) -> u64 {
+        *lock(&self.y)
+    }
+
+    pub fn xy(&self) -> u64 {
+        let x = lock(&self.x);
+        // tkc-lint: allow(lock-order-global) — fixture: the y->x path below is never taken while `x` is held
+        *x + self.take_y()
+    }
+
+    pub fn yx(&self) -> u64 {
+        let y = lock(&self.y);
+        // tkc-lint: allow(lock-order-global) — fixture: see xy(); callers serialise these two paths
+        *y + self.take_x()
+    }
+}

@@ -1,0 +1,43 @@
+//! Fixture: `no-blocking-in-worker` — a blocking call reached *through a
+//! helper* from a closure handed to `ExecPool::spawn`, a blocking call
+//! directly in a spawned closure, a pragma-suppressed worker wait, and a
+//! main-thread wait that must NOT fire.
+
+pub struct ExecPool;
+
+impl ExecPool {
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, task: F) {
+        task();
+    }
+}
+
+pub struct Ticket;
+
+impl Ticket {
+    pub fn wait(&self) {}
+}
+
+/// Blocks — and is reachable from a worker closure: finding (in here).
+fn drain(ticket: &Ticket) {
+    ticket.wait(); // worker-reachable blocking call: finding
+}
+
+pub fn fan_out(pool: &ExecPool, ticket: &'static Ticket) {
+    pool.spawn(move || drain(ticket));
+    pool.spawn(move || ticket.wait()); // blocking directly in the closure: finding
+}
+
+/// The same wait, justified: the pool is allowed to park a worker here.
+fn drain_checked(ticket: &Ticket) {
+    // tkc-lint: allow(no-blocking-in-worker) — fixture: the ticket is completed before this task is ever queued
+    ticket.wait();
+}
+
+pub fn fan_out_checked(pool: &ExecPool, ticket: &'static Ticket) {
+    pool.spawn(move || drain_checked(ticket));
+}
+
+/// Waiting on the main thread is the intended use: no finding.
+pub fn block_on(ticket: &Ticket) {
+    ticket.wait();
+}

@@ -132,6 +132,67 @@ fn lock_order_flags_abba_reentrancy_and_honours_pragma() {
 }
 
 #[test]
+fn lock_order_global_flags_composed_abba_and_cross_fn_reentrancy() {
+    let findings = lint_source(
+        "crates/skyline/src/global_locks.rs",
+        include_str!("fixtures/rule_lock_order_global.rs"),
+    );
+    // The composed ABBA pair (a_then_b at 35, b_then_a at 42) plus the
+    // helper-mediated re-entrant self-loop at 49.  Each function is clean
+    // in isolation — the intra rule must stay silent.
+    assert_eq!(active(&findings, "lock-order-global"), vec![35, 42, 49]);
+    assert!(active(&findings, "lock-order").is_empty(), "{findings:?}");
+    // The x/y pair cycles too, but both call sites carry pragmas.
+    assert_eq!(suppressed(&findings, "lock-order-global"), vec![77, 83]);
+    // `ordered` (a held across a call that only takes c) is acyclic.
+    assert!(
+        !findings.iter().any(|f| f.line == 56),
+        "acyclic composition must not fire: {findings:?}"
+    );
+}
+
+#[test]
+fn no_blocking_in_worker_follows_calls_from_spawned_closures() {
+    let findings = lint_source(
+        "crates/skyline/src/worker.rs",
+        include_str!("fixtures/rule_no_blocking_in_worker.rs"),
+    );
+    // `drain` (reached through a closure handed to ExecPool::spawn) waits
+    // at 22; the second closure waits inline at 27.
+    assert_eq!(active(&findings, "no-blocking-in-worker"), vec![22, 27]);
+    assert_eq!(suppressed(&findings, "no-blocking-in-worker"), vec![33]);
+    // `block_on` waits on the main thread: out of worker reach.
+    assert!(
+        !findings.iter().any(|f| f.line == 42),
+        "main-thread wait must not fire: {findings:?}"
+    );
+}
+
+#[test]
+fn hot_path_alloc_covers_seeds_and_their_unique_callees() {
+    let findings = lint_source(
+        "crates/skyline/src/hot.rs",
+        include_str!("fixtures/rule_hot_path_alloc.rs"),
+    );
+    // `.clone(` in the seed (13), `.to_vec(` in a fn only reachable from
+    // the seed (19), `Vec::new` inside a loop (33).
+    assert_eq!(active(&findings, "hot-path-alloc"), vec![13, 19, 33]);
+    assert_eq!(suppressed(&findings, "hot-path-alloc"), vec![26]);
+    // The reachable finding names its seed.
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.line == 19 && f.message.contains("reachable from hot seed")),
+        "{findings:?}"
+    );
+    // `Vec::new` outside a loop (36) and the cold `.clone(` (42) are fine.
+    assert!(
+        !findings.iter().any(|f| f.line == 36 || f.line == 42),
+        "{findings:?}"
+    );
+}
+
+#[test]
 fn no_println_detects_output_macros_and_skips_decoys() {
     let findings = lint_source(
         "crates/skyline/src/out.rs",

@@ -18,6 +18,48 @@
 use crate::vct::CoreTimeSweep;
 use temporal_graph::{EdgeId, TemporalGraph, TimeWindow, Timestamp, T_INFINITY};
 
+/// Recycled per-edge window tables for the query hot path.
+///
+/// [`EdgeCoreSkyline::restrict_with`] and the boundary-stitch composition
+/// (see [`crate::shard`]) run once per query; allocating a fresh
+/// `Vec<Vec<TimeWindow>>` there dominated their cost on cache hits.  A
+/// scratch pool keeps the tables of retired skylines and hands them back
+/// with their row capacity intact, so steady-state queries allocate nothing
+/// (machine-checked by `tkc-lint`'s `hot-path-alloc` rule).
+#[derive(Debug, Default)]
+pub struct SkylineScratch {
+    tables: Vec<Vec<Vec<TimeWindow>>>,
+}
+
+impl SkylineScratch {
+    /// Takes a table with exactly `num_edges` cleared rows, reusing the row
+    /// capacity of recycled tables when one is pooled.
+    pub(crate) fn take(&mut self, num_edges: usize) -> Vec<Vec<TimeWindow>> {
+        let mut table = self.tables.pop().unwrap_or_default();
+        for row in &mut table {
+            row.clear();
+        }
+        if table.len() < num_edges {
+            table.resize_with(num_edges, Vec::new);
+        } else {
+            table.truncate(num_edges);
+        }
+        table
+    }
+
+    /// Returns a retired skyline's storage to the pool so later queries can
+    /// reuse its capacity.
+    pub fn recycle(&mut self, skyline: EdgeCoreSkyline) {
+        self.tables.push(skyline.windows);
+    }
+
+    /// Moves every pooled table of `other` into `self` (used to hand a
+    /// thread-local scratch back to a shared pool).
+    pub fn absorb(&mut self, mut other: SkylineScratch) {
+        self.tables.append(&mut other.tables);
+    }
+}
+
 /// The edge core window skylines of every temporal edge in the query range.
 #[derive(Debug, Clone)]
 pub struct EdgeCoreSkyline {
@@ -69,7 +111,25 @@ impl EdgeCoreSkyline {
     ///
     /// # Panics
     /// Panics if `range` is not contained in [`EdgeCoreSkyline::range`].
+    // tkc-lint: hot
     pub fn restrict(&self, graph: &TemporalGraph, range: TimeWindow) -> Self {
+        self.restrict_with(graph, range, &mut SkylineScratch::default())
+    }
+
+    /// [`EdgeCoreSkyline::restrict`] writing into a caller-provided scratch
+    /// pool: the per-edge window table is taken from (and its storage later
+    /// returned to, via [`SkylineScratch::recycle`]) `scratch`, so a warm
+    /// pool makes restriction allocation-free per query.
+    ///
+    /// # Panics
+    /// Panics if `range` is not contained in [`EdgeCoreSkyline::range`].
+    // tkc-lint: hot
+    pub fn restrict_with(
+        &self,
+        graph: &TemporalGraph,
+        range: TimeWindow,
+        scratch: &mut SkylineScratch,
+    ) -> Self {
         assert!(
             self.range.contains_window(&range),
             "cannot restrict a skyline built for {} to the non-sub-range {}",
@@ -79,9 +139,9 @@ impl EdgeCoreSkyline {
         let edge_range = graph.edge_ids_in(range);
         let first_edge = edge_range.start;
         let num_edges = (edge_range.end - edge_range.start) as usize;
-        let mut windows: Vec<Vec<TimeWindow>> = vec![Vec::new(); num_edges];
+        let mut windows = scratch.take(num_edges);
         let mut total_windows = 0usize;
-        for id in edge_range.clone() {
+        for id in edge_range {
             let Some(old_local) = id.checked_sub(self.first_edge) else {
                 continue;
             };
@@ -94,7 +154,7 @@ impl EdgeCoreSkyline {
             let lo = full.partition_point(|w| w.start() < range.start());
             let hi = full.partition_point(|w| w.end() <= range.end());
             if lo < hi {
-                windows[(id - first_edge) as usize] = full[lo..hi].to_vec();
+                windows[(id - first_edge) as usize].extend_from_slice(&full[lo..hi]);
                 total_windows += hi - lo;
             }
         }

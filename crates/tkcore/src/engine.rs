@@ -63,7 +63,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use crate::ecs::EdgeCoreSkyline;
+use crate::ecs::{EdgeCoreSkyline, SkylineScratch};
 use crate::error::TkError;
 use crate::exec::{run_batch_inner, ExecPool};
 use crate::query::{Algorithm, QueryStats, TimeRangeKCoreQuery};
@@ -321,6 +321,9 @@ struct EngineInner {
     config: EngineConfig,
     cache: Mutex<SkylineCache>,
     pool: OnceLock<Arc<ExecPool>>,
+    /// Pooled restriction buffers: taken whole per query, handed back via
+    /// `absorb`; never held across another lock.
+    scratch: Mutex<SkylineScratch>,
 }
 
 impl QueryEngine {
@@ -338,6 +341,7 @@ impl QueryEngine {
                 config,
                 cache,
                 pool: OnceLock::new(),
+                scratch: Mutex::new(SkylineScratch::default()),
             }),
         }
     }
@@ -509,13 +513,19 @@ impl EngineInner {
             Algorithm::Enum | Algorithm::EnumBase => {
                 let t0 = Instant::now();
                 let span_skyline = self.span_skyline(k);
-                let restricted = span_skyline.restrict(&self.graph, range);
+                // Take the whole scratch pool (short lock, guard dropped
+                // immediately), reuse its buffers for the restriction, merge
+                // it back once the restricted skyline is retired.
+                let mut scratch = std::mem::take(&mut *sync::lock(&self.scratch));
+                let restricted = span_skyline.restrict_with(&self.graph, range, &mut scratch);
                 let precompute_time = t0.elapsed();
                 let mut stats = clamped
                     .run_with_skyline(&self.graph, &restricted, algorithm, sink)
                     // tkc-lint: allow(no-panic-api) — restrict() targets exactly the clamped range, so validation cannot reject it
                     .expect("restricted skyline matches the clamped query by construction");
                 stats.precompute_time = precompute_time;
+                scratch.recycle(restricted);
+                sync::lock(&self.scratch).absorb(scratch);
                 stats
             }
             Algorithm::Otcd | Algorithm::Naive => clamped.run_with(&self.graph, algorithm, sink),

@@ -212,6 +212,7 @@ fn worker_loop(shared: &PoolShared, worker: usize) {
                 if !state.open {
                     return; // closed and fully drained
                 }
+                // tkc-lint: allow(no-blocking-in-worker) — the idle wait IS the scheduler loop: it blocks only when no work is queued, and close() wakes every sleeper
                 state = sync::wait(&shared.work_ready, state);
             }
         };
@@ -263,6 +264,7 @@ where
     drain_batch(&batch, run.as_ref(), len);
     let mut remaining = sync::lock(&batch.remaining);
     while *remaining > 0 {
+        // tkc-lint: allow(no-blocking-in-worker) — claim-alongside-helpers: the calling worker drained batch indexes itself above, so every index it can wait on is owned by an already-running thread, never queued behind this one
         remaining = sync::wait(&batch.done, remaining);
     }
     drop(remaining);

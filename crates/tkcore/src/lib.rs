@@ -153,6 +153,36 @@
 //!   the CLI and bench binaries.
 //! * **forbid-unsafe** — every non-compat crate root carries
 //!   `#![forbid(unsafe_code)]`, uniformly and enforced.
+//!
+//! ## Interprocedural invariants
+//!
+//! Three rules run over a workspace-wide symbol table and call graph
+//! (suffix-resolved; `cargo run -p tkc-lint -- --graph` prints the
+//! resolution statistics):
+//!
+//! * **lock-order-global** — held-lock propagation across calls: a fn
+//!   holding lock A that calls a fn which (transitively) acquires lock B
+//!   contributes the edge A→B, and the combined workspace graph stays
+//!   acyclic.  This is what rules out the composed deadlocks no single
+//!   function exhibits — e.g. a service path holding a cache lock while
+//!   calling into shard code that takes the stats lock, composed with the
+//!   reverse order elsewhere.
+//! * **no-blocking-in-worker** — no fn reachable from a closure handed to
+//!   [`exec::ExecPool::spawn`] / `spawn_on` / `run_batch` blocks
+//!   (`Ticket::wait`, `Condvar::wait`, `JoinHandle::join`,
+//!   [`sync::wait`]): a worker waiting on work only another worker can
+//!   finish deadlocks the pool.  The two sanctioned waits in `exec.rs`
+//!   (the idle scheduler loop; the claim-alongside-helpers batch join)
+//!   carry pragmas explaining why they cannot.
+//! * **hot-path-alloc** — fns marked `// tkc-lint: hot` (the CoreTime
+//!   sweep's [`CoreTimeSweep::advance`], [`EdgeCoreSkyline::restrict`] /
+//!   `restrict_with`, and the boundary-stitch merge) and everything
+//!   uniquely reachable from them within `tkcore` allocate nothing per
+//!   call; restriction and stitching draw per-edge window tables from a
+//!   pooled [`SkylineScratch`] instead.  Skyline *construction*
+//!   (`EdgeCoreSkyline::build` / `build_from_sweep`) is deliberately not
+//!   seeded: it runs once per `(k, shard)` and is amortised by the
+//!   skyline caches, so its allocations are build-time, not per-query.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -179,7 +209,7 @@ pub mod sync;
 mod vct;
 
 pub use backend::{CachedBackend, CoreBackend};
-pub use ecs::EdgeCoreSkyline;
+pub use ecs::{EdgeCoreSkyline, SkylineScratch};
 pub use engine::{
     BatchStats, BoundaryCacheStats, CacheStats, EngineConfig, QueryEngine, ShardCacheStats,
 };

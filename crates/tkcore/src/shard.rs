@@ -69,7 +69,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::backend::{validate_query, CoreBackend};
-use crate::ecs::EdgeCoreSkyline;
+use crate::ecs::{EdgeCoreSkyline, SkylineScratch};
 use crate::engine::{
     aggregate_batch, batch_executor, fan_out_batch, validate_batch, BatchStats, BoundaryCacheStats,
     CacheStats, EngineConfig, ShardCacheStats,
@@ -429,18 +429,22 @@ impl ResultSink for BoundarySink<'_> {
 /// contiguous containment slice of `crossing`, whose per-edge windows keep
 /// both endpoints strictly increasing).  A per-edge two-way merge by start
 /// time reproduces skyline order.  Cost: `O(|E_W| + |ECS_W|)` — the same as
-/// [`EdgeCoreSkyline::restrict`], with no CoreTime sweep.
+/// [`EdgeCoreSkyline::restrict`], with no CoreTime sweep.  The per-edge
+/// window table comes from `scratch`, so a warm pool makes composition
+/// allocation-free per query.
+// tkc-lint: hot
 fn compose_boundary_skyline(
     graph: &TemporalGraph,
     k: usize,
     window: TimeWindow,
     parts: &[EdgeCoreSkyline],
     crossing: &EdgeCoreSkyline,
+    scratch: &mut SkylineScratch,
 ) -> EdgeCoreSkyline {
     let edge_range = graph.edge_ids_in(window);
     let first_edge = edge_range.start;
     let num_edges = (edge_range.end - edge_range.start) as usize;
-    let mut windows: Vec<Vec<TimeWindow>> = vec![Vec::new(); num_edges];
+    let mut windows = scratch.take(num_edges);
     for id in edge_range {
         let cw = crossing.windows(id);
         let lo = cw.partition_point(|w| w.start() < window.start());
@@ -498,6 +502,10 @@ struct ShardInner {
     config: EngineConfig,
     cache: Mutex<ShardCache>,
     boundary: Mutex<BoundaryCache>,
+    /// Recycled per-edge window tables for restriction / stitch composition
+    /// (taken whole per query, handed back via `absorb`; never held across
+    /// another lock).
+    scratch: Mutex<SkylineScratch>,
     pool: OnceLock<Arc<ExecPool>>,
 }
 
@@ -531,6 +539,7 @@ impl ShardedEngine {
                 config,
                 cache,
                 boundary,
+                scratch: Mutex::new(SkylineScratch::default()),
                 pool: OnceLock::new(),
             }),
         })
@@ -782,6 +791,10 @@ impl ShardInner {
                 let stitch_cached = self.config.boundary_cache_entries > 0;
                 let mut total = QueryStats::zeroed(algorithm);
                 let mut parts: Vec<EdgeCoreSkyline> = Vec::new();
+                // Take the whole scratch pool for this query (short lock,
+                // guard dropped immediately); retired skylines are recycled
+                // into it and the pool is merged back at the end.
+                let mut scratch = std::mem::take(&mut *sync::lock(&self.scratch));
 
                 // Intra-shard cores: restrict each overlapping shard's
                 // cached skyline to its part of the window.  The restricted
@@ -794,7 +807,7 @@ impl ShardInner {
                         .expect("overlapping shard intersects the window");
                     let t0 = Instant::now();
                     let skyline = self.shard_skyline(shard, k);
-                    let restricted = skyline.restrict(&self.graph, part);
+                    let restricted = skyline.restrict_with(&self.graph, part, &mut scratch);
                     let precompute = t0.elapsed();
                     let stats = TimeRangeKCoreQuery::validated(k, part)
                         .run_with_skyline(&self.graph, &restricted, algorithm, sink)
@@ -807,6 +820,8 @@ impl ShardInner {
                     total.peak_memory_bytes = total.peak_memory_bytes.max(stats.peak_memory_bytes);
                     if spanning && stitch_cached {
                         parts.push(restricted);
+                    } else {
+                        scratch.recycle(restricted);
                     }
                 }
 
@@ -823,7 +838,14 @@ impl ShardInner {
                     let stitched = if stitch_cached {
                         let (crossing, build_peak) = self.stitch_entry(lo, hi, k);
                         total.peak_memory_bytes = total.peak_memory_bytes.max(build_peak);
-                        compose_boundary_skyline(&self.graph, k, window, &parts, &crossing)
+                        compose_boundary_skyline(
+                            &self.graph,
+                            k,
+                            window,
+                            &parts,
+                            &crossing,
+                            &mut scratch,
+                        )
                     } else {
                         EdgeCoreSkyline::build(&self.graph, k, window)
                     };
@@ -854,7 +876,12 @@ impl ShardInner {
                         .peak_memory_bytes
                         .max(peak)
                         .max(stitched.memory_bytes());
+                    scratch.recycle(stitched);
                 }
+                for part in parts {
+                    scratch.recycle(part);
+                }
+                sync::lock(&self.scratch).absorb(scratch);
                 total
             }
         }

@@ -192,6 +192,7 @@ impl<'g> CoreTimeSweep<'g> {
 
     /// Advances to the next start time, returning it, or `None` when the end
     /// of the query range has been reached.
+    // tkc-lint: hot
     pub fn advance(&mut self) -> Option<Timestamp> {
         if self.current_ts >= self.range.end() {
             return None;
