@@ -50,6 +50,7 @@ fn main() {
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
         experiments = vec![
             "table3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "engine",
+            "ingest",
         ]
         .into_iter()
         .map(String::from)
@@ -68,9 +69,11 @@ fn main() {
             "fig11" => fig11(num_queries),
             "fig12" => fig12(),
             "engine" => engine_batch(num_queries.max(8)),
+            "ingest" => ingest_experiment(num_queries.max(6)),
             other => {
                 eprintln!(
-                    "unknown experiment `{other}` (expected table3, fig4..fig12, engine, all)"
+                    "unknown experiment `{other}` (expected table3, fig4..fig12, engine, \
+                     ingest, all)"
                 );
                 continue;
             }
@@ -80,11 +83,17 @@ fn main() {
         if let Err(e) = report.save_csv(OUT_DIR, experiment) {
             eprintln!("warning: could not save CSV for {experiment}: {e}");
         }
-        // The engine batch additionally lands as a checked-in JSON artifact
-        // at the workspace root, so timing regressions show up in review.
+        // The engine and ingest batches additionally land as checked-in
+        // JSON artifacts at the workspace root, so timing regressions show
+        // up in review.
         if experiment == "engine" {
             if let Err(e) = report.save_json("BENCH_engine.json") {
                 eprintln!("warning: could not save BENCH_engine.json: {e}");
+            }
+        }
+        if experiment == "ingest" {
+            if let Err(e) = report.save_json("BENCH_ingest.json") {
+                eprintln!("warning: could not save BENCH_ingest.json: {e}");
             }
         }
     }
@@ -575,6 +584,208 @@ fn engine_batch(num_queries: usize) -> Report {
                 ms(transient_time),
                 ms(stitched_time),
                 format!("{stitch_speedup:.1}x"),
+            ],
+        );
+    }
+    report
+}
+
+/// Shards of the ingest experiment's base plan (the last one is the live
+/// tail the stream grows).
+const INGEST_EXPERIMENT_SHARDS: usize = 4;
+
+/// Median of a latency sample.
+fn p50(mut sample: Vec<Duration>) -> Duration {
+    sample.sort();
+    sample.get(sample.len() / 2).copied().unwrap_or_default()
+}
+
+/// Ingest experiment (not in the paper): live append throughput and warm
+/// query latency *during* ingestion on the EM/CM profiles.  Each profile's
+/// timeline is split 70/30 into a base graph and an append stream; the
+/// stream is absorbed in batches into a 4-shard live engine under a
+/// `SpanWidth` seal policy while closed-window queries interleave with the
+/// batches.  The experiment asserts the incremental-maintenance contract —
+/// the closed shards of the base plan register **zero** skyline rebuilds
+/// across the whole stream — and reports the median closed-window query
+/// latency during ingest next to the same queries on a frozen (never
+/// appended) engine, plus the per-seal invalidation cost (average absorb
+/// time of sealing batches versus plain ones).
+fn ingest_experiment(num_queries: usize) -> Report {
+    let mut report = Report::new(
+        format!(
+            "Ingest: append throughput and warm closed-window query latency during \
+             ingestion ({INGEST_EXPERIMENT_SHARDS}-shard live engine, {num_queries} queries)"
+        ),
+        "dataset",
+        vec![
+            "events".into(),
+            "append events/s".into(),
+            "seals".into(),
+            "tail invalidations".into(),
+            "closed rebuilds".into(),
+            "p50 query during ingest".into(),
+            "p50 query frozen".into(),
+            "avg absorb".into(),
+            "avg sealing absorb".into(),
+        ],
+    );
+    for name in ["EM", "CM"] {
+        let profile = DatasetProfile::by_name(name).expect("profile");
+        let graph = profile.generate();
+        let tmax = graph.tmax();
+        let cutoff = (tmax * 7 / 10).max(1);
+        let mut base: Vec<(u64, u64, i64)> = Vec::new();
+        let mut stream: Vec<(u64, u64, u32)> = Vec::new();
+        for id in 0..graph.num_edges() {
+            let e = graph.edge(id as temporal_graph::EdgeId);
+            let (u, v) = (graph.label(e.u), graph.label(e.v));
+            if e.t <= cutoff {
+                base.push((u, v, i64::from(e.t)));
+            } else {
+                stream.push((u, v, e.t));
+            }
+        }
+        stream.sort_by_key(|&(_, _, t)| t);
+        if stream.is_empty() {
+            continue;
+        }
+        let base_graph = temporal_graph::TemporalGraphBuilder::new()
+            .timestamp_mode(temporal_graph::TimestampMode::Raw)
+            .with_edges(base)
+            .build()
+            .expect("base split is non-empty");
+        let stats = DatasetStats::compute(&base_graph);
+        let k = stats.k_for_percent(30);
+
+        // ~3 seals over the streamed 30% of the timeline.
+        let seal_width = ((tmax - cutoff) / 3).max(1);
+        let config = tkcore::EngineConfig {
+            seal_policy: tkcore::SealPolicy::SpanWidth(seal_width),
+            ..tkcore::EngineConfig::default()
+        };
+        let plan = tkcore::ShardPlan::FixedCount(INGEST_EXPERIMENT_SHARDS);
+        let live = tkcore::ShardedEngine::with_config(base_graph.clone(), plan.clone(), config)
+            .expect("fixed-count plan resolves");
+        let frozen = tkcore::ShardedEngine::new(base_graph.clone(), plan)
+            .expect("fixed-count plan resolves");
+
+        // Queries confined to the closed shards of the base plan, so their
+        // skylines must keep serving from cache throughout the stream.
+        let closed = live.sealed_shards();
+        let closed_end = live.shards()[closed - 1].end();
+        let workload = QueryWorkload::generate(
+            &base_graph,
+            &WorkloadConfig::paper_default(&stats, num_queries, profile.seed() ^ 0x1736),
+        );
+        let queries: Vec<TimeRangeKCoreQuery> = workload
+            .ranges
+            .iter()
+            .map(|r| {
+                let end = r.end().min(closed_end);
+                let start = r.start().min(end);
+                TimeRangeKCoreQuery::new(k, temporal_graph::TimeWindow::new(start, end))
+                    .expect("k >= 1")
+            })
+            .collect();
+
+        // Warm both engines identically before the stream starts.
+        for engine in [&live, &frozen] {
+            for query in &queries {
+                let mut sink = CountingSink::default();
+                engine.run_with(query, Algorithm::Enum, &mut sink).unwrap();
+            }
+        }
+        let before = live.cache_stats();
+        let closed_builds_before: u64 = before.per_shard[..closed].iter().map(|s| s.builds).sum();
+
+        // The stream: absorb batches, one closed-window query after each.
+        // Batches cut only on timestamp boundaries: a seal raises the
+        // append floor to the sealed batch's last timestamp, so a
+        // timestamp split across two batches would make the second one
+        // out-of-order.
+        let batch_size = 64;
+        let mut batches: Vec<Vec<(u64, u64, u32)>> = Vec::new();
+        for &event in &stream {
+            match batches.last_mut() {
+                Some(last)
+                    if last.len() < batch_size || last.last().map(|e| e.2) == Some(event.2) =>
+                {
+                    last.push(event);
+                }
+                _ => batches.push(vec![event]),
+            }
+        }
+        let mut absorb_time = Duration::ZERO;
+        let mut sealing_time = Duration::ZERO;
+        let mut sealing_batches = 0u32;
+        let mut plain_batches = 0u32;
+        let mut seals = 0u64;
+        let mut during = Vec::new();
+        for (i, batch) in batches.iter().enumerate() {
+            let t0 = Instant::now();
+            let absorb = live.absorb(batch).expect("stream is time-ordered");
+            let elapsed = t0.elapsed();
+            absorb_time += elapsed;
+            if absorb.sealed {
+                seals += 1;
+                sealing_time += elapsed;
+                sealing_batches += 1;
+            } else {
+                plain_batches += 1;
+            }
+            let query = &queries[i % queries.len()];
+            let mut sink = CountingSink::default();
+            let t1 = Instant::now();
+            live.run_with(query, Algorithm::Enum, &mut sink).unwrap();
+            during.push(t1.elapsed());
+            // Keep the tail skyline hot between batches, so every absorb
+            // actually purges a resident entry and the invalidation cost
+            // (purge + rebuild-on-demand) is part of what's measured.
+            let tail_window = temporal_graph::TimeWindow::new(closed_end + 1, live.graph().tmax());
+            let tail_query = TimeRangeKCoreQuery::new(k, tail_window).expect("k >= 1");
+            let mut tail_sink = CountingSink::default();
+            live.run_with(&tail_query, Algorithm::Enum, &mut tail_sink)
+                .unwrap();
+        }
+        let after = live.cache_stats();
+        let closed_builds_after: u64 = after.per_shard[..closed].iter().map(|s| s.builds).sum();
+        assert_eq!(
+            closed_builds_after, closed_builds_before,
+            "{name}: closed shards rebuilt during ingest"
+        );
+        let delta = tkcore::IngestDelta::between(&before, &after);
+
+        // The same query reps on the frozen engine.
+        let mut frozen_lat = Vec::new();
+        for i in 0..during.len() {
+            let query = &queries[i % queries.len()];
+            let mut sink = CountingSink::default();
+            let t1 = Instant::now();
+            frozen.run_with(query, Algorithm::Enum, &mut sink).unwrap();
+            frozen_lat.push(t1.elapsed());
+        }
+
+        let throughput = stream.len() as f64 / absorb_time.as_secs_f64().max(1e-9);
+        let avg = |total: Duration, n: u32| {
+            if n == 0 {
+                "-".to_string()
+            } else {
+                ms(total / n)
+            }
+        };
+        report.push(
+            name,
+            vec![
+                stream.len().to_string(),
+                format!("{throughput:.0}"),
+                seals.to_string(),
+                delta.tail_invalidations.to_string(),
+                (closed_builds_after - closed_builds_before).to_string(),
+                ms(p50(during)),
+                ms(p50(frozen_lat)),
+                avg(absorb_time - sealing_time, plain_batches),
+                avg(sealing_time, sealing_batches),
             ],
         );
     }

@@ -12,11 +12,11 @@
 
 use std::fmt::Write as _;
 use std::sync::Arc;
-use tkc_datasets::{DatasetProfile, DatasetStats};
+use tkc_datasets::{ArrivalProfile, DatasetProfile, DatasetStats, EventStream, EventStreamConfig};
 use tkcore::{
     Affinity, Algorithm, CacheStats, CachedBackend, CoreBackend, CoreService, CountingSink,
-    KOutput, QueryEngine, QueryRequest, ServiceConfig, ShardPlan, ShardedBackend, ShardedEngine,
-    TkError,
+    IngestDelta, IngestEvent, KOutput, QueryEngine, QueryRequest, SealPolicy, ServiceConfig,
+    ShardPlan, ShardedBackend, ShardedEngine, TkError,
 };
 
 /// Errors reported to the CLI user.
@@ -79,6 +79,29 @@ USAGE:
       one query per line, `k,start,end` (or just `k` for the whole time
       span; `#` starts a comment).  Prints per-query counts plus batch
       timing and cache statistics.
+
+  tkc ingest <edge-list> <events|-> [--shards <S>] [--workers <W>]
+            [--batch <B>] [--seal-edges <N> | --seal-span <T>]
+            [--queries <csv>] [--stats] [--affinity shared|shard]
+      Append a live event stream (`u v t` per line; `-` reads stdin) onto
+      the sharded engine built from the edge-list.  Events are absorbed in
+      batches of B (default 64) into the live tail shard; closed-shard
+      skylines stay resident, only tail entries are invalidated.
+      `--seal-edges N` / `--seal-span T` roll the tail into a closed shard
+      once it holds N edges / spans T timestamps (default: manual, a final
+      seal at end of stream).  `--workers W` drives the stream through a
+      CoreService's ingest lane instead of absorbing inline.  A rejected
+      batch (out-of-order or duplicate event) is retried event by event and
+      the rejects counted.  `--queries <csv>` runs a `k,start,end` batch
+      against the live engine after the stream drains; `--stats` prints the
+      ingest-side cache and service counters.
+
+  tkc gen-events <count> <output|-> [--vertices <V>] [--start-after <T>]
+            [--profile steady|bursty|jitter] [--seed <S>]
+      Write a deterministic live event stream (`u v t` per line; `-` prints
+      to stdout) whose timestamps start strictly after T — pipe it into
+      `tkc ingest`.  Profiles: steady (fixed rate), bursty (dense bursts
+      with quiet gaps), jitter (steady with out-of-order timestamps).
 
   tkc generate <profile> <output-file>
       Write the scaled synthetic analogue of one of the paper's datasets
@@ -157,6 +180,46 @@ pub enum Command {
         /// Lane routing of the service (`--affinity shared|shard`).
         affinity: Affinity,
     },
+    /// `tkc ingest <file> <events|-> ...`
+    Ingest {
+        /// Path of the base edge-list file.
+        path: String,
+        /// Path of the event stream (`u v t` per line), `-` for stdin.
+        events: String,
+        /// Time-interval shards of the base plan (the last is the live tail).
+        shards: usize,
+        /// Drive the stream through a CoreService ingest lane with this many
+        /// workers (0 = absorb inline on the engine).
+        workers: usize,
+        /// Events per absorb batch.
+        batch: usize,
+        /// Seal the tail once it holds this many edges (0 = off).
+        seal_edges: usize,
+        /// Seal the tail once it spans this many timestamps (0 = off).
+        seal_span: u32,
+        /// Run this `k,start,end` query CSV against the live engine after
+        /// the stream drains.
+        queries: Option<String>,
+        /// Print ingest-side cache/service counters.
+        stats: bool,
+        /// Lane routing of the service (`--affinity shared|shard`).
+        affinity: Affinity,
+    },
+    /// `tkc gen-events <count> <out|-> ...`
+    GenEvents {
+        /// Number of events to generate.
+        count: usize,
+        /// Output path, `-` for stdout.
+        output: String,
+        /// Vertex labels are drawn from `1..=vertices`.
+        vertices: u64,
+        /// Timestamps start strictly after this.
+        start_after: u32,
+        /// Arrival profile: `steady`, `bursty` or `jitter`.
+        profile: String,
+        /// RNG seed.
+        seed: u64,
+    },
     /// `tkc generate <profile> <out>`
     Generate {
         /// Profile name (e.g. `CM`).
@@ -195,6 +258,142 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             Ok(Command::Generate {
                 profile: profile.clone(),
                 output: output.clone(),
+            })
+        }
+        "ingest" => {
+            let path = it
+                .next()
+                .ok_or_else(|| CliError("ingest requires an edge-list path".into()))?
+                .clone();
+            let events = it
+                .next()
+                .ok_or_else(|| CliError("ingest requires an event stream path (or `-`)".into()))?
+                .clone();
+            let mut shards = 2usize;
+            let mut workers = 0usize;
+            let mut batch = 64usize;
+            let mut seal_edges = 0usize;
+            let mut seal_span = 0u32;
+            let mut queries = None;
+            let mut stats = false;
+            let mut affinity = Affinity::Shard;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let value = |what: &str| -> Result<&String, CliError> {
+                    rest.get(i + 1)
+                        .copied()
+                        .ok_or_else(|| CliError(format!("{what} requires a value")))
+                };
+                match flag {
+                    "--shards" => {
+                        shards = parse_num(value("--shards")?, "--shards")?;
+                        if shards == 0 {
+                            return Err(CliError(
+                                "--shards: live ingestion needs at least 1 shard".into(),
+                            ));
+                        }
+                        i += 1;
+                    }
+                    "--workers" => {
+                        workers = parse_num(value("--workers")?, "--workers")?;
+                        i += 1;
+                    }
+                    "--batch" => {
+                        batch = parse_num(value("--batch")?, "--batch")?.max(1);
+                        i += 1;
+                    }
+                    "--seal-edges" => {
+                        seal_edges = parse_num(value("--seal-edges")?, "--seal-edges")?;
+                        i += 1;
+                    }
+                    "--seal-span" => {
+                        seal_span = parse_num(value("--seal-span")?, "--seal-span")? as u32;
+                        i += 1;
+                    }
+                    "--queries" => {
+                        queries = Some(value("--queries")?.clone());
+                        i += 1;
+                    }
+                    "--affinity" => {
+                        affinity = parse_affinity(value("--affinity")?)?;
+                        i += 1;
+                    }
+                    "--stats" => stats = true,
+                    other => return Err(CliError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            if seal_edges > 0 && seal_span > 0 {
+                return Err(CliError(
+                    "--seal-edges and --seal-span are mutually exclusive".into(),
+                ));
+            }
+            Ok(Command::Ingest {
+                path,
+                events,
+                shards,
+                workers,
+                batch,
+                seal_edges,
+                seal_span,
+                queries,
+                stats,
+                affinity,
+            })
+        }
+        "gen-events" => {
+            let count = parse_num(
+                it.next()
+                    .ok_or_else(|| CliError("gen-events requires an event count".into()))?,
+                "gen-events count",
+            )?;
+            let output = it
+                .next()
+                .ok_or_else(|| CliError("gen-events requires an output path (or `-`)".into()))?
+                .clone();
+            let mut vertices = 100u64;
+            let mut start_after = 0u32;
+            let mut profile = String::from("steady");
+            let mut seed = 42u64;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let value = |what: &str| -> Result<&String, CliError> {
+                    rest.get(i + 1)
+                        .copied()
+                        .ok_or_else(|| CliError(format!("{what} requires a value")))
+                };
+                match flag {
+                    "--vertices" => {
+                        vertices = parse_num(value("--vertices")?, "--vertices")? as u64;
+                        i += 1;
+                    }
+                    "--start-after" => {
+                        start_after = parse_num(value("--start-after")?, "--start-after")? as u32;
+                        i += 1;
+                    }
+                    "--profile" => {
+                        profile = value("--profile")?.clone();
+                        i += 1;
+                    }
+                    "--seed" => {
+                        seed = parse_num(value("--seed")?, "--seed")? as u64;
+                        i += 1;
+                    }
+                    other => return Err(CliError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::GenEvents {
+                count,
+                output,
+                vertices,
+                start_after,
+                profile,
+                seed,
             })
         }
         "batch" => {
@@ -452,6 +651,40 @@ fn parse_query_csv(
     Ok(queries)
 }
 
+/// Parses an event stream: one `u v t` triple per whitespace-separated line,
+/// blank lines and `#` comments ignored.  `path` labels parse errors.
+fn parse_event_lines(path: &str, content: &str) -> Result<Vec<IngestEvent>, CliError> {
+    let mut events = Vec::new();
+    for (lineno, raw) in content.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| CliError(format!("{path}, line {}: {msg}", lineno + 1));
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 3 {
+            return Err(err(format!(
+                "expected `u v t`, got {} fields",
+                fields.len()
+            )));
+        }
+        let u: u64 = fields[0]
+            .parse()
+            .map_err(|_| err(format!("`{}` is not a vertex label", fields[0])))?;
+        let v: u64 = fields[1]
+            .parse()
+            .map_err(|_| err(format!("`{}` is not a vertex label", fields[1])))?;
+        let t: u32 = fields[2]
+            .parse()
+            .map_err(|_| err(format!("`{}` is not a timestamp", fields[2])))?;
+        events.push((u, v, t));
+    }
+    if events.is_empty() {
+        return Err(CliError(format!("{path} contains no events")));
+    }
+    Ok(events)
+}
+
 /// Writes the per-query result table of `tkc batch`.
 fn write_batch_rows(
     out: &mut String,
@@ -531,6 +764,67 @@ fn write_shard_builds(out: &mut String, cache: &CacheStats) {
                 boundary.resident_bytes as f64 / (1024.0 * 1024.0)
             );
         }
+    }
+}
+
+/// Writes the headline of a `tkc ingest` run.
+#[allow(clippy::too_many_arguments)]
+fn write_ingest_summary(
+    out: &mut String,
+    total: usize,
+    appended: u64,
+    rejected: u64,
+    seals: u64,
+    elapsed: std::time::Duration,
+    watermark: u32,
+    num_shards: usize,
+    sealed_shards: usize,
+) {
+    let rate = appended as f64 / elapsed.as_secs_f64().max(1e-9);
+    let _ = writeln!(
+        out,
+        "ingested {appended}/{total} events in {elapsed:?} ({rate:.0} events/s): \
+         {rejected} rejected, {seals} seals"
+    );
+    let _ = writeln!(
+        out,
+        "timeline: watermark {watermark}, {num_shards} shards ({sealed_shards} sealed)"
+    );
+}
+
+/// Writes the ingest-side counter movement plus the resulting cache state,
+/// and the ingest-lane breakdown when the stream ran through a service.
+fn write_ingest_stats(
+    out: &mut String,
+    before: &CacheStats,
+    after: &CacheStats,
+    service: Option<&tkcore::ServiceStats>,
+) {
+    let delta = IngestDelta::between(before, after);
+    let _ = writeln!(
+        out,
+        "ingest invalidations: {} tail skylines, {} boundary entries, {} seals, \
+         {} rebuilds, {:+} resident bytes",
+        delta.tail_invalidations,
+        delta.boundary_invalidations,
+        delta.seals,
+        delta.builds,
+        delta.resident_bytes_delta
+    );
+    write_cache_summary(out, after);
+    if let Some(stats) = service {
+        let lane = &stats.ingest;
+        let _ = writeln!(
+            out,
+            "ingest lane: {} submitted, {} completed, {} failed, {} events, {} seals, \
+             absorb {:?}",
+            lane.submitted,
+            lane.completed,
+            lane.failed,
+            lane.events_appended,
+            lane.seals,
+            lane.absorb_total
+        );
     }
 }
 
@@ -663,6 +957,257 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 write_cache_summary(&mut out, &batch.cache);
             }
         }
+        Command::Ingest {
+            path,
+            events,
+            shards,
+            workers,
+            batch,
+            seal_edges,
+            seal_span,
+            queries,
+            stats,
+            affinity,
+        } => {
+            let graph = temporal_graph::loader::read_edge_list(&path)?;
+            let label = if events == "-" {
+                "<stdin>".to_string()
+            } else {
+                events.clone()
+            };
+            let text = if events == "-" {
+                use std::io::Read as _;
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .map_err(|e| CliError(format!("cannot read stdin: {e}")))?;
+                buf
+            } else {
+                std::fs::read_to_string(&events)
+                    .map_err(|e| CliError(format!("cannot read {events}: {e}")))?
+            };
+            let stream = parse_event_lines(&label, &text)?;
+            let query_csv = queries
+                .map(|qpath| {
+                    std::fs::read_to_string(&qpath)
+                        .map_err(|e| CliError(format!("cannot read {qpath}: {e}")))
+                        .map(|content| (qpath, content))
+                })
+                .transpose()?;
+            let seal_policy = if seal_edges > 0 {
+                SealPolicy::EdgeCount(seal_edges)
+            } else if seal_span > 0 {
+                SealPolicy::SpanWidth(seal_span)
+            } else {
+                SealPolicy::Manual
+            };
+            let engine_config = tkcore::EngineConfig {
+                seal_policy,
+                ..tkcore::EngineConfig::default()
+            };
+            let mut appended = 0u64;
+            let mut rejected = 0u64;
+            let mut seals = 0u64;
+            if workers > 0 {
+                let config = ServiceConfig {
+                    queue_depth: query_csv
+                        .as_ref()
+                        .map_or(0, |(_, content)| content.lines().count())
+                        .max(8),
+                    workers,
+                    affinity,
+                    admission_memory_bytes: None,
+                    engine: engine_config,
+                };
+                let service =
+                    CoreService::start_sharded(graph, ShardPlan::FixedCount(shards), config)?;
+                let before = service.cache_stats();
+                let started = std::time::Instant::now();
+                for chunk in stream.chunks(batch) {
+                    match service.submit_append(chunk.to_vec()).and_then(|t| t.wait()) {
+                        Ok(reply) => {
+                            appended += reply.stats.appended as u64;
+                            seals += u64::from(reply.stats.sealed);
+                        }
+                        Err(_) => {
+                            // The batch was rejected wholesale (it contains an
+                            // out-of-order or duplicate event); retry one event
+                            // at a time so the good ones still land.
+                            for &event in chunk {
+                                match service.submit_append(vec![event]).and_then(|t| t.wait()) {
+                                    Ok(reply) => {
+                                        appended += reply.stats.appended as u64;
+                                        seals += u64::from(reply.stats.sealed);
+                                    }
+                                    Err(_) => rejected += 1,
+                                }
+                            }
+                        }
+                    }
+                }
+                let (watermark, num_shards, sealed_shards) = {
+                    let Some(engine) = service.sharded_engine() else {
+                        return Err(CliError("ingest service lost its sharded engine".into()));
+                    };
+                    if matches!(seal_policy, SealPolicy::Manual) {
+                        seals += u64::from(engine.seal_tail().sealed);
+                    }
+                    (
+                        engine.watermark(),
+                        engine.num_shards(),
+                        engine.sealed_shards(),
+                    )
+                };
+                let elapsed = started.elapsed();
+                write_ingest_summary(
+                    &mut out,
+                    stream.len(),
+                    appended,
+                    rejected,
+                    seals,
+                    elapsed,
+                    watermark,
+                    num_shards,
+                    sealed_shards,
+                );
+                if stats {
+                    let service_stats = service.stats();
+                    write_ingest_stats(
+                        &mut out,
+                        &before,
+                        &service.cache_stats(),
+                        Some(&service_stats),
+                    );
+                }
+                if let Some((qpath, content)) = query_csv {
+                    let parsed = parse_query_csv(&qpath, &content, watermark)?;
+                    let tickets: Vec<tkcore::Ticket> = parsed
+                        .iter()
+                        .map(|query| {
+                            let range = query.range();
+                            service.submit_with(
+                                QueryRequest::single(query.k(), range.start(), range.end()),
+                                Algorithm::Enum,
+                            )
+                        })
+                        .collect::<Result<_, TkError>>()?;
+                    let mut rows = Vec::with_capacity(tickets.len());
+                    for ticket in tickets {
+                        let reply = ticket.wait()?;
+                        let KOutput::Counts(counts) = &reply.response.outcomes[0].output else {
+                            unreachable!("ingest follow-up queries use count mode");
+                        };
+                        rows.push((counts.num_cores, counts.total_edges));
+                    }
+                    let _ = writeln!(out, "\nlive queries over the ingested timeline:");
+                    write_batch_rows(&mut out, &parsed, &rows);
+                }
+                service.shutdown();
+            } else {
+                let engine = Arc::new(ShardedEngine::with_config(
+                    graph,
+                    ShardPlan::FixedCount(shards),
+                    engine_config,
+                )?);
+                let before = engine.cache_stats();
+                let started = std::time::Instant::now();
+                for chunk in stream.chunks(batch) {
+                    match engine.absorb(chunk) {
+                        Ok(s) => {
+                            appended += s.appended as u64;
+                            seals += u64::from(s.sealed);
+                        }
+                        Err(_) => {
+                            for &event in chunk {
+                                match engine.absorb(std::slice::from_ref(&event)) {
+                                    Ok(s) => {
+                                        appended += s.appended as u64;
+                                        seals += u64::from(s.sealed);
+                                    }
+                                    Err(_) => rejected += 1,
+                                }
+                            }
+                        }
+                    }
+                }
+                if matches!(seal_policy, SealPolicy::Manual) {
+                    seals += u64::from(engine.seal_tail().sealed);
+                }
+                let elapsed = started.elapsed();
+                write_ingest_summary(
+                    &mut out,
+                    stream.len(),
+                    appended,
+                    rejected,
+                    seals,
+                    elapsed,
+                    engine.watermark(),
+                    engine.num_shards(),
+                    engine.sealed_shards(),
+                );
+                if stats {
+                    write_ingest_stats(&mut out, &before, &engine.cache_stats(), None);
+                }
+                if let Some((qpath, content)) = query_csv {
+                    let parsed = parse_query_csv(&qpath, &content, engine.watermark())?;
+                    let (results, _) = engine
+                        .run_batch_with(&parsed, Algorithm::Enum, |_| CountingSink::default())?;
+                    let rows: Vec<(u64, u64)> = results
+                        .iter()
+                        .map(|(sink, _)| (sink.num_cores, sink.total_edges))
+                        .collect();
+                    let _ = writeln!(out, "\nlive queries over the ingested timeline:");
+                    write_batch_rows(&mut out, &parsed, &rows);
+                }
+            }
+        }
+        Command::GenEvents {
+            count,
+            output,
+            vertices,
+            start_after,
+            profile,
+            seed,
+        } => {
+            let profile = match profile.as_str() {
+                "steady" => ArrivalProfile::Steady { events_per_tick: 4 },
+                "bursty" => ArrivalProfile::Bursty {
+                    burst: 16,
+                    quiet_ticks: 3,
+                },
+                "jitter" => ArrivalProfile::OutOfOrderJitter {
+                    events_per_tick: 4,
+                    jitter: 3,
+                },
+                other => {
+                    return Err(CliError(format!(
+                        "--profile: `{other}` is not steady, bursty or jitter"
+                    )))
+                }
+            };
+            let events = EventStream::generate(&EventStreamConfig {
+                num_events: count,
+                num_vertices: vertices,
+                start_after,
+                profile,
+                seed,
+            });
+            let mut text = String::with_capacity(events.len() * 12);
+            for (u, v, t) in &events {
+                let _ = writeln!(text, "{u} {v} {t}");
+            }
+            if output == "-" {
+                out.push_str(&text);
+            } else {
+                std::fs::write(&output, &text)
+                    .map_err(|e| CliError(format!("cannot write {output}: {e}")))?;
+                let _ = writeln!(
+                    out,
+                    "wrote {} events after t={start_after} to {output}",
+                    events.len()
+                );
+            }
+        }
         Command::Generate { profile, output } => {
             let profile = DatasetProfile::by_name(&profile).ok_or_else(|| {
                 CliError(format!("unknown profile `{profile}` (see `tkc profiles`)"))
@@ -738,7 +1283,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
                     ShardPlan::FixedCount(shards),
                 )?);
                 let backend = ShardedBackend::with_algorithm(Arc::clone(&engine), algorithm);
-                let response = request.run(engine.graph(), &backend)?;
+                let response = request.run(&engine.graph(), &backend)?;
                 (response, Some(engine.cache_stats()))
             } else {
                 match ks {
@@ -1265,6 +1810,170 @@ mod tests {
         assert!(served.contains(expected_row.trim_end()), "{served}");
         assert!(served.contains("via 2 service workers"), "{served}");
         assert!(served.contains("per-worker completed"), "{served}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_parses_flags_and_rejects_conflicting_seal_policies() {
+        assert_eq!(
+            parse_args(&strings(&[
+                "ingest",
+                "g.txt",
+                "-",
+                "--shards",
+                "4",
+                "--workers",
+                "2",
+                "--batch",
+                "32",
+                "--seal-edges",
+                "100",
+                "--stats",
+            ]))
+            .unwrap(),
+            Command::Ingest {
+                path: "g.txt".into(),
+                events: "-".into(),
+                shards: 4,
+                workers: 2,
+                batch: 32,
+                seal_edges: 100,
+                seal_span: 0,
+                queries: None,
+                stats: true,
+                affinity: Affinity::Shard,
+            }
+        );
+        assert!(parse_args(&strings(&[
+            "ingest",
+            "g.txt",
+            "ev.txt",
+            "--seal-edges",
+            "10",
+            "--seal-span",
+            "5",
+        ]))
+        .is_err());
+        assert!(parse_args(&strings(&["ingest", "g.txt", "ev.txt", "--shards", "0"])).is_err());
+        assert!(parse_args(&strings(&["ingest", "g.txt"])).is_err());
+        assert!(parse_args(&strings(&["gen-events", "ten", "-"])).is_err());
+    }
+
+    #[test]
+    fn gen_events_streams_into_ingest_and_live_queries_see_the_appends() {
+        let dir = std::env::temp_dir().join("tkc-cli-ingest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("fb.txt").to_string_lossy().to_string();
+        run(Command::Generate {
+            profile: "FB".into(),
+            output: graph_path.clone(),
+        })
+        .unwrap();
+        let base = temporal_graph::loader::read_edge_list(&graph_path).unwrap();
+
+        // Generate a steady stream past the base graph's watermark.
+        let events_path = dir.join("events.txt").to_string_lossy().to_string();
+        let written = run(Command::GenEvents {
+            count: 120,
+            output: events_path.clone(),
+            vertices: 60,
+            start_after: base.tmax(),
+            profile: "steady".into(),
+            seed: 9,
+        })
+        .unwrap();
+        assert!(written.contains("wrote 120 events"), "{written}");
+
+        // `-` prints the stream instead; it must parse back.
+        let stdout = run(Command::GenEvents {
+            count: 10,
+            output: "-".into(),
+            vertices: 20,
+            start_after: 5,
+            profile: "bursty".into(),
+            seed: 9,
+        })
+        .unwrap();
+        assert_eq!(parse_event_lines("<stdout>", &stdout).unwrap().len(), 10);
+
+        let queries_path = dir.join("queries.csv");
+        std::fs::write(&queries_path, "2\n").unwrap();
+
+        // Inline absorb with an edge-count seal policy.
+        let out = run(Command::Ingest {
+            path: graph_path.clone(),
+            events: events_path.clone(),
+            shards: 3,
+            workers: 0,
+            batch: 16,
+            seal_edges: 50,
+            seal_span: 0,
+            queries: Some(queries_path.to_string_lossy().to_string()),
+            stats: true,
+            affinity: Affinity::Shard,
+        })
+        .unwrap();
+        assert!(out.contains("ingested 120/120 events"), "{out}");
+        assert!(out.contains("0 rejected"), "{out}");
+        assert!(out.contains("seals"), "{out}");
+        assert!(out.contains("ingest invalidations:"), "{out}");
+        assert!(
+            out.contains("live queries over the ingested timeline:"),
+            "{out}"
+        );
+
+        // The same stream through a service's ingest lane, manual seal.
+        let served = run(Command::Ingest {
+            path: graph_path.clone(),
+            events: events_path.clone(),
+            shards: 3,
+            workers: 2,
+            batch: 16,
+            seal_edges: 0,
+            seal_span: 0,
+            queries: Some(queries_path.to_string_lossy().to_string()),
+            stats: true,
+            affinity: Affinity::Shard,
+        })
+        .unwrap();
+        assert!(served.contains("ingested 120/120 events"), "{served}");
+        assert!(served.contains("ingest lane:"), "{served}");
+        assert!(served.contains("1 seals"), "{served}");
+
+        // A jittered stream contains out-of-order events: they are rejected
+        // one by one while the in-order remainder still lands.
+        let jitter_path = dir.join("jitter.txt").to_string_lossy().to_string();
+        run(Command::GenEvents {
+            count: 100,
+            output: jitter_path.clone(),
+            vertices: 40,
+            start_after: base.tmax(),
+            profile: "jitter".into(),
+            seed: 4,
+        })
+        .unwrap();
+        let jittered = run(Command::Ingest {
+            path: graph_path.clone(),
+            events: jitter_path,
+            shards: 3,
+            workers: 0,
+            batch: 16,
+            seal_edges: 0,
+            seal_span: 0,
+            queries: None,
+            stats: false,
+            affinity: Affinity::Shard,
+        })
+        .unwrap();
+        let rejected: u64 = jittered
+            .split(" rejected")
+            .next()
+            .and_then(|s| s.rsplit(' ').next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        assert!(rejected > 0, "{jittered}");
+        assert!(!jittered.contains("ingested 0/"), "{jittered}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -22,4 +22,4 @@ pub use profiles::{
     DatasetProfile, TemporalRegime, ALL_PROFILES, FIGURE4_PROFILES, VARYING_PROFILES,
 };
 pub use stats::DatasetStats;
-pub use workload::{QueryWorkload, WorkloadConfig};
+pub use workload::{ArrivalProfile, EventStream, EventStreamConfig, QueryWorkload, WorkloadConfig};

@@ -110,10 +110,176 @@ impl QueryWorkload {
     }
 }
 
+/// Arrival shape of a live ingestion stream.
+///
+/// Drives [`EventStream::generate`]: `Steady` and `Bursty` produce
+/// time-ordered streams an appendable graph accepts wholesale, while
+/// `OutOfOrderJitter` deliberately perturbs timestamps so a fraction of the
+/// events regress behind the watermark — exactly the input the typed
+/// append-rejection path exists for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProfile {
+    /// A fixed number of events at every consecutive timestamp.
+    Steady {
+        /// Events emitted per timestamp tick.
+        events_per_tick: usize,
+    },
+    /// Dense bursts separated by quiet gaps: `burst` events land on one
+    /// timestamp, then the clock jumps `quiet_ticks` forward.
+    Bursty {
+        /// Events emitted in each burst (all on the same timestamp).
+        burst: usize,
+        /// Empty timestamps between consecutive bursts.
+        quiet_ticks: u32,
+    },
+    /// Steady arrival whose timestamps are each perturbed by up to
+    /// `jitter` ticks in either direction, producing occasional
+    /// out-of-order events in an otherwise advancing stream.
+    OutOfOrderJitter {
+        /// Events emitted per nominal timestamp tick.
+        events_per_tick: usize,
+        /// Maximum perturbation, in ticks, applied to each event.
+        jitter: u32,
+    },
+}
+
+/// Configuration of a generated live event stream.
+#[derive(Debug, Clone, Copy)]
+pub struct EventStreamConfig {
+    /// Number of events to emit.
+    pub num_events: usize,
+    /// Vertex labels are drawn uniformly from `1..=num_vertices`.
+    pub num_vertices: u64,
+    /// Every nominal timestamp is strictly greater than this (a base
+    /// graph's `tmax`, so the stream is appendable onto it).
+    pub start_after: Timestamp,
+    /// The arrival shape.
+    pub profile: ArrivalProfile,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Deterministic live-ingestion event stream generator.
+///
+/// Produces `(u, v, t)` label events suitable for
+/// `ShardedEngine::absorb` / `CoreService::submit_append` (and for the
+/// `tkc ingest` command's file/stdin format, one `u v t` triple per line).
+pub struct EventStream;
+
+impl EventStream {
+    /// Generates `config.num_events` events after `config.start_after`.
+    ///
+    /// Within one timestamp the endpoint pairs are rerolled to avoid
+    /// duplicate `(u, v, t)` occurrences where possible, so `Steady` and
+    /// `Bursty` streams append cleanly; `OutOfOrderJitter` streams keep
+    /// their perturbed timestamps and therefore contain events an
+    /// appendable graph rejects as out-of-order.
+    pub fn generate(config: &EventStreamConfig) -> Vec<(u64, u64, Timestamp)> {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let vertices = config.num_vertices.max(2);
+        let mut events = Vec::with_capacity(config.num_events);
+        let mut seen = std::collections::HashSet::new();
+        let mut tick = config.start_after.saturating_add(1);
+        let mut emitted_at_tick = 0usize;
+        for _ in 0..config.num_events {
+            let (per_tick, advance_by, jitter) = match config.profile {
+                ArrivalProfile::Steady { events_per_tick } => (events_per_tick.max(1), 1, 0),
+                ArrivalProfile::Bursty { burst, quiet_ticks } => {
+                    (burst.max(1), quiet_ticks.saturating_add(1), 0)
+                }
+                ArrivalProfile::OutOfOrderJitter {
+                    events_per_tick,
+                    jitter,
+                } => (events_per_tick.max(1), 1, jitter),
+            };
+            if emitted_at_tick >= per_tick {
+                tick = tick.saturating_add(advance_by);
+                emitted_at_tick = 0;
+            }
+            let t = if jitter == 0 {
+                tick
+            } else {
+                let offset = rng.random_range(-(jitter as i64)..=jitter as i64);
+                (tick as i64 + offset).max(config.start_after as i64 + 1) as Timestamp
+            };
+            let mut u = rng.random_range(1..=vertices);
+            let mut v = rng.random_range(1..=vertices);
+            for _ in 0..16 {
+                if u != v && seen.insert((u.min(v), u.max(v), t)) {
+                    break;
+                }
+                u = rng.random_range(1..=vertices);
+                v = rng.random_range(1..=vertices);
+            }
+            events.push((u, v, t));
+            emitted_at_tick += 1;
+        }
+        events
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::profiles::DatasetProfile;
+
+    #[test]
+    fn steady_streams_are_time_ordered_and_start_after_the_base() {
+        let config = EventStreamConfig {
+            num_events: 200,
+            num_vertices: 40,
+            start_after: 25,
+            profile: ArrivalProfile::Steady { events_per_tick: 5 },
+            seed: 11,
+        };
+        let events = EventStream::generate(&config);
+        assert_eq!(events.len(), 200);
+        let mut last = 0;
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v, t) in &events {
+            assert!(t > config.start_after);
+            assert!(t >= last, "steady streams never regress");
+            assert_ne!(u, v);
+            assert!(seen.insert((u.min(v), u.max(v), t)), "no duplicates");
+            last = t;
+        }
+        // 5 events per tick over 200 events spans 40 ticks.
+        assert_eq!(events.last().unwrap().2, 25 + 40);
+        assert_eq!(events, EventStream::generate(&config), "deterministic");
+    }
+
+    #[test]
+    fn bursty_streams_leave_quiet_gaps() {
+        let events = EventStream::generate(&EventStreamConfig {
+            num_events: 30,
+            num_vertices: 30,
+            start_after: 0,
+            profile: ArrivalProfile::Bursty {
+                burst: 10,
+                quiet_ticks: 4,
+            },
+            seed: 3,
+        });
+        let stamps: std::collections::BTreeSet<_> = events.iter().map(|e| e.2).collect();
+        assert_eq!(stamps.into_iter().collect::<Vec<_>>(), vec![1, 6, 11]);
+    }
+
+    #[test]
+    fn jittered_streams_contain_out_of_order_events() {
+        let events = EventStream::generate(&EventStreamConfig {
+            num_events: 300,
+            num_vertices: 50,
+            start_after: 10,
+            profile: ArrivalProfile::OutOfOrderJitter {
+                events_per_tick: 3,
+                jitter: 4,
+            },
+            seed: 7,
+        });
+        assert!(events.iter().all(|&(_, _, t)| t > 10));
+        let regressions = events.windows(2).filter(|w| w[1].2 < w[0].2).count();
+        assert!(regressions > 0, "jitter must produce out-of-order events");
+    }
 
     #[test]
     fn generates_requested_number_of_queries() {

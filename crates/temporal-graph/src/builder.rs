@@ -174,58 +174,73 @@ impl TemporalGraphBuilder {
             edges.dedup();
         }
 
-        let num_vertices = labels.len();
-        let tmax = edges.last().map(|e| e.t).unwrap_or(0);
+        Ok(assemble_graph(edges, labels))
+    }
+}
 
-        // Per-timestamp offsets.
-        let mut time_offsets = vec![0u32; tmax as usize + 2];
-        for e in &edges {
-            time_offsets[e.t as usize + 1] += 1;
-        }
-        for i in 1..time_offsets.len() {
-            time_offsets[i] += time_offsets[i - 1];
-        }
+/// Assembles the immutable per-timestamp and adjacency indexes of a
+/// [`TemporalGraph`] from normalised edges (dense vertex ids, `u < v`,
+/// sorted by `(t, u, v)`) and the dense-id → label table.
+///
+/// Shared between [`TemporalGraphBuilder::build`] and the appendable layer
+/// ([`crate::AppendableGraph`]), which must keep vertex ids stable across
+/// snapshots and therefore cannot go through the builder's label-sorted id
+/// assignment.
+pub(crate) fn assemble_graph(edges: Vec<TemporalEdge>, labels: Vec<u64>) -> TemporalGraph {
+    debug_assert!(edges
+        .windows(2)
+        .all(|w| { (w[0].t, w[0].u, w[0].v) <= (w[1].t, w[1].u, w[1].v) }));
+    let num_vertices = labels.len();
+    let tmax = edges.last().map(|e| e.t).unwrap_or(0);
 
-        // Adjacency grouped by distinct neighbour.
-        let mut incidences: Vec<(VertexId, VertexId, Timestamp, EdgeId)> =
-            Vec::with_capacity(edges.len() * 2);
-        for (id, e) in edges.iter().enumerate() {
-            incidences.push((e.u, e.v, e.t, id as EdgeId));
-            incidences.push((e.v, e.u, e.t, id as EdgeId));
-        }
-        incidences.sort_unstable();
+    // Per-timestamp offsets.
+    let mut time_offsets = vec![0u32; tmax as usize + 2];
+    for e in &edges {
+        time_offsets[e.t as usize + 1] += 1;
+    }
+    for i in 1..time_offsets.len() {
+        time_offsets[i] += time_offsets[i - 1];
+    }
 
-        let mut adj_offsets = vec![0u32; num_vertices + 1];
-        let mut groups: Vec<GroupEntry> = Vec::new();
-        let mut occurrences: Vec<(Timestamp, EdgeId)> = Vec::with_capacity(incidences.len());
-        let mut i = 0usize;
-        for u in 0..num_vertices as VertexId {
-            while i < incidences.len() && incidences[i].0 == u {
-                let neighbor = incidences[i].1;
-                let occ_start = occurrences.len() as u32;
-                while i < incidences.len() && incidences[i].0 == u && incidences[i].1 == neighbor {
-                    occurrences.push((incidences[i].2, incidences[i].3));
-                    i += 1;
-                }
-                groups.push(GroupEntry {
-                    neighbor,
-                    occ_start,
-                    occ_end: occurrences.len() as u32,
-                });
+    // Adjacency grouped by distinct neighbour.
+    let mut incidences: Vec<(VertexId, VertexId, Timestamp, EdgeId)> =
+        Vec::with_capacity(edges.len() * 2);
+    for (id, e) in edges.iter().enumerate() {
+        incidences.push((e.u, e.v, e.t, id as EdgeId));
+        incidences.push((e.v, e.u, e.t, id as EdgeId));
+    }
+    incidences.sort_unstable();
+
+    let mut adj_offsets = vec![0u32; num_vertices + 1];
+    let mut groups: Vec<GroupEntry> = Vec::new();
+    let mut occurrences: Vec<(Timestamp, EdgeId)> = Vec::with_capacity(incidences.len());
+    let mut i = 0usize;
+    for u in 0..num_vertices as VertexId {
+        while i < incidences.len() && incidences[i].0 == u {
+            let neighbor = incidences[i].1;
+            let occ_start = occurrences.len() as u32;
+            while i < incidences.len() && incidences[i].0 == u && incidences[i].1 == neighbor {
+                occurrences.push((incidences[i].2, incidences[i].3));
+                i += 1;
             }
-            adj_offsets[u as usize + 1] = groups.len() as u32;
+            groups.push(GroupEntry {
+                neighbor,
+                occ_start,
+                occ_end: occurrences.len() as u32,
+            });
         }
+        adj_offsets[u as usize + 1] = groups.len() as u32;
+    }
 
-        Ok(TemporalGraph {
-            num_vertices,
-            edges,
-            tmax,
-            time_offsets,
-            adj_offsets,
-            groups,
-            occurrences,
-            labels,
-        })
+    TemporalGraph {
+        num_vertices,
+        edges,
+        tmax,
+        time_offsets,
+        adj_offsets,
+        groups,
+        occurrences,
+        labels,
     }
 }
 

@@ -1,3 +1,4 @@
+use crate::Timestamp;
 use std::fmt;
 use std::io;
 
@@ -21,6 +22,25 @@ pub enum TemporalGraphError {
     },
     /// The builder produced a graph with no edges.
     EmptyGraph,
+    /// An appended event's timestamp precedes the appendable graph's write
+    /// watermark ([`crate::AppendableGraph`] requires events in
+    /// non-decreasing time order, strictly past the sealed prefix).
+    OutOfOrder {
+        /// The rejected event timestamp.
+        t: Timestamp,
+        /// The smallest timestamp the append API currently accepts.
+        watermark: Timestamp,
+    },
+    /// An appended event duplicates an edge occurrence already present at
+    /// the same timestamp.
+    DuplicateEvent {
+        /// First endpoint label of the rejected event.
+        u: u64,
+        /// Second endpoint label of the rejected event.
+        v: u64,
+        /// Timestamp of the rejected event.
+        t: Timestamp,
+    },
 }
 
 impl fmt::Display for TemporalGraphError {
@@ -34,6 +54,14 @@ impl fmt::Display for TemporalGraphError {
                 write!(f, "invalid edge: {message}")
             }
             TemporalGraphError::EmptyGraph => write!(f, "temporal graph has no edges"),
+            TemporalGraphError::OutOfOrder { t, watermark } => write!(
+                f,
+                "out-of-order append at t = {t}: the appendable graph accepts t >= {watermark}"
+            ),
+            TemporalGraphError::DuplicateEvent { u, v, t } => write!(
+                f,
+                "duplicate append: edge ({u}, {v}) already occurs at t = {t}"
+            ),
         }
     }
 }
@@ -70,6 +98,12 @@ mod tests {
             message: "self loop".into(),
         };
         assert!(e.to_string().contains("self loop"));
+        let e = TemporalGraphError::OutOfOrder { t: 3, watermark: 5 };
+        assert!(e.to_string().contains("t = 3"));
+        assert!(e.to_string().contains(">= 5"));
+        let e = TemporalGraphError::DuplicateEvent { u: 1, v: 2, t: 9 };
+        assert!(e.to_string().contains("(1, 2)"));
+        assert!(e.to_string().contains("t = 9"));
     }
 
     #[test]

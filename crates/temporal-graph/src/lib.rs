@@ -8,6 +8,8 @@
 //!   neighbour (each group stores the sorted list of edge occurrences shared
 //!   with that neighbour);
 //! * [`TemporalGraphBuilder`] — label/timestamp normalisation and validation;
+//! * [`AppendableGraph`] — a time-ordered append front over the immutable
+//!   representation, publishing `Arc`-swapped snapshots for live ingestion;
 //! * [`TimeWindow`] — inclusive `[start, end]` windows used for projections
 //!   and queries;
 //! * [`loader`] — plain-text edge list reader/writer (SNAP / KONECT style);
@@ -22,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod appendable;
 mod builder;
 mod error;
 pub mod generator;
@@ -29,6 +32,7 @@ mod graph;
 pub mod loader;
 mod window;
 
+pub use appendable::AppendableGraph;
 pub use builder::{TemporalGraphBuilder, TimestampMode};
 pub use error::TemporalGraphError;
 pub use graph::{NeighborGroup, TemporalEdge, TemporalGraph};

@@ -66,6 +66,7 @@ use std::time::{Duration, Instant};
 use crate::ecs::{EdgeCoreSkyline, SkylineScratch};
 use crate::error::TkError;
 use crate::exec::{run_batch_inner, ExecPool};
+use crate::ingest::SealPolicy;
 use crate::query::{Algorithm, QueryStats, TimeRangeKCoreQuery};
 use crate::request::QueryRequest;
 use crate::sink::{CountingSink, ResultSink};
@@ -97,6 +98,10 @@ pub struct EngineConfig {
     /// triggering query's window.  Ignored by the unsharded
     /// [`QueryEngine`].
     pub boundary_cache_entries: usize,
+    /// When a [`crate::ShardedEngine`]'s live tail shard is rolled into a
+    /// closed shard during ingest (see [`crate::ShardedEngine::absorb`]).
+    /// Ignored by the unsharded [`QueryEngine`].
+    pub seal_policy: SealPolicy,
 }
 
 impl Default for EngineConfig {
@@ -105,6 +110,7 @@ impl Default for EngineConfig {
             memory_budget_bytes: 256 * 1024 * 1024,
             num_threads: 0,
             boundary_cache_entries: 32,
+            seal_policy: SealPolicy::Manual,
         }
     }
 }
@@ -131,6 +137,17 @@ pub struct CacheStats {
     /// Counters of the boundary-stitch index cache (always zero for the
     /// unsharded [`QueryEngine`]; see [`crate::shard`]).
     pub boundary: BoundaryCacheStats,
+    /// Tail-shard `(shard, k)` skylines dropped by ingest
+    /// ([`crate::ShardedEngine::absorb`]): closed-shard skylines are never
+    /// invalidated, so this counts exactly the rebuilds ingest can cause.
+    /// Always zero for the unsharded [`QueryEngine`].
+    pub tail_invalidations: u64,
+    /// Boundary-stitch entries whose shard range touches the live tail
+    /// dropped by ingest.  Always zero for the unsharded [`QueryEngine`].
+    pub boundary_invalidations: u64,
+    /// Times the live tail shard was rolled into a closed shard (see
+    /// [`SealPolicy`] and [`crate::ShardedEngine::seal_tail`]).
+    pub seals: u64,
 }
 
 /// Counters of the boundary-stitch index cache of a
@@ -260,6 +277,9 @@ impl SkylineCache {
             resident_indexes: self.entries.len(),
             per_shard: Vec::new(),
             boundary: BoundaryCacheStats::default(),
+            tail_invalidations: 0,
+            boundary_invalidations: 0,
+            seals: 0,
         }
     }
 }
@@ -317,7 +337,7 @@ pub struct QueryEngine {
 /// The shared core of a [`QueryEngine`]: everything a batch task needs,
 /// behind one `Arc` so tasks handed to the persistent pool are `'static`.
 struct EngineInner {
-    graph: TemporalGraph,
+    graph: Arc<TemporalGraph>,
     config: EngineConfig,
     cache: Mutex<SkylineCache>,
     pool: OnceLock<Arc<ExecPool>>,
@@ -337,7 +357,7 @@ impl QueryEngine {
         let cache = Mutex::new(SkylineCache::new(config.memory_budget_bytes));
         Self {
             inner: Arc::new(EngineInner {
-                graph,
+                graph: Arc::new(graph),
                 config,
                 cache,
                 pool: OnceLock::new(),
@@ -373,6 +393,12 @@ impl QueryEngine {
     /// The graph this engine serves queries against.
     pub fn graph(&self) -> &TemporalGraph {
         &self.inner.graph
+    }
+
+    /// The graph behind a cheap shared handle (used by the serving layer,
+    /// whose sharded sibling can only hand out owned snapshots).
+    pub(crate) fn graph_arc(&self) -> Arc<TemporalGraph> {
+        Arc::clone(&self.inner.graph)
     }
 
     /// Current cache counters (cumulative since construction).

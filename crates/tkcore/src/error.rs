@@ -93,6 +93,30 @@ pub enum TkError {
         /// The rendered underlying error.
         detail: String,
     },
+    /// An ingest event arrived out of time order: live appends must carry
+    /// non-decreasing timestamps strictly past the sealed watermark.
+    AppendOutOfOrder {
+        /// The rejected event timestamp.
+        t: Timestamp,
+        /// The smallest timestamp the ingest lane currently accepts.
+        watermark: Timestamp,
+    },
+    /// An ingest event duplicates an edge occurrence already present at the
+    /// same timestamp.
+    AppendDuplicate {
+        /// First endpoint label of the rejected event.
+        u: u64,
+        /// Second endpoint label of the rejected event.
+        v: u64,
+        /// Timestamp of the rejected event.
+        t: Timestamp,
+    },
+    /// An ingest batch was refused before any event was applied (a self
+    /// loop or malformed event, or the target engine does not ingest).
+    AppendRejected {
+        /// Human-readable description of the rejection.
+        detail: String,
+    },
 }
 
 impl fmt::Display for TkError {
@@ -144,6 +168,17 @@ impl fmt::Display for TkError {
                 write!(f, "a service worker panicked while executing: {detail}")
             }
             TkError::Io { detail } => write!(f, "I/O error: {detail}"),
+            TkError::AppendOutOfOrder { t, watermark } => write!(
+                f,
+                "out-of-order append at t = {t}: the ingest lane accepts t >= {watermark}"
+            ),
+            TkError::AppendDuplicate { u, v, t } => write!(
+                f,
+                "duplicate append: edge ({u}, {v}) already occurs at t = {t}"
+            ),
+            TkError::AppendRejected { detail } => {
+                write!(f, "append rejected: {detail}")
+            }
         }
     }
 }
@@ -154,6 +189,22 @@ impl From<std::io::Error> for TkError {
     fn from(e: std::io::Error) -> Self {
         TkError::Io {
             detail: e.to_string(),
+        }
+    }
+}
+
+impl From<temporal_graph::TemporalGraphError> for TkError {
+    fn from(e: temporal_graph::TemporalGraphError) -> Self {
+        use temporal_graph::TemporalGraphError as G;
+        match e {
+            G::OutOfOrder { t, watermark } => TkError::AppendOutOfOrder { t, watermark },
+            G::DuplicateEvent { u, v, t } => TkError::AppendDuplicate { u, v, t },
+            G::Io(io) => TkError::Io {
+                detail: io.to_string(),
+            },
+            other => TkError::AppendRejected {
+                detail: other.to_string(),
+            },
         }
     }
 }
@@ -212,11 +263,39 @@ mod tests {
                 },
                 "gone",
             ),
+            (
+                TkError::AppendOutOfOrder { t: 3, watermark: 5 },
+                "out-of-order",
+            ),
+            (TkError::AppendDuplicate { u: 1, v: 2, t: 9 }, "(1, 2)"),
+            (
+                TkError::AppendRejected {
+                    detail: "self loop".into(),
+                },
+                "self loop",
+            ),
         ];
         for (err, needle) in cases {
             let rendered = err.to_string();
             assert!(rendered.contains(needle), "{rendered:?} vs {needle:?}");
         }
+    }
+
+    #[test]
+    fn graph_append_errors_convert() {
+        use temporal_graph::TemporalGraphError as G;
+        assert!(matches!(
+            TkError::from(G::OutOfOrder { t: 2, watermark: 4 }),
+            TkError::AppendOutOfOrder { t: 2, watermark: 4 }
+        ));
+        assert!(matches!(
+            TkError::from(G::DuplicateEvent { u: 1, v: 2, t: 3 }),
+            TkError::AppendDuplicate { u: 1, v: 2, t: 3 }
+        ));
+        assert!(matches!(
+            TkError::from(G::EmptyGraph),
+            TkError::AppendRejected { .. }
+        ));
     }
 
     #[test]

@@ -80,6 +80,34 @@
 //! The transient index is dropped after the query, so resident memory stays
 //! bounded by the per-shard cache budget.
 //!
+//! # Live ingestion
+//!
+//! The sharded stack is **appendable**: the last shard of the plan is a
+//! live tail that [`ShardedEngine::absorb`] grows with batches of
+//! time-ordered events (through a
+//! [`temporal_graph::AppendableGraph`], which rejects out-of-order and
+//! duplicate events with typed errors and publishes each batch as one
+//! atomic `Arc`-swapped snapshot).  The maintenance is **incremental**:
+//!
+//! * an absorb dirties only the tail — tail-shard `(shard, k)` skylines
+//!   and tail-touching boundary-stitch entries are purged (counted in
+//!   [`CacheStats::tail_invalidations`] /
+//!   [`CacheStats::boundary_invalidations`]), while **closed-shard
+//!   skylines stay resident and valid** because appends land strictly past
+//!   the seal watermark and therefore never move a closed shard's edges or
+//!   `EdgeId`s;
+//! * a [`SealPolicy`] (`EdgeCount`, `SpanWidth`, or `Manual` via
+//!   [`ShardedEngine::seal_tail`]) rolls the live tail into a closed shard
+//!   ([`CacheStats::seals`]); the next advancing batch opens a fresh tail;
+//! * queries capture one immutable live view at entry, so a query racing
+//!   an absorb observes either none of the batch or all of it — ingestion
+//!   and queries serialize only at the snapshot swap;
+//! * [`CoreService::submit_append`] queues batches on the service's
+//!   **ingest lane** (same admission control as queries, absorbed on the
+//!   worker owning the tail shard's cache partition, broken out in
+//!   [`ServiceStats::ingest`]), and the `tkc ingest` CLI command drives
+//!   file/stdin event streams through it.
+//!
 //! # Example
 //!
 //! ```
@@ -195,6 +223,7 @@ mod enumerate;
 mod error;
 pub mod exec;
 mod historical;
+pub mod ingest;
 pub mod naive;
 mod otcd;
 pub mod paper_example;
@@ -218,6 +247,7 @@ pub use enumerate::{enumerate, enumerate_from_graph, EnumStats};
 pub use error::TkError;
 pub use exec::ExecPool;
 pub use historical::{historical_core_from_skyline, HistoricalKCoreIndex};
+pub use ingest::{AbsorbStats, IngestEvent, SealPolicy};
 pub use naive::{core_edges_of_window, enumerate_naive, naive_results};
 pub use otcd::{run_otcd, OtcdStats};
 pub use query::{Algorithm, QueryStats, TimeRangeKCoreQuery};
@@ -226,10 +256,10 @@ pub use request::{
 };
 pub use result::TemporalKCore;
 pub use service::{
-    Affinity, CoreService, LatencyHistogram, RequestId, ServiceConfig, ServiceReply, ServiceStats,
-    Ticket, WorkerStats,
+    Affinity, CoreService, IngestLaneStats, IngestReply, IngestTicket, LatencyHistogram, RequestId,
+    ServiceConfig, ServiceReply, ServiceStats, Ticket, WorkerStats,
 };
 pub use shard::{ShardPlan, ShardedBackend, ShardedEngine};
 pub use sink::{CollectingSink, CountingSink, FnSink, ResultSink};
-pub use stats::{FrameworkStats, ShardProfile};
+pub use stats::{FrameworkStats, IngestDelta, ShardProfile};
 pub use vct::{CoreTimeSweep, VertexCoreTimeIndex};

@@ -43,6 +43,7 @@ use std::time::{Duration, Instant};
 use crate::engine::{CacheStats, QueryEngine};
 use crate::error::TkError;
 use crate::exec::ExecPool;
+use crate::ingest::{AbsorbStats, IngestEvent};
 use crate::query::{Algorithm, QueryStats, TimeRangeKCoreQuery};
 use crate::request::{KOutcome, KOutput, OutputMode, QueryRequest, QueryResponse};
 use crate::shard::{ShardPlan, ShardedBackend, ShardedEngine};
@@ -166,6 +167,48 @@ impl Ticket {
     }
 }
 
+/// The completed reply to an admitted append batch.
+#[derive(Debug)]
+pub struct IngestReply {
+    /// The id handed out at submission.
+    pub id: RequestId,
+    /// What the absorb did: events appended, invalidations, seal outcome.
+    pub stats: AbsorbStats,
+    /// Time the batch spent queued before a worker picked it up.
+    pub queue_wait: Duration,
+    /// Wall-clock absorb time on the worker (append + publish + purge).
+    pub absorb_time: Duration,
+    /// Index of the worker thread that absorbed the batch.
+    pub worker: usize,
+}
+
+/// Handle to one admitted append batch; redeem it with
+/// [`IngestTicket::wait`].
+#[derive(Debug)]
+pub struct IngestTicket {
+    /// The id of the admitted batch.
+    pub id: RequestId,
+    rx: mpsc::Receiver<Result<IngestReply, TkError>>,
+}
+
+impl IngestTicket {
+    /// Blocks until the batch is absorbed (or the service shuts down, which
+    /// yields [`TkError::ServiceStopped`]).
+    ///
+    /// # Errors
+    /// Whatever the absorb produced — a typed append rejection applies to
+    /// the whole batch, which changed nothing — or
+    /// [`TkError::ServiceStopped`] if the worker exited before replying.
+    pub fn wait(self) -> Result<IngestReply, TkError> {
+        self.rx.recv().unwrap_or(Err(TkError::ServiceStopped))
+    }
+
+    /// Non-blocking probe: `None` while the batch is still in flight.
+    pub fn try_wait(&self) -> Option<Result<IngestReply, TkError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
 /// Base-10 histogram of per-request execution latencies.
 ///
 /// Bucket `i` counts requests faster than
@@ -251,6 +294,28 @@ pub struct ServiceStats {
     pub max_queue_depth: usize,
     /// Per-worker latency counters, one entry per pool worker.
     pub per_worker: Vec<WorkerStats>,
+    /// Ingest-lane breakdown ([`CoreService::submit_append`] traffic;
+    /// appends also count in the shared `admitted`/`completed` totals).
+    pub ingest: IngestLaneStats,
+}
+
+/// Ingest-lane counters of a [`CoreService`] (see [`ServiceStats::ingest`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestLaneStats {
+    /// Append batches admitted to the lanes.
+    pub submitted: u64,
+    /// Batches absorbed successfully.
+    pub completed: u64,
+    /// Batches rejected by the ingest path (out-of-order, duplicate,
+    /// malformed) or failed by a worker panic; each changed nothing.
+    pub failed: u64,
+    /// Events appended by successful batches.
+    pub events_appended: u64,
+    /// Tail seals triggered by absorbed batches (per the engine's
+    /// [`crate::SealPolicy`]).
+    pub seals: u64,
+    /// Summed worker-side absorb time of completed and failed batches.
+    pub absorb_total: Duration,
 }
 
 struct Job {
@@ -291,9 +356,11 @@ enum ServingEngine {
 }
 
 impl ServingEngine {
-    fn graph(&self) -> &TemporalGraph {
+    /// The engine's current graph snapshot (fixed for a span engine; the
+    /// latest published snapshot for a live sharded engine).
+    fn graph(&self) -> Arc<TemporalGraph> {
         match self {
-            ServingEngine::Span(engine) => engine.graph(),
+            ServingEngine::Span(engine) => engine.graph_arc(),
             ServingEngine::Sharded(engine) => engine.graph(),
         }
     }
@@ -492,7 +559,7 @@ impl CoreService {
         request: QueryRequest,
         algorithm: Algorithm,
     ) -> Result<Ticket, TkError> {
-        let validated = request.validate(self.engine.graph())?;
+        let validated = request.validate(&self.engine.graph())?;
         // Reading cache statistics takes the engine's cache mutex; doing it
         // before the state lock keeps the two locks unnested.
         let resident_over_budget = self
@@ -547,6 +614,75 @@ impl CoreService {
             execute_service_job(&engine, &shared, job, worker);
         });
         Ok(Ticket { id, rx })
+    }
+
+    /// Submits a batch of ingest events to the service's **ingest lane**:
+    /// the batch is queued like a request (same admission control and
+    /// accounting, broken out in [`ServiceStats::ingest`]) and absorbed on
+    /// a worker via [`ShardedEngine::absorb`].  Ingestion serializes with
+    /// concurrent queries only at the engine's snapshot swap, so queries
+    /// keep executing while batches land — and each observes either none of
+    /// a batch or all of it.
+    ///
+    /// Batches absorb in worker order, not submission order; submitters
+    /// needing strict event ordering should wait on each
+    /// [`IngestTicket`] before submitting the next batch (the engine
+    /// refuses out-of-order timestamps with a typed error either way).
+    ///
+    /// # Errors
+    /// * [`TkError::AppendRejected`] when the service runs a span-wide
+    ///   engine (only sharded engines have a live tail);
+    /// * [`TkError::BudgetExceeded`] when [`ServiceConfig::queue_depth`]
+    ///   requests are already waiting;
+    /// * [`TkError::ServiceStopped`] after [`CoreService::shutdown`].
+    pub fn submit_append(&self, events: Vec<IngestEvent>) -> Result<IngestTicket, TkError> {
+        let ServingEngine::Sharded(sharded) = &*self.engine else {
+            return Err(TkError::AppendRejected {
+                detail: "this service runs a span-wide engine; live ingestion needs a sharded \
+                         service (CoreService::start_sharded)"
+                    .into(),
+            });
+        };
+        let sharded = Arc::clone(sharded);
+        let mut state = self.shared.lock();
+        if !state.open {
+            return Err(TkError::ServiceStopped);
+        }
+        if state.queued >= self.config.queue_depth {
+            state.stats.rejected += 1;
+            return Err(TkError::BudgetExceeded {
+                resource: "request queue",
+                limit: self.config.queue_depth,
+            });
+        }
+        let id = RequestId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = mpsc::channel();
+        state.queued += 1;
+        state.stats.admitted += 1;
+        state.stats.ingest.submitted += 1;
+        state.stats.max_queue_depth = state.stats.max_queue_depth.max(state.queued);
+        drop(state);
+        let shared = Arc::clone(&self.shared);
+        let enqueued_at = Instant::now();
+        let pool = self
+            .pool
+            .as_ref()
+            // tkc-lint: allow(no-panic-api) — `pool` is Some from construction until close_and_join tears the service down
+            .expect("pool alive while the service is open");
+        // Route appends to the lane owning the tail shard's cache partition:
+        // that is the only partition an absorb invalidates.
+        let lane = {
+            let num_shards = sharded.num_shards();
+            lane_of_shard(
+                num_shards.saturating_sub(1),
+                num_shards,
+                pool.lane_lens().len(),
+            )
+        };
+        pool.spawn_on(lane, move |worker| {
+            execute_ingest_job(&sharded, &shared, id, &events, enqueued_at, &tx, worker);
+        });
+        Ok(IngestTicket { id, rx })
     }
 
     /// Chooses the lane for a request over `window` (see
@@ -663,6 +799,77 @@ fn execute_service_job(engine: &ServingEngine, shared: &ServiceShared, job: Job,
     let _ = job.reply.send(reply);
 }
 
+/// Runs one admitted append batch on pool worker `worker`: accounting,
+/// absorb with panic isolation, ingest-lane accounting, reply.
+fn execute_ingest_job(
+    sharded: &ShardedEngine,
+    shared: &ServiceShared,
+    id: RequestId,
+    events: &[IngestEvent],
+    enqueued_at: Instant,
+    reply: &mpsc::Sender<Result<IngestReply, TkError>>,
+    worker: usize,
+) {
+    {
+        let mut state = shared.lock();
+        state.queued -= 1;
+        state.in_flight += 1;
+    }
+    let queue_wait = enqueued_at.elapsed();
+    let t0 = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| sharded.absorb(events)));
+    let absorb_time = t0.elapsed();
+    let (result, panicked) = match outcome {
+        Ok(result) => (result, false),
+        Err(payload) => (
+            Err(TkError::WorkerPanicked {
+                detail: panic_detail(payload.as_ref()),
+            }),
+            true,
+        ),
+    };
+    {
+        let mut state = shared.lock();
+        state.in_flight -= 1;
+        let stats = &mut state.stats;
+        stats.completed += 1;
+        stats.queue_wait_total += queue_wait;
+        stats.execute_total += absorb_time;
+        if panicked {
+            stats.panicked += 1;
+        }
+        let lane = &mut stats.per_worker[worker];
+        lane.completed += 1;
+        lane.execute_total += absorb_time;
+        lane.latency.record(absorb_time);
+        if panicked {
+            lane.panicked += 1;
+        }
+        let ingest = &mut stats.ingest;
+        ingest.absorb_total += absorb_time;
+        match &result {
+            Ok(absorbed) => {
+                ingest.completed += 1;
+                ingest.events_appended += absorbed.appended as u64;
+                if absorbed.sealed {
+                    ingest.seals += 1;
+                }
+            }
+            Err(_) => ingest.failed += 1,
+        }
+    }
+    shared.drained.notify_all();
+    let reply_value = result.map(|stats| IngestReply {
+        id,
+        stats,
+        queue_wait,
+        absorb_time,
+        worker,
+    });
+    // The submitter may have dropped its ticket; that is not an error.
+    let _ = reply.send(reply_value);
+}
+
 /// Executes one validated request on the engine.  Count and materialize
 /// modes fan the per-`k` queries across the engine's batch path (which runs
 /// on the same pool, with this worker participating); stream mode runs
@@ -690,7 +897,10 @@ fn execute_job(
                 }
                 ServingEngine::Sharded(sharded) => {
                     let backend = ShardedBackend::with_algorithm(Arc::clone(sharded), algorithm);
-                    request.execute(sharded.graph(), &backend)
+                    // Capture one snapshot; a racing absorb publishes a new
+                    // one without invalidating this capture (the backend
+                    // serves any snapshot of its engine's lineage).
+                    request.execute(&sharded.graph(), &backend)
                 }
             }
         }

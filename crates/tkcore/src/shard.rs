@@ -63,9 +63,25 @@
 //! [`EngineConfig::boundary_cache_entries`] (LRU; `0` restores the
 //! transient rebuild) and its counters are reported in
 //! [`CacheStats::boundary`].
+//!
+//! # Live ingestion
+//!
+//! The last shard of the plan doubles as the **live tail**:
+//! [`ShardedEngine::absorb`] appends time-ordered events through an
+//! [`AppendableGraph`] and publishes each batch as a fresh immutable
+//! snapshot (an epoch-tagged [`Arc`]-swap, the only point where ingestion
+//! and queries serialize).  Because appends only land past the seal
+//! watermark, closed shards' edge slices — and every `EdgeId` inside
+//! them — never change, so **closed-shard skylines and stitch entries stay
+//! resident and valid across every append**; an absorb purges only the
+//! tail-shard skylines and the tail-touching stitch entries (counted in
+//! [`CacheStats::tail_invalidations`] / `boundary_invalidations`).  A
+//! [`crate::SealPolicy`] (or [`ShardedEngine::seal_tail`]) rolls the tail
+//! into a closed shard, making its indexes permanent; the next advancing
+//! batch opens a fresh tail.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::Instant;
 
 use crate::backend::{validate_query, CoreBackend};
@@ -76,11 +92,12 @@ use crate::engine::{
 };
 use crate::error::TkError;
 use crate::exec::ExecPool;
+use crate::ingest::{AbsorbStats, IngestEvent};
 use crate::query::{Algorithm, QueryStats, TimeRangeKCoreQuery};
 use crate::request::QueryRequest;
 use crate::sink::{CountingSink, ResultSink};
 use crate::sync;
-use temporal_graph::{EdgeId, TemporalGraph, TimeWindow, Timestamp};
+use temporal_graph::{AppendableGraph, EdgeId, TemporalGraph, TimeWindow, Timestamp};
 
 /// How to cut the graph's timeline `[1, tmax]` into contiguous shards.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -173,9 +190,36 @@ impl ShardPlan {
     }
 }
 
+/// How long a cached skyline or stitch entry stays correct under live
+/// ingestion.
+///
+/// Entries built over **closed** shards are [`Validity::Permanent`]: appends
+/// only land past the seal watermark, so a closed shard's edge slice (and
+/// every `EdgeId` inside it) never changes again.  Entries touching the live
+/// tail are tagged with the [`LiveState::epoch`] they were built at and die
+/// on the next absorb, which bumps the epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Validity {
+    /// Built over closed shards only; valid for the engine's lifetime.
+    Permanent,
+    /// Built against the live tail at this epoch; stale once the epoch
+    /// moves on.
+    Epoch(u64),
+}
+
+impl Validity {
+    fn is_current(self, epoch: u64) -> bool {
+        match self {
+            Validity::Permanent => true,
+            Validity::Epoch(e) => e == epoch,
+        }
+    }
+}
+
 struct ShardCacheEntry {
     skyline: Arc<EdgeCoreSkyline>,
     last_used: u64,
+    validity: Validity,
 }
 
 /// LRU cache of per-`(shard, k)` skylines with per-shard counters.
@@ -187,6 +231,8 @@ struct ShardCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    tail_invalidations: u64,
+    seals: u64,
     per_shard: Vec<ShardCacheStats>,
 }
 
@@ -200,6 +246,8 @@ impl ShardCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            tail_invalidations: 0,
+            seals: 0,
             per_shard: (0..num_shards)
                 .map(|shard| ShardCacheStats {
                     shard,
@@ -209,21 +257,61 @@ impl ShardCache {
         }
     }
 
-    fn get(&mut self, shard: usize, k: usize) -> Option<Arc<EdgeCoreSkyline>> {
+    /// Grows the per-shard counter table when an absorb opens a new tail
+    /// shard (shards are only ever appended, never reordered).
+    fn ensure_shards(&mut self, num_shards: usize) {
+        while self.per_shard.len() < num_shards {
+            self.per_shard.push(ShardCacheStats {
+                shard: self.per_shard.len(),
+                ..ShardCacheStats::default()
+            });
+        }
+    }
+
+    fn drop_entry(&mut self, key: (usize, usize)) -> bool {
+        let Some(removed) = self.entries.remove(&key) else {
+            return false;
+        };
+        let bytes = removed.skyline.memory_bytes();
+        self.resident_bytes -= bytes;
+        self.per_shard[key.0].resident_bytes -= bytes;
+        self.per_shard[key.0].resident_indexes -= 1;
+        true
+    }
+
+    /// A validity-aware hit requires the entry to be `Permanent` or built at
+    /// the caller's `epoch`; a stale tail entry that escaped the absorb-time
+    /// purge (an adopt racing the absorb) is dropped here and counted as
+    /// both a miss and a tail invalidation.
+    fn get(&mut self, shard: usize, k: usize, epoch: u64) -> Option<Arc<EdgeCoreSkyline>> {
         self.clock += 1;
         let clock = self.clock;
         match self.entries.get_mut(&(shard, k)) {
-            Some(entry) => {
+            Some(entry) if entry.validity.is_current(epoch) => {
                 entry.last_used = clock;
                 self.hits += 1;
                 self.per_shard[shard].hits += 1;
                 Some(Arc::clone(&entry.skyline))
+            }
+            Some(_) => {
+                self.drop_entry((shard, k));
+                self.tail_invalidations += 1;
+                self.misses += 1;
+                None
             }
             None => {
                 self.misses += 1;
                 None
             }
         }
+    }
+
+    /// Whether a currently valid entry is resident, without touching the
+    /// hit/miss counters (the `warm` probe).
+    fn is_resident(&self, shard: usize, k: usize, epoch: u64) -> bool {
+        self.entries
+            .get(&(shard, k))
+            .is_some_and(|e| e.validity.is_current(epoch))
     }
 
     /// Inserts a freshly built shard skyline unless another thread won the
@@ -234,6 +322,7 @@ impl ShardCache {
         shard: usize,
         k: usize,
         built: Arc<EdgeCoreSkyline>,
+        validity: Validity,
     ) -> Arc<EdgeCoreSkyline> {
         self.clock += 1;
         let clock = self.clock;
@@ -254,6 +343,7 @@ impl ShardCache {
                     ShardCacheEntry {
                         skyline: Arc::clone(&built),
                         last_used: clock,
+                        validity,
                     },
                 );
                 built
@@ -279,6 +369,55 @@ impl ShardCache {
         skyline
     }
 
+    /// Drops every non-permanent entry (the live tail's skylines) after an
+    /// absorb changed the tail, counting them into
+    /// [`CacheStats::tail_invalidations`].  Closed-shard skylines are
+    /// untouched — they stay resident and valid across every append.
+    // tkc-lint: hot
+    fn invalidate_tail(&mut self) -> u64 {
+        let mut dropped = 0u64;
+        let mut freed_total = 0usize;
+        let per_shard = &mut self.per_shard;
+        self.entries.retain(|key, entry| {
+            if entry.validity == Validity::Permanent {
+                return true;
+            }
+            let bytes = entry.skyline.memory_bytes();
+            freed_total += bytes;
+            per_shard[key.0].resident_bytes -= bytes;
+            per_shard[key.0].resident_indexes -= 1;
+            dropped += 1;
+            false
+        });
+        self.resident_bytes -= freed_total;
+        self.tail_invalidations += dropped;
+        dropped
+    }
+
+    /// Seals shard `tail` without a timeline change: entries built for it at
+    /// `epoch` cover exactly the sealed window and are upgraded to
+    /// [`Validity::Permanent`]; stale-epoch leftovers are dropped.
+    fn seal_shard(&mut self, tail: usize, epoch: u64) {
+        let mut freed_total = 0usize;
+        let per_shard = &mut self.per_shard;
+        self.entries.retain(|key, entry| {
+            if entry.validity.is_current(epoch) {
+                if entry.validity != Validity::Permanent {
+                    debug_assert_eq!(key.0, tail, "only the tail carries epoch validity");
+                    entry.validity = Validity::Permanent;
+                }
+                return true;
+            }
+            let bytes = entry.skyline.memory_bytes();
+            freed_total += bytes;
+            per_shard[key.0].resident_bytes -= bytes;
+            per_shard[key.0].resident_indexes -= 1;
+            false
+        });
+        self.resident_bytes -= freed_total;
+        self.seals += 1;
+    }
+
     fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits,
@@ -286,6 +425,9 @@ impl ShardCache {
             evictions: self.evictions,
             resident_bytes: self.resident_bytes,
             resident_indexes: self.entries.len(),
+            tail_invalidations: self.tail_invalidations,
+            boundary_invalidations: 0,
+            seals: self.seals,
             per_shard: self.per_shard.clone(),
             boundary: BoundaryCacheStats::default(),
         }
@@ -298,6 +440,7 @@ struct BoundaryEntry {
     /// usable through [`compose_boundary_skyline`]).
     crossing: Arc<EdgeCoreSkyline>,
     last_used: u64,
+    validity: Validity,
 }
 
 /// LRU cache of boundary-stitch entries, keyed by `(lo shard, hi shard, k)`.
@@ -309,6 +452,7 @@ struct BoundaryCache {
     builds: u64,
     hits: u64,
     evictions: u64,
+    invalidations: u64,
     resident_bytes: usize,
 }
 
@@ -321,14 +465,22 @@ impl BoundaryCache {
             builds: 0,
             hits: 0,
             evictions: 0,
+            invalidations: 0,
             resident_bytes: 0,
         }
     }
 
-    fn get(&mut self, lo: usize, hi: usize, k: usize) -> Option<Arc<EdgeCoreSkyline>> {
+    fn get(&mut self, lo: usize, hi: usize, k: usize, epoch: u64) -> Option<Arc<EdgeCoreSkyline>> {
         self.clock += 1;
         let clock = self.clock;
         let entry = self.entries.get_mut(&(lo, hi, k))?;
+        if !entry.validity.is_current(epoch) {
+            // A stale tail-touching entry that escaped the absorb purge.
+            let removed = self.entries.remove(&(lo, hi, k))?;
+            self.resident_bytes -= removed.crossing.memory_bytes();
+            self.invalidations += 1;
+            return None;
+        }
         entry.last_used = clock;
         self.hits += 1;
         Some(Arc::clone(&entry.crossing))
@@ -343,6 +495,7 @@ impl BoundaryCache {
         hi: usize,
         k: usize,
         built: Arc<EdgeCoreSkyline>,
+        validity: Validity,
     ) -> Arc<EdgeCoreSkyline> {
         self.clock += 1;
         let clock = self.clock;
@@ -360,6 +513,7 @@ impl BoundaryCache {
                     BoundaryEntry {
                         crossing: Arc::clone(&built),
                         last_used: clock,
+                        validity,
                     },
                 );
                 built
@@ -380,6 +534,41 @@ impl BoundaryCache {
             self.evictions += 1;
         }
         crossing
+    }
+
+    /// Drops every non-permanent entry (stitch entries whose shard range
+    /// touches the live tail) after an absorb changed the tail, counting
+    /// them into [`CacheStats::boundary_invalidations`].
+    // tkc-lint: hot
+    fn invalidate_tail(&mut self) -> u64 {
+        let mut dropped = 0u64;
+        let mut freed_total = 0usize;
+        self.entries.retain(|_, entry| {
+            if entry.validity == Validity::Permanent {
+                return true;
+            }
+            freed_total += entry.crossing.memory_bytes();
+            dropped += 1;
+            false
+        });
+        self.resident_bytes -= freed_total;
+        self.invalidations += dropped;
+        dropped
+    }
+
+    /// Seals the tail without a timeline change: current-epoch entries are
+    /// upgraded to [`Validity::Permanent`], stale-epoch leftovers dropped.
+    fn seal_range(&mut self, epoch: u64) {
+        let mut freed_total = 0usize;
+        self.entries.retain(|_, entry| {
+            if entry.validity.is_current(epoch) {
+                entry.validity = Validity::Permanent;
+                return true;
+            }
+            freed_total += entry.crossing.memory_bytes();
+            false
+        });
+        self.resident_bytes -= freed_total;
     }
 
     fn stats(&self) -> BoundaryCacheStats {
@@ -494,12 +683,75 @@ pub struct ShardedEngine {
     inner: Arc<ShardInner>,
 }
 
+/// One published, immutable view of the live engine: a graph snapshot plus
+/// the shard layout over it.  Queries clone the `Arc` once at entry and run
+/// entirely against that view, so an [`ShardedEngine::absorb`] racing them
+/// swaps in a new state without ever exposing a partial batch.
+struct LiveState {
+    /// Bumped by every absorb and seal; tags tail-touching cache entries.
+    epoch: u64,
+    graph: Arc<TemporalGraph>,
+    /// Contiguous shard intervals covering `[1, graph.tmax()]`.
+    shards: Vec<TimeWindow>,
+    /// `shards[..sealed]` are closed (immutable forever); the rest — at most
+    /// one shard — is the live tail that appends land in.
+    sealed: usize,
+}
+
+impl LiveState {
+    /// Indexes of the shards overlapping `window` (always non-empty for a
+    /// validated, span-clamped window).
+    fn overlapping(&self, window: TimeWindow) -> std::ops::Range<usize> {
+        let lo = self.shards.partition_point(|s| s.end() < window.start());
+        let hi = self.shards.partition_point(|s| s.start() <= window.end());
+        lo..hi
+    }
+
+    /// Validity of a skyline covering exactly shard `shard` of this state.
+    fn shard_validity(&self, shard: usize) -> Validity {
+        if shard < self.sealed {
+            Validity::Permanent
+        } else {
+            Validity::Epoch(self.epoch)
+        }
+    }
+
+    /// Validity of a stitch entry over shard range `lo..=hi` of this state.
+    fn range_validity(&self, hi: usize) -> Validity {
+        if hi < self.sealed {
+            Validity::Permanent
+        } else {
+            Validity::Epoch(self.epoch)
+        }
+    }
+}
+
+/// The write side of live ingestion: the appendable event buffer plus the
+/// running size of the tail shard, guarded by one mutex so absorbs are
+/// serialized with each other (queries never take this lock).
+struct IngestState {
+    appendable: AppendableGraph,
+    /// Edge occurrences currently in the tail shard (seeds from the base
+    /// graph's tail slice; reset on seal).
+    tail_edges: usize,
+}
+
 /// The shared core of a [`ShardedEngine`], behind one `Arc` so batch tasks
 /// handed to the persistent pool are `'static`.
+///
+/// Lock order (enforced by tkc-lint's global lock-order rule): `ingest` →
+/// `live` → `cache` → `boundary`.  Queries take `live` alone (one `Arc`
+/// clone) and then `cache`/`boundary`/`scratch` one at a time; only the
+/// ingest path nests.
 struct ShardInner {
-    graph: TemporalGraph,
-    shards: Vec<TimeWindow>,
     config: EngineConfig,
+    live: Mutex<Arc<LiveState>>,
+    ingest: Mutex<IngestState>,
+    /// Every graph snapshot this engine has published, weakly.  Lets
+    /// [`ShardedBackend::serves`] keep accepting a snapshot captured just
+    /// before a racing absorb swapped in a newer one (pruned as readers
+    /// drop their `Arc`s).
+    lineage: Mutex<Vec<Weak<TemporalGraph>>>,
     cache: Mutex<ShardCache>,
     boundary: Mutex<BoundaryCache>,
     /// Recycled per-edge window tables for restriction / stitch composition
@@ -522,6 +774,10 @@ impl ShardedEngine {
     /// Creates a sharded engine with an explicit configuration.  The memory
     /// budget bounds the summed resident bytes of **all** shard skylines.
     ///
+    /// The last shard of the resolved plan becomes the **live tail**:
+    /// [`ShardedEngine::absorb`] appends into it, and every earlier shard
+    /// is closed from the start (its skylines are permanently valid).
+    ///
     /// # Errors
     /// [`TkError::InvalidShardPlan`] when `plan` does not resolve.
     pub fn with_config(
@@ -532,11 +788,28 @@ impl ShardedEngine {
         let shards = plan.resolve(&graph)?;
         let cache = Mutex::new(ShardCache::new(config.memory_budget_bytes, shards.len()));
         let boundary = Mutex::new(BoundaryCache::new(config.boundary_cache_entries));
+        let sealed = shards.len() - 1;
+        let mut appendable = AppendableGraph::from_graph(graph);
+        if sealed > 0 {
+            appendable.raise_floor(shards[sealed - 1].end());
+        }
+        let snapshot = appendable.snapshot();
+        let tail_edges = snapshot.num_edges_in(shards[sealed]);
+        let live = Arc::new(LiveState {
+            epoch: 0,
+            graph: Arc::clone(&snapshot),
+            shards,
+            sealed,
+        });
         Ok(Self {
             inner: Arc::new(ShardInner {
-                graph,
-                shards,
                 config,
+                live: Mutex::new(live),
+                ingest: Mutex::new(IngestState {
+                    appendable,
+                    tail_edges,
+                }),
+                lineage: Mutex::new(vec![Arc::downgrade(&snapshot)]),
                 cache,
                 boundary,
                 scratch: Mutex::new(SkylineScratch::default()),
@@ -575,19 +848,73 @@ impl ShardedEngine {
         self.inner.pool.set(pool).is_ok()
     }
 
-    /// The graph this engine serves queries against.
-    pub fn graph(&self) -> &TemporalGraph {
-        &self.inner.graph
+    /// The graph snapshot this engine currently serves queries against.
+    ///
+    /// Under live ingestion this is a point-in-time view: a later
+    /// [`ShardedEngine::absorb`] publishes a new snapshot without mutating
+    /// the returned one, so callers can keep using it (its `EdgeId`s for
+    /// sealed timestamps stay valid) while new queries see fresher data.
+    pub fn graph(&self) -> Arc<TemporalGraph> {
+        Arc::clone(&self.inner.live_now().graph)
     }
 
     /// The resolved shard intervals, contiguous and covering `[1, tmax]`.
-    pub fn shards(&self) -> &[TimeWindow] {
-        &self.inner.shards
+    /// The last one is the live tail while ingestion is open.
+    pub fn shards(&self) -> Vec<TimeWindow> {
+        self.inner.live_now().shards.clone()
     }
 
-    /// Number of time-interval shards.
+    /// Number of time-interval shards (closed shards plus the live tail).
     pub fn num_shards(&self) -> usize {
-        self.inner.shards.len()
+        self.inner.live_now().shards.len()
+    }
+
+    /// Number of closed (sealed, immutable) shards; the remaining shards —
+    /// at most one — form the live tail.
+    pub fn sealed_shards(&self) -> usize {
+        self.inner.live_now().sealed
+    }
+
+    /// The smallest timestamp the ingest lane currently accepts: appends
+    /// must carry `t >= watermark()`.
+    pub fn watermark(&self) -> Timestamp {
+        sync::lock(&self.inner.ingest).appendable.watermark()
+    }
+
+    /// Appends a batch of time-ordered events and publishes them as a new
+    /// immutable snapshot, atomically: concurrent queries observe either
+    /// none of the batch or all of it, never a prefix.
+    ///
+    /// Only tail-shard skylines and tail-touching boundary-stitch entries
+    /// are invalidated (counted in the returned [`AbsorbStats`] and in
+    /// [`CacheStats`]); closed-shard skylines stay resident and valid.
+    /// After the batch, the configured [`crate::SealPolicy`] may roll the
+    /// tail into a closed shard; the next advancing batch then opens a
+    /// fresh tail shard.
+    ///
+    /// # Errors
+    /// [`TkError::AppendOutOfOrder`], [`TkError::AppendDuplicate`] or
+    /// [`TkError::AppendRejected`] when any event is refused — the whole
+    /// batch is then rejected and no state changes.
+    pub fn absorb(&self, batch: &[IngestEvent]) -> Result<AbsorbStats, TkError> {
+        self.inner.absorb(batch)
+    }
+
+    /// Seals the live tail shard manually (independent of the configured
+    /// [`crate::SealPolicy`]): its skylines become permanently valid, the
+    /// append watermark rises past its end, and the next advancing batch
+    /// opens a fresh tail.  A no-op returning `sealed: false` when there is
+    /// no open tail.
+    pub fn seal_tail(&self) -> AbsorbStats {
+        self.inner.seal_tail()
+    }
+
+    /// Whether `graph` is a snapshot this engine published (the current one
+    /// or an earlier one still held alive by a reader).
+    pub(crate) fn is_snapshot(&self, graph: &TemporalGraph) -> bool {
+        sync::lock(&self.inner.lineage)
+            .iter()
+            .any(|w| w.upgrade().is_some_and(|g| std::ptr::eq(&*g, graph)))
     }
 
     /// Current cache counters; [`CacheStats::per_shard`] holds one entry per
@@ -601,19 +928,18 @@ impl ShardedEngine {
     /// (always non-empty for a validated, span-clamped window).  This is
     /// the routing key of [`crate::CoreService`]'s shard-affine scheduling.
     pub fn overlapping_shards(&self, window: TimeWindow) -> std::ops::Range<usize> {
-        self.inner.overlapping(window)
+        self.inner.live_now().overlapping(window)
     }
 
     /// Warms every shard skyline for `k`; returns whether all of them were
     /// already resident.
     pub fn warm(&self, k: usize) -> bool {
+        let live = self.inner.live_now();
         let mut all_resident = true;
-        for shard in 0..self.inner.shards.len() {
-            let resident = sync::lock(&self.inner.cache)
-                .entries
-                .contains_key(&(shard, k));
+        for shard in 0..live.shards.len() {
+            let resident = sync::lock(&self.inner.cache).is_resident(shard, k, live.epoch);
             all_resident &= resident;
-            let _ = self.inner.shard_skyline(shard, k);
+            let _ = self.inner.shard_skyline(&live, shard, k);
         }
         all_resident
     }
@@ -663,12 +989,15 @@ impl ShardedEngine {
         algorithm: Algorithm,
         sink: &mut dyn ResultSink,
     ) -> Result<QueryStats, TkError> {
+        // One consistent live view for validation and execution: a racing
+        // absorb cannot swap the graph between the two.
+        let live = self.inner.live_now();
         let range = query.range();
-        let validated = QueryRequest::single(query.k(), range.start(), range.end())
-            .validate(&self.inner.graph)?;
+        let validated =
+            QueryRequest::single(query.k(), range.start(), range.end()).validate(&live.graph)?;
         Ok(self
             .inner
-            .run_validated(query.k(), validated.window(), algorithm, sink))
+            .run_validated(&live, query.k(), validated.window(), algorithm, sink))
     }
 
     /// Runs a batch of queries with `Enum`, counting results per query
@@ -703,7 +1032,10 @@ impl ShardedEngine {
         F: Fn(usize) -> S + Send + Sync + 'static,
     {
         let t0 = Instant::now();
-        let validated = Arc::new(validate_batch(&self.inner.graph, queries)?);
+        // The whole batch runs against one live view, so its queries are
+        // mutually consistent even while absorbs land concurrently.
+        let live = self.inner.live_now();
+        let validated = Arc::new(validate_batch(&live.graph, queries)?);
         let (threads, pool) = batch_executor(
             &self.inner.pool,
             self.inner.config.num_threads,
@@ -711,7 +1043,7 @@ impl ShardedEngine {
         );
         let inner = Arc::clone(&self.inner);
         let per_query = fan_out_batch(pool, validated, make_sink, move |k, window, sink| {
-            inner.run_validated(k, window, algorithm, sink)
+            inner.run_validated(&live, k, window, algorithm, sink)
         });
         let batch = aggregate_batch(&per_query, t0.elapsed(), threads, self.cache_stats());
         Ok((per_query, batch))
@@ -719,30 +1051,145 @@ impl ShardedEngine {
 }
 
 impl ShardInner {
+    /// The current live view, cloned out from under a short lock.  Callers
+    /// hold the returned `Arc` for the whole query, never the lock.
+    fn live_now(&self) -> Arc<LiveState> {
+        Arc::clone(&sync::lock(&self.live))
+    }
+
     fn cache_stats(&self) -> CacheStats {
         let mut stats = sync::lock(&self.cache).stats();
-        stats.boundary = sync::lock(&self.boundary).stats();
+        let boundary = sync::lock(&self.boundary);
+        stats.boundary_invalidations = boundary.invalidations;
+        stats.boundary = boundary.stats();
         stats
     }
 
-    /// Indexes of the shards overlapping `window` (always non-empty for a
-    /// validated, span-clamped window).
-    fn overlapping(&self, window: TimeWindow) -> std::ops::Range<usize> {
-        let lo = self.shards.partition_point(|s| s.end() < window.start());
-        let hi = self.shards.partition_point(|s| s.start() <= window.end());
-        lo..hi
+    /// Absorbs one ingest batch: append + publish, recompute the tail
+    /// window, apply the seal policy, swap the live state and purge exactly
+    /// the tail-dependent cache entries.  See [`ShardedEngine::absorb`].
+    fn absorb(&self, batch: &[IngestEvent]) -> Result<AbsorbStats, TkError> {
+        let mut ingest = sync::lock(&self.ingest);
+        if batch.is_empty() {
+            let live = self.live_now();
+            return Ok(AbsorbStats {
+                tmax: live.graph.tmax(),
+                num_shards: live.shards.len(),
+                sealed_shards: live.sealed,
+                ..AbsorbStats::default()
+            });
+        }
+        let appended = ingest.appendable.append_batch(batch)?;
+        let snapshot = ingest.appendable.publish();
+        let old = self.live_now();
+        let new_tmax = snapshot.tmax();
+        let mut shards = old.shards.clone();
+        let mut sealed = old.sealed;
+        if sealed == shards.len() {
+            // The previous absorb (or a manual seal) closed the tail: this
+            // batch opens a fresh one right after it.
+            let start = shards.last().map_or(1, |s| s.end() + 1);
+            shards.push(TimeWindow::new(start, new_tmax));
+            ingest.tail_edges = 0;
+        } else {
+            let tail = shards.len() - 1;
+            shards[tail] = TimeWindow::new(shards[tail].start(), new_tmax);
+        }
+        ingest.tail_edges += appended;
+        let tail_idx = shards.len() - 1;
+        let mut did_seal = false;
+        if self
+            .config
+            .seal_policy
+            .should_seal(ingest.tail_edges, shards[tail_idx])
+        {
+            sealed = shards.len();
+            ingest.appendable.raise_floor(new_tmax);
+            ingest.tail_edges = 0;
+            did_seal = true;
+        }
+        let state = Arc::new(LiveState {
+            epoch: old.epoch + 1,
+            graph: Arc::clone(&snapshot),
+            shards,
+            sealed,
+        });
+        {
+            let mut lineage = sync::lock(&self.lineage);
+            lineage.retain(|w| w.strong_count() > 0);
+            lineage.push(Arc::downgrade(&snapshot));
+        }
+        let num_shards = state.shards.len();
+        *sync::lock(&self.live) = Arc::clone(&state);
+        // The batch extended the tail window, so even on a sealing absorb
+        // the pre-batch tail entries describe a narrower window: purge every
+        // non-permanent entry.  Closed-shard skylines are untouched.
+        let mut cache = sync::lock(&self.cache);
+        cache.ensure_shards(num_shards);
+        let tail_invalidations = cache.invalidate_tail();
+        if did_seal {
+            cache.seals += 1;
+        }
+        drop(cache);
+        let boundary_invalidations = sync::lock(&self.boundary).invalidate_tail();
+        Ok(AbsorbStats {
+            appended,
+            tail_invalidations,
+            boundary_invalidations,
+            sealed: did_seal,
+            tmax: new_tmax,
+            num_shards,
+            sealed_shards: sealed,
+        })
+    }
+
+    /// Manual tail seal with no timeline change: current tail entries cover
+    /// exactly the sealed window, so they are upgraded to permanent rather
+    /// than purged.  See [`ShardedEngine::seal_tail`].
+    fn seal_tail(&self) -> AbsorbStats {
+        let mut ingest = sync::lock(&self.ingest);
+        let old = self.live_now();
+        let num_shards = old.shards.len();
+        if old.sealed == num_shards {
+            return AbsorbStats {
+                tmax: old.graph.tmax(),
+                num_shards,
+                sealed_shards: old.sealed,
+                ..AbsorbStats::default()
+            };
+        }
+        ingest.appendable.raise_floor(old.graph.tmax());
+        ingest.tail_edges = 0;
+        let state = Arc::new(LiveState {
+            epoch: old.epoch + 1,
+            graph: Arc::clone(&old.graph),
+            shards: old.shards.clone(),
+            sealed: num_shards,
+        });
+        *sync::lock(&self.live) = state;
+        let mut cache = sync::lock(&self.cache);
+        cache.seal_shard(num_shards - 1, old.epoch);
+        drop(cache);
+        sync::lock(&self.boundary).seal_range(old.epoch);
+        AbsorbStats {
+            sealed: true,
+            tmax: old.graph.tmax(),
+            num_shards,
+            sealed_shards: num_shards,
+            ..AbsorbStats::default()
+        }
     }
 
     /// Returns shard `shard`'s skyline for `k`, building and caching it on a
     /// miss.  Like the span-wide engine, the build runs outside the cache
     /// lock: two threads racing on the same cold `(shard, k)` may both
     /// build; the loser's copy is dropped.
-    fn shard_skyline(&self, shard: usize, k: usize) -> Arc<EdgeCoreSkyline> {
-        if let Some(hit) = sync::lock(&self.cache).get(shard, k) {
+    fn shard_skyline(&self, live: &LiveState, shard: usize, k: usize) -> Arc<EdgeCoreSkyline> {
+        if let Some(hit) = sync::lock(&self.cache).get(shard, k, live.epoch) {
             return hit;
         }
-        let built = Arc::new(EdgeCoreSkyline::build(&self.graph, k, self.shards[shard]));
-        sync::lock(&self.cache).adopt(shard, k, built)
+        let built = Arc::new(EdgeCoreSkyline::build(&live.graph, k, live.shards[shard]));
+        sync::lock(&self.cache).adopt(shard, k, built, live.shard_validity(shard))
     }
 
     /// Returns the stitch entry for shard range `lo..=hi` and parameter
@@ -757,24 +1204,32 @@ impl ShardInner {
     /// spanning window of the range; a one-off spanning query thus pays a
     /// wider sweep than the transient path would — the trade
     /// [`EngineConfig::boundary_cache_entries`]` = 0` opts out of.
-    fn stitch_entry(&self, lo: usize, hi: usize, k: usize) -> (Arc<EdgeCoreSkyline>, usize) {
-        if let Some(hit) = sync::lock(&self.boundary).get(lo, hi, k) {
+    fn stitch_entry(
+        &self,
+        live: &LiveState,
+        lo: usize,
+        hi: usize,
+        k: usize,
+    ) -> (Arc<EdgeCoreSkyline>, usize) {
+        if let Some(hit) = sync::lock(&self.boundary).get(lo, hi, k, live.epoch) {
             return (hit, 0);
         }
-        let merged_window = TimeWindow::new(self.shards[lo].start(), self.shards[hi].end());
-        let cuts: Vec<Timestamp> = (lo..hi).map(|s| self.shards[s].end()).collect();
-        let merged = EdgeCoreSkyline::build(&self.graph, k, merged_window);
+        let merged_window = TimeWindow::new(live.shards[lo].start(), live.shards[hi].end());
+        let cuts: Vec<Timestamp> = (lo..hi).map(|s| live.shards[s].end()).collect();
+        let merged = EdgeCoreSkyline::build(&live.graph, k, merged_window);
         let build_peak = merged.memory_bytes();
         let crossing =
             Arc::new(merged.filtered(|w| cuts.iter().any(|&c| w.start() <= c && c < w.end())));
-        let adopted = sync::lock(&self.boundary).adopt(lo, hi, k, crossing);
+        let adopted =
+            sync::lock(&self.boundary).adopt(lo, hi, k, crossing, live.range_validity(hi));
         (adopted, build_peak)
     }
 
     /// Executes a query whose parameters already passed validation (`k >= 1`,
-    /// window inside the graph span).
+    /// window inside `live`'s graph span) against one consistent live view.
     fn run_validated(
         &self,
+        live: &LiveState,
         k: usize,
         window: TimeWindow,
         algorithm: Algorithm,
@@ -782,10 +1237,10 @@ impl ShardInner {
     ) -> QueryStats {
         match algorithm {
             Algorithm::Otcd | Algorithm::Naive => {
-                TimeRangeKCoreQuery::validated(k, window).run_with(&self.graph, algorithm, sink)
+                TimeRangeKCoreQuery::validated(k, window).run_with(&live.graph, algorithm, sink)
             }
             Algorithm::Enum | Algorithm::EnumBase => {
-                let shards = self.overlapping(window);
+                let shards = live.overlapping(window);
                 debug_assert!(!shards.is_empty(), "validated window overlaps a shard");
                 let spanning = shards.len() > 1;
                 let stitch_cached = self.config.boundary_cache_entries > 0;
@@ -801,16 +1256,16 @@ impl ShardInner {
                 // skylines double as the intra-shard half of the boundary
                 // stitch, so they are kept when a spanning pass follows.
                 for shard in shards.clone() {
-                    let part = self.shards[shard]
+                    let part = live.shards[shard]
                         .intersect(&window)
                         // tkc-lint: allow(no-panic-api) — `shards` only lists shards overlapping `window`, so the intersection is non-empty
                         .expect("overlapping shard intersects the window");
                     let t0 = Instant::now();
-                    let skyline = self.shard_skyline(shard, k);
-                    let restricted = skyline.restrict_with(&self.graph, part, &mut scratch);
+                    let skyline = self.shard_skyline(live, shard, k);
+                    let restricted = skyline.restrict_with(&live.graph, part, &mut scratch);
                     let precompute = t0.elapsed();
                     let stats = TimeRangeKCoreQuery::validated(k, part)
-                        .run_with_skyline(&self.graph, &restricted, algorithm, sink)
+                        .run_with_skyline(&live.graph, &restricted, algorithm, sink)
                         // tkc-lint: allow(no-panic-api) — restrict() targets exactly the shard part, so validation cannot reject it
                         .expect("restricted shard skyline matches the part by construction");
                     total.num_cores += stats.num_cores;
@@ -833,13 +1288,13 @@ impl ShardInner {
                 // (one CoreTime sweep per spanning query).
                 if spanning {
                     let (lo, hi) = (shards.start, shards.end - 1);
-                    let cuts: Vec<Timestamp> = (lo..hi).map(|s| self.shards[s].end()).collect();
+                    let cuts: Vec<Timestamp> = (lo..hi).map(|s| live.shards[s].end()).collect();
                     let t0 = Instant::now();
                     let stitched = if stitch_cached {
-                        let (crossing, build_peak) = self.stitch_entry(lo, hi, k);
+                        let (crossing, build_peak) = self.stitch_entry(live, lo, hi, k);
                         total.peak_memory_bytes = total.peak_memory_bytes.max(build_peak);
                         compose_boundary_skyline(
-                            &self.graph,
+                            &live.graph,
                             k,
                             window,
                             &parts,
@@ -847,7 +1302,7 @@ impl ShardInner {
                             &mut scratch,
                         )
                     } else {
-                        EdgeCoreSkyline::build(&self.graph, k, window)
+                        EdgeCoreSkyline::build(&live.graph, k, window)
                     };
                     total.precompute_time += t0.elapsed();
                     let mut boundary = BoundarySink {
@@ -859,11 +1314,11 @@ impl ShardInner {
                     let t1 = Instant::now();
                     let peak = match algorithm {
                         Algorithm::Enum => {
-                            crate::enumerate(&self.graph, &stitched, &mut boundary)
+                            crate::enumerate(&live.graph, &stitched, &mut boundary)
                                 .peak_memory_bytes
                         }
                         Algorithm::EnumBase => {
-                            crate::enumerate_base(&self.graph, &stitched, &mut boundary)
+                            crate::enumerate_base(&live.graph, &stitched, &mut boundary)
                                 .peak_memory_bytes
                         }
                         // tkc-lint: allow(no-panic-api) — the outer match already handled Otcd and Naive
@@ -906,7 +1361,7 @@ impl ShardInner {
 /// );
 /// let backend = ShardedBackend::new(Arc::clone(&engine));
 /// let response = QueryRequest::sweep(1..=2, 1, 7)
-///     .run(engine.graph(), &backend)
+///     .run(&engine.graph(), &backend)
 ///     .unwrap();
 /// assert_eq!(response.outcomes.len(), 2); // one outcome per k
 /// ```
@@ -937,10 +1392,14 @@ impl ShardedBackend {
         self.algorithm
     }
 
-    /// Same identity rule as [`crate::CachedBackend`]: pointer equality is
-    /// the O(1) fast path, an equal clone is accepted at O(|E|) cost.
+    /// Same identity rule as [`crate::CachedBackend`] — pointer equality is
+    /// the O(1) fast path, an equal clone is accepted at O(|E|) cost —
+    /// extended for live ingestion: any snapshot this engine published is
+    /// served, so a query that captured [`ShardedEngine::graph`] just
+    /// before a racing [`ShardedEngine::absorb`] still executes (against
+    /// the current state) instead of failing with a spurious mismatch.
     fn serves(&self, graph: &TemporalGraph) -> bool {
-        crate::backend::graph_matches(self.engine.graph(), graph)
+        self.engine.is_snapshot(graph) || crate::backend::graph_matches(&self.engine.graph(), graph)
     }
 }
 
@@ -1222,7 +1681,7 @@ mod tests {
         assert_eq!(backend.name(), "Sharded(Enum)");
         let response = QueryRequest::single(2, 1, 4)
             .materialize()
-            .run(engine.graph(), &backend)
+            .run(&engine.graph(), &backend)
             .unwrap();
         let crate::KOutput::Cores(cores) = &response.outcomes[0].output else {
             panic!("materialized request");
@@ -1315,6 +1774,185 @@ mod tests {
         assert_eq!(engine.overlapping_shards(TimeWindow::new(3, 4)), 1..2);
         assert_eq!(engine.overlapping_shards(TimeWindow::new(2, 5)), 0..3);
         assert_eq!(engine.overlapping_shards(TimeWindow::new(5, 7)), 2..3);
+    }
+
+    #[test]
+    fn absorb_invalidates_only_tail_entries_and_keeps_closed_shards_warm() {
+        let g = paper_example::graph(); // tmax = 7
+        let engine = ShardedEngine::new(g, ShardPlan::ExplicitCuts(vec![4])).unwrap();
+        assert_eq!(engine.sealed_shards(), 1, "last shard is the live tail");
+        assert_eq!(engine.watermark(), 7, "appends continue from tmax");
+        engine.warm(2); // both shard skylines resident
+                        // A spanning query also plants a tail-touching stitch entry.
+        let mut sink = CountingSink::default();
+        engine
+            .run(
+                &TimeRangeKCoreQuery::new(2, TimeWindow::new(2, 6)).unwrap(),
+                &mut sink,
+            )
+            .unwrap();
+        let before = engine.cache_stats();
+        assert_eq!(before.resident_indexes, 2);
+        assert_eq!(before.boundary.resident_entries, 1);
+
+        let absorbed = engine.absorb(&[(1, 5, 8), (2, 5, 8)]).unwrap();
+        assert_eq!(absorbed.appended, 2);
+        assert_eq!(absorbed.tmax, 8);
+        assert!(!absorbed.sealed, "Manual policy never seals");
+        assert_eq!(absorbed.tail_invalidations, 1, "only the tail skyline");
+        assert_eq!(
+            absorbed.boundary_invalidations, 1,
+            "the tail-touching stitch entry"
+        );
+        assert_eq!(
+            engine.shards(),
+            vec![TimeWindow::new(1, 4), TimeWindow::new(5, 8)]
+        );
+
+        let after = engine.cache_stats();
+        assert_eq!(after.resident_indexes, 1, "closed shard stays resident");
+        assert_eq!(after.tail_invalidations, 1);
+        assert_eq!(after.boundary_invalidations, 1);
+        assert_eq!(after.seals, 0);
+
+        // Re-querying the closed shard is a pure hit: zero new builds.
+        let builds_before: u64 = after.per_shard.iter().map(|s| s.builds).sum();
+        let mut sink = CountingSink::default();
+        engine
+            .run(
+                &TimeRangeKCoreQuery::new(2, TimeWindow::new(1, 3)).unwrap(),
+                &mut sink,
+            )
+            .unwrap();
+        let stats = engine.cache_stats();
+        let builds_after: u64 = stats.per_shard.iter().map(|s| s.builds).sum();
+        assert_eq!(builds_after, builds_before, "closed shard not rebuilt");
+
+        // The new tail contents are queryable and duplicates are refused.
+        assert!(matches!(
+            engine.absorb(&[(1, 5, 8)]),
+            Err(TkError::AppendDuplicate { u: 1, v: 5, t: 8 })
+        ));
+        assert!(matches!(
+            engine.absorb(&[(3, 6, 2)]),
+            Err(TkError::AppendOutOfOrder { t: 2, watermark: 8 })
+        ));
+    }
+
+    #[test]
+    fn seal_policy_rolls_the_tail_and_the_next_batch_opens_a_fresh_one() {
+        let g = paper_example::graph();
+        let engine = ShardedEngine::with_config(
+            g,
+            ShardPlan::ExplicitCuts(vec![4]),
+            EngineConfig {
+                seal_policy: crate::SealPolicy::SpanWidth(5),
+                num_threads: 1,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        // Tail [5, 7] spans 3 timestamps; extending it to t = 9 spans 5 and
+        // trips the SpanWidth(5) policy.
+        let absorbed = engine.absorb(&[(1, 2, 9)]).unwrap();
+        assert!(absorbed.sealed);
+        assert_eq!(absorbed.sealed_shards, 2);
+        assert_eq!(absorbed.num_shards, 2);
+        assert_eq!(engine.cache_stats().seals, 1);
+        assert_eq!(engine.watermark(), 10, "floor rose past the sealed tail");
+
+        // The next advancing batch opens a new tail [10, 11].
+        let absorbed = engine.absorb(&[(1, 3, 11), (2, 3, 11)]).unwrap();
+        assert_eq!(absorbed.num_shards, 3);
+        assert_eq!(absorbed.sealed_shards, 2);
+        assert_eq!(engine.shards()[2], TimeWindow::new(10, 11));
+        let stats = engine.cache_stats();
+        assert_eq!(stats.per_shard.len(), 3, "counter table grew with the tail");
+        // Queries spanning the whole grown timeline still validate & run.
+        let mut sink = CountingSink::default();
+        engine
+            .run(
+                &TimeRangeKCoreQuery::new(1, TimeWindow::new(1, 11)).unwrap(),
+                &mut sink,
+            )
+            .unwrap();
+        assert!(sink.num_cores > 0);
+    }
+
+    #[test]
+    fn manual_seal_upgrades_resident_tail_entries_instead_of_dropping_them() {
+        let g = paper_example::graph();
+        let engine = ShardedEngine::new(g, ShardPlan::ExplicitCuts(vec![4])).unwrap();
+        engine.warm(2);
+        let sealed = engine.seal_tail();
+        assert!(sealed.sealed);
+        assert_eq!(sealed.sealed_shards, 2);
+        assert_eq!(engine.sealed_shards(), 2);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.seals, 1);
+        assert_eq!(
+            stats.resident_indexes, 2,
+            "tail entry upgraded, not dropped"
+        );
+        // Sealing again is a no-op.
+        assert!(!engine.seal_tail().sealed);
+
+        // A later absorb opens a fresh tail and leaves the upgraded entries
+        // alone: zero tail invalidations.
+        let absorbed = engine.absorb(&[(4, 6, 9)]).unwrap();
+        assert_eq!(absorbed.num_shards, 3);
+        assert_eq!(absorbed.tail_invalidations, 0, "old tail is permanent now");
+        let builds_before: u64 = engine
+            .cache_stats()
+            .per_shard
+            .iter()
+            .map(|s| s.builds)
+            .sum();
+        let mut sink = CountingSink::default();
+        engine
+            .run(
+                &TimeRangeKCoreQuery::new(2, TimeWindow::new(5, 7)).unwrap(),
+                &mut sink,
+            )
+            .unwrap();
+        let builds_after: u64 = engine
+            .cache_stats()
+            .per_shard
+            .iter()
+            .map(|s| s.builds)
+            .sum();
+        assert_eq!(
+            builds_after, builds_before,
+            "sealed ex-tail served from cache"
+        );
+    }
+
+    #[test]
+    fn empty_batches_change_nothing() {
+        let g = paper_example::graph();
+        let engine = ShardedEngine::new(g, ShardPlan::FixedCount(3)).unwrap();
+        let absorbed = engine.absorb(&[]).unwrap();
+        assert_eq!(absorbed.appended, 0);
+        assert_eq!(absorbed.tmax, 7);
+        assert_eq!(absorbed.num_shards, 3);
+        assert_eq!(engine.cache_stats().tail_invalidations, 0);
+    }
+
+    #[test]
+    fn stale_snapshots_are_still_served_by_the_backend() {
+        let g = paper_example::graph();
+        let engine = Arc::new(ShardedEngine::new(g, ShardPlan::FixedCount(2)).unwrap());
+        let backend = ShardedBackend::new(Arc::clone(&engine));
+        let old_snapshot = engine.graph();
+        engine.absorb(&[(1, 2, 8)]).unwrap();
+        assert!(!std::ptr::eq(&*old_snapshot, &*engine.graph()));
+        // A request that captured the pre-absorb snapshot executes instead
+        // of failing with GraphMismatch (it runs on the current state).
+        let mut sink = CountingSink::default();
+        backend
+            .execute(&old_snapshot, 2, TimeWindow::new(1, 4), &mut sink)
+            .unwrap();
+        assert!(sink.num_cores > 0);
     }
 
     #[test]

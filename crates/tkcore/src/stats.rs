@@ -109,10 +109,67 @@ impl ShardProfile {
     }
 }
 
+/// Ingest-side movement of the cache counters between two
+/// [`crate::CacheStats`] readings — the delta the `tkc ingest --stats`
+/// report and the ingest bench print per absorb burst.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestDelta {
+    /// Tail-shard skylines dropped by absorbs in the interval.
+    pub tail_invalidations: u64,
+    /// Tail-touching boundary-stitch entries dropped in the interval.
+    pub boundary_invalidations: u64,
+    /// Tail seals in the interval.
+    pub seals: u64,
+    /// Shard skyline builds in the interval (rebuild work the
+    /// invalidations induced, plus any cold warming).
+    pub builds: u64,
+    /// Net change of resident skyline bytes over the interval (negative
+    /// when invalidation freed more than rebuilding re-added).
+    pub resident_bytes_delta: i64,
+}
+
+impl IngestDelta {
+    /// The counter movement from `before` to `after`.  Cumulative counters
+    /// only grow, so the subtractions saturate rather than wrap if the
+    /// readings are accidentally swapped.
+    pub fn between(before: &crate::CacheStats, after: &crate::CacheStats) -> Self {
+        let builds =
+            |stats: &crate::CacheStats| -> u64 { stats.per_shard.iter().map(|s| s.builds).sum() };
+        Self {
+            tail_invalidations: after
+                .tail_invalidations
+                .saturating_sub(before.tail_invalidations),
+            boundary_invalidations: after
+                .boundary_invalidations
+                .saturating_sub(before.boundary_invalidations),
+            seals: after.seals.saturating_sub(before.seals),
+            builds: builds(after).saturating_sub(builds(before)),
+            resident_bytes_delta: after.resident_bytes as i64 - before.resident_bytes as i64,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::paper_example;
+
+    #[test]
+    fn ingest_delta_reports_counter_movement() {
+        let g = paper_example::graph();
+        let engine = crate::ShardedEngine::new(g, crate::ShardPlan::ExplicitCuts(vec![4])).unwrap();
+        engine.warm(2);
+        let before = engine.cache_stats();
+        engine.absorb(&[(1, 5, 8)]).unwrap();
+        let after = engine.cache_stats();
+        let delta = IngestDelta::between(&before, &after);
+        assert_eq!(delta.tail_invalidations, 1);
+        assert_eq!(delta.seals, 0);
+        assert!(delta.resident_bytes_delta < 0, "tail skyline was freed");
+        // Swapped readings saturate to zero instead of wrapping.
+        let swapped = IngestDelta::between(&after, &before);
+        assert_eq!(swapped.tail_invalidations, 0);
+    }
 
     #[test]
     fn shard_profiles_cover_the_timeline_and_shrink_the_skyline() {

@@ -72,17 +72,21 @@ pub use tkcore;
 pub mod prelude {
     pub use static_kcore::{CoreDecomposition, StaticGraph};
     pub use temporal_graph::{
-        generator, loader, TemporalEdge, TemporalGraph, TemporalGraphBuilder, TimeWindow,
-        Timestamp, VertexId,
+        generator, loader, AppendableGraph, TemporalEdge, TemporalGraph, TemporalGraphBuilder,
+        TimeWindow, Timestamp, TimestampMode, VertexId,
     };
-    pub use tkc_datasets::{DatasetProfile, DatasetStats, QueryWorkload, WorkloadConfig};
+    pub use tkc_datasets::{
+        ArrivalProfile, DatasetProfile, DatasetStats, EventStream, EventStreamConfig,
+        QueryWorkload, WorkloadConfig,
+    };
     pub use tkcore::{
-        Affinity, Algorithm, BatchStats, BoundaryCacheStats, CacheStats, CachedBackend,
-        CollectingSink, CoreBackend, CoreService, CountingSink, EdgeCoreSkyline, EngineConfig,
-        ExecPool, FrameworkStats, KOutcome, KOutput, KSelection, LatencyHistogram, OutputMode,
-        QueryEngine, QueryRequest, QueryResponse, QueryStats, RequestId, ResultSink, ServiceConfig,
-        ServiceReply, ServiceStats, ShardCacheStats, ShardPlan, ShardedBackend, ShardedEngine,
-        TemporalKCore, Ticket, TimeRangeKCoreQuery, TkError, ValidatedRequest, VertexCoreTimeIndex,
-        WorkerStats,
+        AbsorbStats, Affinity, Algorithm, BatchStats, BoundaryCacheStats, CacheStats,
+        CachedBackend, CollectingSink, CoreBackend, CoreService, CountingSink, EdgeCoreSkyline,
+        EngineConfig, ExecPool, FrameworkStats, IngestDelta, IngestEvent, IngestLaneStats,
+        IngestReply, IngestTicket, KOutcome, KOutput, KSelection, LatencyHistogram, OutputMode,
+        QueryEngine, QueryRequest, QueryResponse, QueryStats, RequestId, ResultSink, SealPolicy,
+        ServiceConfig, ServiceReply, ServiceStats, ShardCacheStats, ShardPlan, ShardedBackend,
+        ShardedEngine, TemporalKCore, Ticket, TimeRangeKCoreQuery, TkError, ValidatedRequest,
+        VertexCoreTimeIndex, WorkerStats,
     };
 }

@@ -61,7 +61,7 @@ fn sharded_sweep_builds_only_the_touched_shards_per_k() {
 
     // The window [4, 7] touches shards 2 and 3 only.
     let response = QueryRequest::sweep(1..=3, 4, 7)
-        .run(engine.graph(), &backend)
+        .run(&engine.graph(), &backend)
         .unwrap();
     assert_eq!(response.outcomes.len(), 3);
     for outcome in &response.outcomes {
@@ -84,7 +84,7 @@ fn sharded_sweep_builds_only_the_touched_shards_per_k() {
 
     // Re-running the sweep is pure cache hits: no shard is rebuilt.
     let again = QueryRequest::sweep(1..=3, 4, 7)
-        .run(engine.graph(), &backend)
+        .run(&engine.graph(), &backend)
         .unwrap();
     assert_eq!(again.total_cores(), response.total_cores());
     let cache = engine.cache_stats();

@@ -127,7 +127,7 @@ proptest! {
             .expect("span query is valid");
         let mut b = CollectingSink::default();
         let stats_b = sharded_backend
-            .execute(sharded_arc.graph(), k, g.span(), &mut b)
+            .execute(&sharded_arc.graph(), k, g.span(), &mut b)
             .expect("span query is valid");
         prop_assert_eq!(canonical(a.cores), canonical(b.cores), "{:?} k={}", plan, k);
         prop_assert_eq!(stats_a.num_cores, stats_b.num_cores);
