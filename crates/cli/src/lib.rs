@@ -15,8 +15,8 @@ use std::sync::Arc;
 use tkc_datasets::{ArrivalProfile, DatasetProfile, DatasetStats, EventStream, EventStreamConfig};
 use tkcore::{
     Affinity, Algorithm, CacheStats, CachedBackend, CoreBackend, CoreService, CountingSink,
-    IngestDelta, IngestEvent, KOutput, QueryEngine, QueryRequest, SealPolicy, ServiceConfig,
-    ShardPlan, ShardedBackend, ShardedEngine, TkError,
+    IngestDelta, IngestEvent, KOutput, Lane, QueryEngine, QueryRequest, SealPolicy, ServerConfig,
+    ServiceConfig, ShardPlan, ShardedBackend, ShardedEngine, TkError, TkServer,
 };
 
 /// Errors reported to the CLI user.
@@ -96,6 +96,27 @@ USAGE:
       against the live engine after the stream drains; `--stats` prints the
       ingest-side cache and service counters.
 
+  tkc serve <edge-list> [--addr <HOST:PORT>] [--shards <S>] [--workers <W>]
+            [--conn-workers <C>] [--queue-depth <D>] [--affinity shared|shard]
+      Serve the edge-list over TCP speaking line-delimited JSON (one request
+      per line, one reply line back — the protocol is documented on
+      `tkcore::wire`).  Each query may carry a priority lane (`interactive`
+      requests dequeue ahead of `batch`) and a relative `deadline_ms`;
+      requests that outlive their deadline while queued are shed with a
+      typed `DeadlineExceeded` error reply instead of executing.  Prints
+      `listening on <addr>` once the listener is ready (default --addr
+      127.0.0.1:7411; port 0 picks an ephemeral port).  A
+      `{\"op\": \"shutdown\"}` line (see `tkc client --shutdown`) drains
+      gracefully: accepted connections finish, the queue empties, exit 0.
+
+  tkc client <addr> (--k <K> | --k-range <MIN>..=<MAX>) --start <TS> --end <TE>
+            [--lane interactive|batch] [--deadline-ms <MS>]
+            [--algo enum|enum-base|otcd|naive] [--output count|cores]
+  tkc client <addr> (--ping | --stats | --shutdown)
+      Send one request line to a running `tkc serve` and print the reply
+      line.  A `status: error` reply (shed, refused, failed) is data and
+      still exits 0; only transport failures exit nonzero.
+
   tkc gen-events <count> <output|-> [--vertices <V>] [--start-after <T>]
             [--profile steady|bursty|jitter] [--seed <S>]
       Write a deterministic live event stream (`u v t` per line; `-` prints
@@ -127,6 +148,34 @@ pub enum KSpec {
     Single(usize),
     /// `--k-range MIN..=MAX` (inclusive).
     Range(usize, usize),
+}
+
+/// What a `tkc client` invocation sends to the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientAction {
+    /// `--ping`: liveness check.
+    Ping,
+    /// `--stats`: the service's lane/queue counters.
+    Stats,
+    /// `--shutdown`: ask the server to drain gracefully.
+    Shutdown,
+    /// A query line (the default).
+    Query {
+        /// One `k` or an inclusive sweep.
+        ks: KSpec,
+        /// Query range start.
+        start: u32,
+        /// Query range end.
+        end: u32,
+        /// Priority lane the request queues in.
+        lane: Lane,
+        /// Relative deadline in milliseconds (shed when exceeded in queue).
+        deadline_ms: Option<u64>,
+        /// Algorithm override (the server defaults to `enum`).
+        algorithm: Option<Algorithm>,
+        /// Reply shape: counts or materialized cores.
+        output: OutputKind,
+    },
 }
 
 /// Parsed command line.
@@ -204,6 +253,30 @@ pub enum Command {
         stats: bool,
         /// Lane routing of the service (`--affinity shared|shard`).
         affinity: Affinity,
+    },
+    /// `tkc serve <file> ...`
+    Serve {
+        /// Path of the edge-list file.
+        path: String,
+        /// Listen address (`HOST:PORT`; port 0 picks an ephemeral port).
+        addr: String,
+        /// Time-interval shards (0 = unsharded span-wide engine).
+        shards: usize,
+        /// Service worker threads (0 = one per CPU).
+        workers: usize,
+        /// Concurrently served connections (dedicated handler pool).
+        conn_workers: usize,
+        /// Bounded request-queue depth (0 = the service default).
+        queue_depth: usize,
+        /// Lane routing of the service (`--affinity shared|shard`).
+        affinity: Affinity,
+    },
+    /// `tkc client <addr> ...`
+    Client {
+        /// Address of a running `tkc serve`.
+        addr: String,
+        /// The single request to send.
+        action: ClientAction,
     },
     /// `tkc gen-events <count> <out|-> ...`
     GenEvents {
@@ -342,6 +415,188 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 stats,
                 affinity,
             })
+        }
+        "serve" => {
+            let path = it
+                .next()
+                .ok_or_else(|| CliError("serve requires an edge-list path".into()))?
+                .clone();
+            let mut addr = String::from("127.0.0.1:7411");
+            let mut shards = 0usize;
+            let mut workers = 0usize;
+            let mut conn_workers = 4usize;
+            let mut queue_depth = 0usize;
+            let mut affinity = Affinity::Shared;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let value = |what: &str| -> Result<&String, CliError> {
+                    rest.get(i + 1)
+                        .copied()
+                        .ok_or_else(|| CliError(format!("{what} requires a value")))
+                };
+                match flag {
+                    "--addr" => {
+                        addr = value("--addr")?.clone();
+                        i += 1;
+                    }
+                    "--shards" => {
+                        shards = parse_num(value("--shards")?, "--shards")?;
+                        i += 1;
+                    }
+                    "--workers" => {
+                        workers = parse_num(value("--workers")?, "--workers")?;
+                        i += 1;
+                    }
+                    "--conn-workers" => {
+                        conn_workers = parse_num(value("--conn-workers")?, "--conn-workers")?;
+                        if conn_workers == 0 {
+                            return Err(CliError(
+                                "--conn-workers: serving needs at least 1 connection handler"
+                                    .into(),
+                            ));
+                        }
+                        i += 1;
+                    }
+                    "--queue-depth" => {
+                        queue_depth = parse_num(value("--queue-depth")?, "--queue-depth")?;
+                        i += 1;
+                    }
+                    "--affinity" => {
+                        affinity = parse_affinity(value("--affinity")?)?;
+                        i += 1;
+                    }
+                    other => return Err(CliError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Serve {
+                path,
+                addr,
+                shards,
+                workers,
+                conn_workers,
+                queue_depth,
+                affinity,
+            })
+        }
+        "client" => {
+            let addr = it
+                .next()
+                .ok_or_else(|| CliError("client requires a server address (HOST:PORT)".into()))?
+                .clone();
+            let mut k: Option<usize> = None;
+            let mut k_range: Option<(usize, usize)> = None;
+            let mut start: Option<u32> = None;
+            let mut end: Option<u32> = None;
+            let mut lane = Lane::Interactive;
+            let mut deadline_ms: Option<u64> = None;
+            let mut algorithm: Option<Algorithm> = None;
+            let mut output = OutputKind::Count;
+            let mut op: Option<ClientAction> = None;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let value = |what: &str| -> Result<&String, CliError> {
+                    rest.get(i + 1)
+                        .copied()
+                        .ok_or_else(|| CliError(format!("{what} requires a value")))
+                };
+                match flag {
+                    "--ping" => op = Some(ClientAction::Ping),
+                    "--stats" => op = Some(ClientAction::Stats),
+                    "--shutdown" => op = Some(ClientAction::Shutdown),
+                    "--k" => {
+                        k = Some(parse_num(value("--k")?, "--k")?);
+                        i += 1;
+                    }
+                    "--k-range" => {
+                        k_range = Some(parse_k_range(value("--k-range")?)?);
+                        i += 1;
+                    }
+                    "--start" => {
+                        start = Some(parse_num(value("--start")?, "--start")? as u32);
+                        i += 1;
+                    }
+                    "--end" => {
+                        end = Some(parse_num(value("--end")?, "--end")? as u32);
+                        i += 1;
+                    }
+                    "--lane" => {
+                        lane = value("--lane")?
+                            .parse::<Lane>()
+                            .map_err(|e| CliError(format!("--lane: {e}")))?;
+                        i += 1;
+                    }
+                    "--deadline-ms" => {
+                        deadline_ms =
+                            Some(parse_num(value("--deadline-ms")?, "--deadline-ms")? as u64);
+                        i += 1;
+                    }
+                    "--algo" | "--algorithm" => {
+                        algorithm = Some(value(flag)?.parse::<Algorithm>()?);
+                        i += 1;
+                    }
+                    "--output" => {
+                        output = match value("--output")?.as_str() {
+                            "count" => OutputKind::Count,
+                            "cores" | "full" => OutputKind::Full,
+                            other => {
+                                return Err(CliError(format!(
+                                    "--output: `{other}` is not count or cores"
+                                )))
+                            }
+                        };
+                        i += 1;
+                    }
+                    other => return Err(CliError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            let action = if let Some(op) = op {
+                if k.is_some()
+                    || k_range.is_some()
+                    || start.is_some()
+                    || end.is_some()
+                    || deadline_ms.is_some()
+                {
+                    return Err(CliError(
+                        "--ping/--stats/--shutdown do not take query flags".into(),
+                    ));
+                }
+                op
+            } else {
+                let ks = match (k, k_range) {
+                    (Some(_), Some(_)) => {
+                        return Err(CliError("--k and --k-range are mutually exclusive".into()))
+                    }
+                    (Some(k), None) => KSpec::Single(k),
+                    (None, Some((lo, hi))) => KSpec::Range(lo, hi),
+                    (None, None) => {
+                        return Err(CliError(
+                            "client requires --k <K> or --k-range <MIN>..=<MAX> \
+                             (or one of --ping, --stats, --shutdown)"
+                                .into(),
+                        ))
+                    }
+                };
+                let start =
+                    start.ok_or_else(|| CliError("client queries require --start <TS>".into()))?;
+                let end =
+                    end.ok_or_else(|| CliError("client queries require --end <TE>".into()))?;
+                ClientAction::Query {
+                    ks,
+                    start,
+                    end,
+                    lane,
+                    deadline_ms,
+                    algorithm,
+                    output,
+                }
+            };
+            Ok(Command::Client { addr, action })
         }
         "gen-events" => {
             let count = parse_num(
@@ -654,13 +909,30 @@ fn parse_query_csv(
 /// Parses an event stream: one `u v t` triple per whitespace-separated line,
 /// blank lines and `#` comments ignored.  `path` labels parse errors.
 fn parse_event_lines(path: &str, content: &str) -> Result<Vec<IngestEvent>, CliError> {
+    // A stream cut mid-line (a pipe hung up, a partial file write) ends
+    // without a newline; when that final fragment is not a complete triple,
+    // name the truncation — the caller must know events were lost in
+    // transit, not merely mistyped.  A complete final triple without a
+    // trailing newline is ordinary and still accepted.
+    let truncated = !content.is_empty() && !content.ends_with('\n');
+    let last_line = content.lines().count();
     let mut events = Vec::new();
     for (lineno, raw) in content.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
-        let err = |msg: String| CliError(format!("{path}, line {}: {msg}", lineno + 1));
+        let err = |msg: String| {
+            if truncated && lineno + 1 == last_line {
+                CliError(format!(
+                    "{path}, line {}: truncated final event line ({msg}); the stream was \
+                     cut mid-line, so no events were ingested",
+                    lineno + 1
+                ))
+            } else {
+                CliError(format!("{path}, line {}: {msg}", lineno + 1))
+            }
+        };
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() != 3 {
             return Err(err(format!(
@@ -683,6 +955,57 @@ fn parse_event_lines(path: &str, content: &str) -> Result<Vec<IngestEvent>, CliE
         return Err(CliError(format!("{path} contains no events")));
     }
     Ok(events)
+}
+
+/// Renders a [`ClientAction`] as one request line of the wire protocol
+/// spoken by `tkc serve` (see `tkcore::wire`).
+pub fn render_client_line(action: &ClientAction) -> String {
+    match action {
+        ClientAction::Ping => r#"{"op": "ping"}"#.to_string(),
+        ClientAction::Stats => r#"{"op": "stats"}"#.to_string(),
+        ClientAction::Shutdown => r#"{"op": "shutdown"}"#.to_string(),
+        ClientAction::Query {
+            ks,
+            start,
+            end,
+            lane,
+            deadline_ms,
+            algorithm,
+            output,
+        } => {
+            let mut line = String::from(r#"{"op": "query", "id": 1"#);
+            match ks {
+                KSpec::Single(k) => {
+                    let _ = write!(line, r#", "k": {k}"#);
+                }
+                KSpec::Range(lo, hi) => {
+                    let _ = write!(line, r#", "k_min": {lo}, "k_max": {hi}"#);
+                }
+            }
+            let _ = write!(
+                line,
+                r#", "start": {start}, "end": {end}, "lane": "{lane}""#
+            );
+            if let Some(ms) = deadline_ms {
+                let _ = write!(line, r#", "deadline_ms": {ms}"#);
+            }
+            if let Some(algo) = algorithm {
+                // The server's parser folds case and separators either way.
+                let _ = write!(
+                    line,
+                    r#", "algo": "{}""#,
+                    algo.to_string().to_ascii_lowercase()
+                );
+            }
+            let output = match output {
+                OutputKind::Count => "count",
+                OutputKind::Full => "cores",
+            };
+            let _ = write!(line, r#", "output": "{output}""#);
+            line.push('}');
+            line
+        }
+    }
 }
 
 /// Writes the per-query result table of `tkc batch`.
@@ -1160,6 +1483,86 @@ pub fn run(command: Command) -> Result<String, CliError> {
                     write_batch_rows(&mut out, &parsed, &rows);
                 }
             }
+        }
+        Command::Serve {
+            path,
+            addr,
+            shards,
+            workers,
+            conn_workers,
+            queue_depth,
+            affinity,
+        } => {
+            let graph = temporal_graph::loader::read_edge_list(&path)?;
+            let mut config = ServiceConfig {
+                workers,
+                affinity,
+                ..ServiceConfig::default()
+            };
+            if queue_depth > 0 {
+                config.queue_depth = queue_depth;
+            }
+            let service = Arc::new(if shards > 0 {
+                CoreService::start_sharded(graph, ShardPlan::FixedCount(shards), config)?
+            } else {
+                CoreService::start(graph, config)
+            });
+            let server = TkServer::bind(
+                Arc::clone(&service),
+                addr.as_str(),
+                ServerConfig {
+                    connection_workers: conn_workers,
+                    ..ServerConfig::default()
+                },
+            )?;
+            // Announce readiness on stdout *before* blocking in the accept
+            // loop, so scripts (and the CI smoke test) can synchronise on
+            // this line instead of sleeping.
+            println!("listening on {}", server.local_addr());
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+            let summary = server.serve()?;
+            let stats = service.stats();
+            drop(server);
+            // Dropping the service drains the queue; a second drain via an
+            // explicit shutdown elsewhere would be a no-op.
+            drop(service);
+            let _ = writeln!(
+                out,
+                "drained after {} connections, {} request lines",
+                summary.connections, summary.requests
+            );
+            for lane in [Lane::Interactive, Lane::Batch] {
+                let counters = stats.lane(lane);
+                let _ = writeln!(
+                    out,
+                    "{lane}: {} admitted, {} completed, {} shed, {} rejected",
+                    counters.admitted, counters.completed, counters.shed, counters.rejected
+                );
+            }
+        }
+        Command::Client { addr, action } => {
+            use std::io::{BufRead as _, Write as _};
+            let line = render_client_line(&action);
+            let stream = std::net::TcpStream::connect(&addr)
+                .map_err(|e| CliError(format!("cannot connect to {addr}: {e}")))?;
+            let mut writer = stream
+                .try_clone()
+                .map_err(|e| CliError(format!("cannot open the connection to {addr}: {e}")))?;
+            writeln!(writer, "{line}")
+                .and_then(|()| writer.flush())
+                .map_err(|e| CliError(format!("cannot send to {addr}: {e}")))?;
+            let mut reply = String::new();
+            std::io::BufReader::new(stream)
+                .read_line(&mut reply)
+                .map_err(|e| CliError(format!("cannot read the reply from {addr}: {e}")))?;
+            if reply.trim().is_empty() {
+                return Err(CliError(format!(
+                    "{addr} closed the connection without a reply"
+                )));
+            }
+            // An error reply (shed, refused, failed) is data, not a
+            // transport failure; print it and exit 0 either way.
+            let _ = writeln!(out, "{}", reply.trim_end());
         }
         Command::GenEvents {
             count,
@@ -1976,6 +2379,127 @@ mod tests {
         assert!(!jittered.contains("ingested 0/"), "{jittered}");
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parses_serve_with_defaults_and_flags() {
+        assert_eq!(
+            parse_args(&strings(&["serve", "g.txt"])).unwrap(),
+            Command::Serve {
+                path: "g.txt".into(),
+                addr: "127.0.0.1:7411".into(),
+                shards: 0,
+                workers: 0,
+                conn_workers: 4,
+                queue_depth: 0,
+                affinity: Affinity::Shared,
+            }
+        );
+        assert_eq!(
+            parse_args(&strings(&[
+                "serve",
+                "g.txt",
+                "--addr",
+                "127.0.0.1:0",
+                "--shards",
+                "3",
+                "--workers",
+                "2",
+                "--conn-workers",
+                "8",
+                "--queue-depth",
+                "16",
+                "--affinity",
+                "shard",
+            ]))
+            .unwrap(),
+            Command::Serve {
+                path: "g.txt".into(),
+                addr: "127.0.0.1:0".into(),
+                shards: 3,
+                workers: 2,
+                conn_workers: 8,
+                queue_depth: 16,
+                affinity: Affinity::Shard,
+            }
+        );
+        assert!(parse_args(&strings(&["serve", "g.txt", "--conn-workers", "0"])).is_err());
+    }
+
+    #[test]
+    fn parses_client_queries_and_ops() {
+        assert_eq!(
+            parse_args(&strings(&[
+                "client",
+                "127.0.0.1:7411",
+                "--k",
+                "2",
+                "--start",
+                "1",
+                "--end",
+                "9",
+                "--lane",
+                "batch",
+                "--deadline-ms",
+                "250",
+            ]))
+            .unwrap(),
+            Command::Client {
+                addr: "127.0.0.1:7411".into(),
+                action: ClientAction::Query {
+                    ks: KSpec::Single(2),
+                    start: 1,
+                    end: 9,
+                    lane: Lane::Batch,
+                    deadline_ms: Some(250),
+                    algorithm: None,
+                    output: OutputKind::Count,
+                },
+            }
+        );
+        assert_eq!(
+            parse_args(&strings(&["client", "localhost:7411", "--shutdown"])).unwrap(),
+            Command::Client {
+                addr: "localhost:7411".into(),
+                action: ClientAction::Shutdown,
+            }
+        );
+        // A query needs k and an explicit range; ops reject query flags.
+        assert!(parse_args(&strings(&["client", "h:1", "--k", "2"])).is_err());
+        assert!(parse_args(&strings(&["client", "h:1"])).is_err());
+        assert!(parse_args(&strings(&["client", "h:1", "--ping", "--k", "2"])).is_err());
+        assert!(parse_args(&strings(&["client", "h:1", "--lane", "express"])).is_err());
+    }
+
+    #[test]
+    fn client_lines_follow_the_wire_protocol() {
+        assert_eq!(render_client_line(&ClientAction::Ping), r#"{"op": "ping"}"#);
+        let line = render_client_line(&ClientAction::Query {
+            ks: KSpec::Range(2, 4),
+            start: 1,
+            end: 9,
+            lane: Lane::Batch,
+            deadline_ms: Some(250),
+            algorithm: Some(Algorithm::Enum),
+            output: OutputKind::Full,
+        });
+        assert_eq!(
+            line,
+            r#"{"op": "query", "id": 1, "k_min": 2, "k_max": 4, "start": 1, "end": 9, "lane": "batch", "deadline_ms": 250, "algo": "enum", "output": "cores"}"#
+        );
+    }
+
+    #[test]
+    fn a_truncated_final_event_line_is_a_typed_error() {
+        let err = parse_event_lines("<stdin>", "1 2 101\n3 4").unwrap_err();
+        assert!(err.0.contains("truncated final event line"), "{}", err.0);
+        assert!(err.0.contains("line 2"), "{}", err.0);
+        // The same defect mid-stream is an ordinary parse error...
+        let err = parse_event_lines("<stdin>", "1 2\n3 4 102\n").unwrap_err();
+        assert!(!err.0.contains("truncated"), "{}", err.0);
+        // ...and a complete final triple without a trailing newline is fine.
+        let events = parse_event_lines("<stdin>", "1 2 101\n3 4 102").unwrap();
+        assert_eq!(events.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! End-to-end process tests of the serving commands, driving the real
+//! `tkc` binary:
+//!
+//! * `tkc ingest - ` fed a stdin stream cut mid-line exits nonzero with a
+//!   typed "truncated final event line" error — never a panic, never a
+//!   silent drop;
+//! * `tkc serve` on an ephemeral port announces `listening on <addr>`,
+//!   answers `tkc client` pings, queries, deadline-expired requests (an
+//!   error *reply*, exit 0) and stats, then drains gracefully on
+//!   `tkc client --shutdown` and exits 0.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_tkc");
+const GRAPH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../data/paper_example.txt");
+
+fn run_client(addr: &str, args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(BIN)
+        .args(["client", addr])
+        .args(args)
+        .output()
+        .expect("client runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Kills `child` and fails with its captured output when an assertion
+/// about the live server has already failed.
+fn kill(mut child: Child) {
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+#[test]
+fn truncated_stdin_ingest_exits_nonzero_with_a_typed_error() {
+    let mut child = Command::new(BIN)
+        .args(["ingest", GRAPH, "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("ingest spawns");
+    // A stream cut mid-line: the final triple is missing its timestamp.
+    child
+        .stdin
+        .take()
+        .expect("stdin is piped")
+        .write_all(b"1 2 101\n3 4")
+        .expect("write the truncated stream");
+    let out = child.wait_with_output().expect("ingest exits");
+    assert!(
+        !out.status.success(),
+        "a truncated stream must fail: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(stderr.contains("truncated final event line"), "{stderr}");
+    assert!(stderr.contains("<stdin>, line 2"), "{stderr}");
+}
+
+#[test]
+fn serve_round_trips_with_the_client_and_drains_on_shutdown() {
+    let mut server = Command::new(BIN)
+        .args(["serve", GRAPH, "--addr", "127.0.0.1:0", "--workers", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    // The readiness line carries the resolved ephemeral address.
+    let mut stdout = BufReader::new(server.stdout.take().expect("stdout is piped"));
+    let mut ready = String::new();
+    stdout.read_line(&mut ready).expect("readiness line");
+    let Some(addr) = ready.trim().strip_prefix("listening on ") else {
+        kill(server);
+        panic!("unexpected readiness line: {ready:?}");
+    };
+    let addr = addr.to_string();
+
+    // Liveness, a served query, a shed request and the stats op — each a
+    // fresh connection, all exit 0 (error replies are data).
+    for (args, needle) in [
+        (vec!["--ping"], r#""op":"ping""#),
+        (
+            vec!["--k", "2", "--start", "1", "--end", "4"],
+            r#""outcomes":[{"k":2,"cores":2"#,
+        ),
+        (
+            vec![
+                "--k",
+                "2",
+                "--start",
+                "1",
+                "--end",
+                "4",
+                "--lane",
+                "batch",
+                "--deadline-ms",
+                "0",
+            ],
+            r#""error":"DeadlineExceeded""#,
+        ),
+        (vec!["--stats"], r#""lanes":{"interactive""#),
+    ] {
+        let (ok, out, err) = run_client(&addr, &args);
+        if !ok || !out.contains(needle) {
+            kill(server);
+            panic!("client {args:?} failed: stdout {out:?}, stderr {err:?}");
+        }
+    }
+
+    // Graceful drain: the shutdown op is acked and the server process
+    // exits 0 with the drain summary on stdout.
+    let (ok, out, err) = run_client(&addr, &["--shutdown"]);
+    if !ok || !out.contains(r#""op":"shutdown""#) {
+        kill(server);
+        panic!("shutdown failed: stdout {out:?}, stderr {err:?}");
+    }
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "drain exits 0, got {status:?}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stdout, &mut rest).expect("summary");
+    assert!(rest.contains("drained after"), "{rest}");
+    assert!(rest.contains("interactive:"), "{rest}");
+    assert!(rest.contains("batch:"), "{rest}");
+}

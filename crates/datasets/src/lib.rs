@@ -22,4 +22,7 @@ pub use profiles::{
     DatasetProfile, TemporalRegime, ALL_PROFILES, FIGURE4_PROFILES, VARYING_PROFILES,
 };
 pub use stats::DatasetStats;
-pub use workload::{ArrivalProfile, EventStream, EventStreamConfig, QueryWorkload, WorkloadConfig};
+pub use workload::{
+    ArrivalProfile, EventStream, EventStreamConfig, OverloadConfig, OverloadRequest,
+    OverloadWorkload, QueryWorkload, WorkloadConfig,
+};

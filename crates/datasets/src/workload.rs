@@ -218,6 +218,139 @@ impl EventStream {
     }
 }
 
+/// Configuration of an overload serving mix (see [`OverloadWorkload`]).
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadConfig {
+    /// Number of requests in the mix.
+    pub num_requests: usize,
+    /// Percentage (0–100) of requests submitted on the interactive lane.
+    pub interactive_percent: u8,
+    /// Query parameter `k` shared by all requests.
+    pub k: usize,
+    /// Length of every query range, in timestamps.
+    pub range_len: u32,
+    /// Deadline carried by interactive requests, in milliseconds.
+    pub interactive_deadline_ms: u64,
+    /// Deadline carried by batch requests (`None` = patient batch traffic
+    /// that is never shed, only reordered behind interactive work).
+    pub batch_deadline_ms: Option<u64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        Self {
+            num_requests: 64,
+            interactive_percent: 25,
+            k: 2,
+            range_len: 8,
+            interactive_deadline_ms: 2_000,
+            batch_deadline_ms: Some(50),
+            seed: 42,
+        }
+    }
+}
+
+/// One request of an overload mix: a query range plus its serving options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadRequest {
+    /// Query parameter `k`.
+    pub k: usize,
+    /// Query time range.
+    pub range: TimeWindow,
+    /// `true` for the interactive lane, `false` for batch.
+    pub interactive: bool,
+    /// Relative deadline in milliseconds, if any.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A deterministic mixed interactive/batch request sequence for driving a
+/// `CoreService` (or a `tkc serve` front end) into overload.
+///
+/// The mix reproduces the serving scenario of the saturation experiments:
+/// a minority of latency-sensitive interactive requests with generous
+/// deadlines interleaved into a flood of batch requests with tight (or no)
+/// deadlines.  Under a saturated queue the expected outcome is that
+/// interactive requests still complete within their deadline while
+/// deadline-carrying batch requests are shed at dequeue.
+#[derive(Debug, Clone)]
+pub struct OverloadWorkload {
+    /// The generated requests, in submission order.
+    pub requests: Vec<OverloadRequest>,
+}
+
+impl OverloadWorkload {
+    /// Generates a mix over the span `[1, tmax]` according to `config`.
+    ///
+    /// Interactive requests are spread evenly through the sequence (one
+    /// every `100 / interactive_percent` slots) rather than drawn at
+    /// random, so every prefix of the mix has roughly the configured lane
+    /// ratio — truncating the workload (quick CI modes) keeps it
+    /// representative.  Ranges are drawn uniformly within the span.
+    pub fn generate(tmax: Timestamp, config: &OverloadConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let tmax = tmax.max(1);
+        let len = config.range_len.clamp(1, tmax);
+        let percent = u64::from(config.interactive_percent.min(100));
+        let mut requests = Vec::with_capacity(config.num_requests);
+        let mut interactive_due = 0u64; // fixed-point accumulator, in percent
+        for _ in 0..config.num_requests {
+            interactive_due += percent;
+            let interactive = interactive_due >= 100;
+            if interactive {
+                interactive_due -= 100;
+            }
+            let start = rng.random_range(1..=(tmax - len + 1).max(1)) as Timestamp;
+            let range = TimeWindow::new(start, (start + len - 1).min(tmax));
+            requests.push(OverloadRequest {
+                k: config.k,
+                range,
+                interactive,
+                deadline_ms: if interactive {
+                    Some(config.interactive_deadline_ms)
+                } else {
+                    config.batch_deadline_ms
+                },
+            });
+        }
+        Self { requests }
+    }
+
+    /// Number of requests in the mix.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when the mix has no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Renders the mix as request lines of the `tkc serve` wire protocol
+    /// (line-delimited JSON, one request per line), with the request index
+    /// as the client `"id"` so replies can be correlated.
+    pub fn wire_lines(&self) -> Vec<String> {
+        self.requests
+            .iter()
+            .enumerate()
+            .map(|(id, r)| {
+                let lane = if r.interactive { "interactive" } else { "batch" };
+                let deadline = r
+                    .deadline_ms
+                    .map(|ms| format!(r#", "deadline_ms": {ms}"#))
+                    .unwrap_or_default();
+                format!(
+                    r#"{{"op": "query", "id": {id}, "k": {}, "start": {}, "end": {}, "lane": "{lane}"{deadline}, "output": "count"}}"#,
+                    r.k,
+                    r.range.start(),
+                    r.range.end(),
+                )
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +437,63 @@ mod tests {
         let a = QueryWorkload::generate(&g, &config);
         let b = QueryWorkload::generate(&g, &config);
         assert_eq!(a.ranges, b.ranges);
+    }
+
+    #[test]
+    fn overload_mixes_are_deterministic_and_prefix_balanced() {
+        let config = OverloadConfig {
+            num_requests: 40,
+            interactive_percent: 25,
+            ..OverloadConfig::default()
+        };
+        let mix = OverloadWorkload::generate(100, &config);
+        assert_eq!(mix.len(), 40);
+        assert_eq!(
+            mix.requests,
+            OverloadWorkload::generate(100, &config).requests,
+            "deterministic"
+        );
+        let interactive = mix.requests.iter().filter(|r| r.interactive).count();
+        assert_eq!(interactive, 10, "25% of 40");
+        // Even spread: every prefix of 8 holds exactly 2 interactive ones.
+        for chunk in mix.requests.chunks(8) {
+            assert_eq!(chunk.iter().filter(|r| r.interactive).count(), 2);
+        }
+        for r in &mix.requests {
+            assert!(r.range.end() <= 100);
+            let expected = if r.interactive {
+                Some(config.interactive_deadline_ms)
+            } else {
+                config.batch_deadline_ms
+            };
+            assert_eq!(r.deadline_ms, expected);
+        }
+    }
+
+    #[test]
+    fn overload_wire_lines_speak_the_serve_protocol() {
+        let mix = OverloadWorkload::generate(
+            50,
+            &OverloadConfig {
+                num_requests: 4,
+                interactive_percent: 50,
+                batch_deadline_ms: None,
+                ..OverloadConfig::default()
+            },
+        );
+        let lines = mix.wire_lines();
+        assert_eq!(lines.len(), 4);
+        for (id, (line, request)) in lines.iter().zip(&mix.requests).enumerate() {
+            assert!(line.starts_with(r#"{"op": "query""#), "{line}");
+            assert!(line.contains(&format!(r#""id": {id}"#)), "{line}");
+            let lane = if request.interactive {
+                "interactive"
+            } else {
+                "batch"
+            };
+            assert!(line.contains(&format!(r#""lane": "{lane}""#)), "{line}");
+            assert_eq!(line.contains("deadline_ms"), request.interactive, "{line}");
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::query::Algorithm;
 use std::fmt;
+use std::time::Duration;
 use temporal_graph::Timestamp;
 
 /// Error type of the unified time-range temporal k-core query API.
@@ -48,6 +49,15 @@ pub enum TkError {
         resource: &'static str,
         /// The configured limit in the resource's natural unit.
         limit: usize,
+    },
+    /// The request's deadline expired before a worker could execute it: it
+    /// was shed from the queue (or refused at admission when it arrived
+    /// already expired) without running.  Nothing was computed.
+    DeadlineExceeded {
+        /// The deadline the request carried at submission.
+        deadline: Duration,
+        /// How long the request had waited when it was shed.
+        waited: Duration,
     },
     /// A precomputed [`crate::EdgeCoreSkyline`] was supplied for different
     /// query parameters than the query being executed.
@@ -119,6 +129,36 @@ pub enum TkError {
     },
 }
 
+impl TkError {
+    /// Stable machine-readable name of this error's variant.
+    ///
+    /// The `tkc serve` wire protocol puts this in every error reply's
+    /// `"error"` field so clients can route on it (retry `BudgetExceeded`,
+    /// drop `DeadlineExceeded`, surface the rest) without parsing the
+    /// human-readable [`fmt::Display`] rendering.
+    pub fn code(&self) -> &'static str {
+        match self {
+            TkError::KOutOfRange { .. } => "KOutOfRange",
+            TkError::EmptyKSelection => "EmptyKSelection",
+            TkError::EmptyWindow { .. } => "EmptyWindow",
+            TkError::WindowPastTmax { .. } => "WindowPastTmax",
+            TkError::BudgetExceeded { .. } => "BudgetExceeded",
+            TkError::DeadlineExceeded { .. } => "DeadlineExceeded",
+            TkError::SkylineMismatch { .. } => "SkylineMismatch",
+            TkError::UnsupportedAlgorithm { .. } => "UnsupportedAlgorithm",
+            TkError::UnknownAlgorithm { .. } => "UnknownAlgorithm",
+            TkError::InvalidShardPlan { .. } => "InvalidShardPlan",
+            TkError::GraphMismatch => "GraphMismatch",
+            TkError::ServiceStopped => "ServiceStopped",
+            TkError::WorkerPanicked { .. } => "WorkerPanicked",
+            TkError::Io { .. } => "Io",
+            TkError::AppendOutOfOrder { .. } => "AppendOutOfOrder",
+            TkError::AppendDuplicate { .. } => "AppendDuplicate",
+            TkError::AppendRejected { .. } => "AppendRejected",
+        }
+    }
+}
+
 impl fmt::Display for TkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -143,6 +183,11 @@ impl fmt::Display for TkError {
                     "{resource} budget exceeded (limit {limit}); request rejected"
                 )
             }
+            TkError::DeadlineExceeded { deadline, waited } => write!(
+                f,
+                "deadline of {deadline:?} exceeded after waiting {waited:?}; request shed \
+                 without executing"
+            ),
             TkError::SkylineMismatch { detail } => {
                 write!(f, "skyline does not match the query: {detail}")
             }
@@ -231,6 +276,13 @@ mod tests {
                 "request queue",
             ),
             (
+                TkError::DeadlineExceeded {
+                    deadline: Duration::from_millis(5),
+                    waited: Duration::from_millis(9),
+                },
+                "deadline",
+            ),
+            (
                 TkError::UnsupportedAlgorithm {
                     algorithm: Algorithm::Otcd,
                     operation: "skyline execution",
@@ -278,7 +330,29 @@ mod tests {
         for (err, needle) in cases {
             let rendered = err.to_string();
             assert!(rendered.contains(needle), "{rendered:?} vs {needle:?}");
+            assert!(!err.code().is_empty(), "every variant has a wire code");
         }
+    }
+
+    #[test]
+    fn codes_name_the_variant() {
+        assert_eq!(TkError::ServiceStopped.code(), "ServiceStopped");
+        assert_eq!(
+            TkError::DeadlineExceeded {
+                deadline: Duration::from_millis(1),
+                waited: Duration::from_millis(2),
+            }
+            .code(),
+            "DeadlineExceeded"
+        );
+        assert_eq!(
+            TkError::BudgetExceeded {
+                resource: "request queue",
+                limit: 4,
+            }
+            .code(),
+            "BudgetExceeded"
+        );
     }
 
     #[test]

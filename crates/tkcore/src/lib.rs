@@ -108,6 +108,36 @@
 //!   [`ServiceStats::ingest`]), and the `tkc ingest` CLI command drives
 //!   file/stdin event streams through it.
 //!
+//! # Serving
+//!
+//! [`server::TkServer`] puts a std-only TCP front end on the service: a
+//! line-delimited JSON protocol (one request per line, one reply line per
+//! request; see [`wire`] for the field-level spec) decoded into the same
+//! [`QueryRequest`] surface and submitted through
+//! [`CoreService::submit_opts`].  Three serving policies compose on top of
+//! the existing queue-depth and memory admission gates:
+//!
+//! * **priority lanes** — every request queues in a [`Lane`]
+//!   (`interactive` or `batch`); workers always dequeue waiting
+//!   interactive requests first, so under pressure batch traffic absorbs
+//!   the queueing delay.  [`ServiceStats::per_lane`] breaks
+//!   admitted/completed/shed/rejected out per lane, summing to the
+//!   service-wide totals (ingest batches account under `batch`);
+//! * **deadlines** — a request may carry a relative deadline
+//!   ([`SubmitOptions::deadline`], `"deadline_ms"` on the wire).  It is
+//!   checked twice and never interrupts execution: an already-expired
+//!   (zero) deadline is refused at admission, and a request whose deadline
+//!   passes while queued is **shed** at dequeue with
+//!   [`TkError::DeadlineExceeded`] — the worker moves on instead of
+//!   computing an answer nobody is waiting for.  Shed and refused requests
+//!   are error *replies*, not closed connections, so clients can tell
+//!   backpressure ([`TkError::BudgetExceeded`]) from timeout shedding;
+//! * **graceful drain** — a `{"op": "shutdown"}` line stops the acceptor;
+//!   [`server::TkServer::serve`] finishes every in-flight connection
+//!   before returning, and dropping the [`CoreService`] afterwards waits
+//!   out the request queue ([`CoreService::shutdown`] followed by the
+//!   implicit drop is idempotent).
+//!
 //! # Example
 //!
 //! ```
@@ -230,12 +260,14 @@ pub mod paper_example;
 mod query;
 mod request;
 mod result;
+pub mod server;
 pub mod service;
 pub mod shard;
 mod sink;
 mod stats;
 pub mod sync;
 mod vct;
+pub mod wire;
 
 pub use backend::{CachedBackend, CoreBackend};
 pub use ecs::{EdgeCoreSkyline, SkylineScratch};
@@ -255,9 +287,11 @@ pub use request::{
     KOutcome, KOutput, KSelection, OutputMode, QueryRequest, QueryResponse, ValidatedRequest,
 };
 pub use result::TemporalKCore;
+pub use server::{ServeSummary, ServerConfig, TkServer};
 pub use service::{
-    Affinity, CoreService, IngestLaneStats, IngestReply, IngestTicket, LatencyHistogram, RequestId,
-    ServiceConfig, ServiceReply, ServiceStats, Ticket, WorkerStats,
+    Affinity, CoreService, IngestLaneStats, IngestReply, IngestTicket, Lane, LaneStats,
+    LatencyHistogram, RequestId, ServiceConfig, ServiceReply, ServiceStats, SubmitOptions, Ticket,
+    WorkerStats,
 };
 pub use shard::{ShardPlan, ShardedBackend, ShardedEngine};
 pub use sink::{CollectingSink, CountingSink, FnSink, ResultSink};

@@ -1,0 +1,293 @@
+//! A std-only TCP front end over [`CoreService`]: [`TkServer`].
+//!
+//! The server speaks the line-delimited JSON protocol of [`crate::wire`]
+//! (one request per line, one reply line per request, in order) and adds
+//! the network-side half of the serving contract:
+//!
+//! * **deadline-aware admission** — each query line may carry
+//!   `"deadline_ms"` and a `"lane"`; both are handed to
+//!   [`CoreService::submit_opts`], so expired requests are refused at
+//!   admission, queued requests that outlive their deadline are shed with
+//!   [`TkError::DeadlineExceeded`], and interactive traffic dequeues ahead
+//!   of batch traffic.  A shed or refused request is an **error reply**,
+//!   never a closed connection;
+//! * **bounded concurrency** — connections are handled by a dedicated
+//!   [`ExecPool`] of [`ServerConfig::connection_workers`] tasks, disjoint
+//!   from the service's worker pool.  A connection task blocks on its
+//!   ticket while the service pool computes, so at most
+//!   `connection_workers` connections are served concurrently and the
+//!   pending ones queue in the listener backlog;
+//! * **graceful drain** — a `{"op": "shutdown"}` line (or
+//!   [`TkServer::stop`]) makes the acceptor stop taking connections;
+//!   [`TkServer::serve`] then waits for every in-flight connection task to
+//!   finish before returning, and dropping the service afterwards drains
+//!   the request queue.  Idle connections notice the drain within
+//!   [`ServerConfig::poll_interval`] and close.
+//!
+//! The accept loop runs on the caller's thread (it is the only blocking
+//! loop outside the pool), so `TkServer` spawns no raw threads.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::error::TkError;
+use crate::exec::ExecPool;
+use crate::service::{CoreService, SubmitOptions};
+use crate::wire::{self, WireConfig, WireRequest};
+
+/// Tuning knobs of a [`TkServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Connection-handler tasks (and therefore concurrently served
+    /// connections); `0` is treated as `1`.
+    pub connection_workers: usize,
+    /// How often an idle connection wakes to check for a server drain.
+    pub poll_interval: Duration,
+    /// Wire-level options (reply truncation).
+    pub wire: WireConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            connection_workers: 4,
+            poll_interval: Duration::from_millis(200),
+            wire: WireConfig::default(),
+        }
+    }
+}
+
+/// What a completed [`TkServer::serve`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted and fully handled.
+    pub connections: u64,
+    /// Request lines handled across all connections (including malformed
+    /// ones, which replied `BadRequest`).
+    pub requests: u64,
+}
+
+/// Connection bookkeeping shared between the acceptor and the handlers.
+struct ServerShared {
+    service: Arc<CoreService>,
+    config: ServerConfig,
+    local_addr: SocketAddr,
+    /// Set by a `shutdown` op or [`TkServer::stop`]; the acceptor checks it
+    /// after every accept and handlers after every idle poll.
+    draining: AtomicBool,
+    /// In-flight connection tasks; `serve` waits for zero under `idle`.
+    active: Mutex<usize>,
+    idle: Condvar,
+    requests: AtomicU64,
+}
+
+impl ServerShared {
+    fn begin_connection(&self) {
+        *crate::sync::lock(&self.active) += 1;
+    }
+
+    fn end_connection(&self) {
+        let mut active = crate::sync::lock(&self.active);
+        *active -= 1;
+        if *active == 0 {
+            self.idle.notify_all();
+        }
+    }
+}
+
+/// A TCP front end serving one [`CoreService`] on one listener.
+///
+/// Bind with [`TkServer::bind`], then block in [`TkServer::serve`]; see the
+/// [module docs](self) for the protocol and the drain contract.
+pub struct TkServer {
+    listener: TcpListener,
+    pool: Arc<ExecPool>,
+    shared: Arc<ServerShared>,
+}
+
+impl TkServer {
+    /// Binds a listener on `addr` (use port `0` for an ephemeral port, then
+    /// read [`TkServer::local_addr`]) serving `service`.
+    ///
+    /// # Errors
+    /// [`TkError::Io`] when the address cannot be bound.
+    pub fn bind(
+        service: Arc<CoreService>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> Result<Self, TkError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            service,
+            config,
+            local_addr,
+            draining: AtomicBool::new(false),
+            active: Mutex::new(0),
+            idle: Condvar::new(),
+            requests: AtomicU64::new(0),
+        });
+        Ok(Self {
+            listener,
+            pool: ExecPool::new(config.connection_workers.max(1)),
+            shared,
+        })
+    }
+
+    /// The bound address (resolves port `0` to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Asks a server blocked in [`TkServer::serve`] — typically on another
+    /// thread — to drain: stop accepting, finish in-flight connections,
+    /// return.  Equivalent to a client sending `{"op": "shutdown"}`.
+    pub fn stop(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        wake_acceptor(&self.shared);
+    }
+
+    /// Accepts and serves connections until a drain is requested, then
+    /// waits for every in-flight connection to finish and returns.
+    ///
+    /// # Errors
+    /// [`TkError::Io`] when the listener itself fails (individual
+    /// connection errors only drop that connection).
+    pub fn serve(&self) -> Result<ServeSummary, TkError> {
+        let mut connections = 0u64;
+        loop {
+            if self.shared.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            let (stream, _peer) = match self.listener.accept() {
+                Ok(accepted) => accepted,
+                Err(_) if self.shared.draining.load(Ordering::SeqCst) => break,
+                Err(e) => return Err(e.into()),
+            };
+            if self.shared.draining.load(Ordering::SeqCst) {
+                // The drain wake-up connection (or a client racing it).
+                break;
+            }
+            connections += 1;
+            let shared = Arc::clone(&self.shared);
+            shared.begin_connection();
+            self.pool.spawn(move |_worker| {
+                handle_connection(&shared, stream);
+                shared.end_connection();
+            });
+        }
+        let mut active = crate::sync::lock(&self.shared.active);
+        while *active > 0 {
+            active = crate::sync::wait(&self.shared.idle, active);
+        }
+        drop(active);
+        Ok(ServeSummary {
+            connections,
+            requests: self.shared.requests.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Unblocks an acceptor sitting in `accept()` by connecting to it; the
+/// acceptor re-checks the drain flag on wake-up.
+fn wake_acceptor(shared: &ServerShared) {
+    let _ = TcpStream::connect(shared.local_addr);
+}
+
+/// Serves one connection: read a line, handle it, write one reply line,
+/// repeat until EOF, a write failure, or a server drain.
+fn handle_connection(shared: &ServerShared, stream: TcpStream) {
+    // A finite read timeout turns an idle blocked read into a periodic
+    // drain check, so lingering idle clients cannot stall a graceful drain
+    // forever.
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Retry loop for idle-poll timeouts; `read_line` keeps partially
+        // read bytes in `line`, so retrying never drops data.
+        let eof = loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => break true,
+                // `read_line` returns bytes without a trailing newline only
+                // at EOF — the stream was cut mid-line.
+                Ok(_) if line.ends_with('\n') => break false,
+                Ok(_) => break true,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if shared.draining.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        };
+        if eof {
+            if !line.trim().is_empty() {
+                // The stream was cut mid-line; tell the client rather than
+                // silently dropping the fragment.
+                let reply =
+                    wire::render_error_code(None, "BadRequest", "truncated final request line");
+                let _ = writeln!(writer, "{reply}");
+            }
+            return;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let reply = handle_line(shared, line.trim());
+        if writeln!(writer, "{reply}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if shared.draining.load(Ordering::SeqCst) {
+            // This connection asked for the shutdown (or raced one); close
+            // so the drain can complete.
+            return;
+        }
+    }
+}
+
+/// Handles one request line and renders its reply line.
+fn handle_line(shared: &ServerShared, line: &str) -> String {
+    match wire::parse_request(line) {
+        Err(defect) => wire::render_error_code(None, "BadRequest", &defect),
+        Ok(WireRequest::Ping) => wire::render_ack("ping"),
+        Ok(WireRequest::Stats) => wire::render_stats(&shared.service.stats()),
+        Ok(WireRequest::Shutdown) => {
+            shared.draining.store(true, Ordering::SeqCst);
+            wake_acceptor(shared);
+            wire::render_ack("shutdown")
+        }
+        Ok(WireRequest::Query(query)) => {
+            let opts = SubmitOptions {
+                algorithm: query.algorithm,
+                lane: query.lane,
+                deadline: query.deadline,
+            };
+            match shared.service.submit_opts(query.request, opts) {
+                Err(err) => wire::render_error(query.client_id, &err),
+                // tkc-lint: allow(no-blocking-in-worker) — connection tasks run on the server's dedicated pool and wait on tickets executed by the service's disjoint worker pool; no service job ever runs on the connection pool, so this wait cannot starve the workers it waits on
+                Ok(ticket) => match ticket.wait() {
+                    Ok(reply) => wire::render_reply(query.client_id, &reply, &shared.config.wire),
+                    Err(err) => wire::render_error(query.client_id, &err),
+                },
+            }
+        }
+    }
+}

@@ -33,8 +33,15 @@
 //! * multi-`k` requests fan across the engine's batch path on the **same
 //!   pool** (the executing worker participates, so nested fan-out cannot
 //!   deadlock), and a `k`-range sweep still costs at most one skyline build
-//!   per `(shard, k)`.
+//!   per `(shard, k)`;
+//! * every request belongs to a priority [`Lane`] and may carry a
+//!   **deadline** ([`CoreService::submit_opts`]): workers dequeue waiting
+//!   interactive requests ahead of batch ones, and a request whose deadline
+//!   expired while it waited is **shed** with [`TkError::DeadlineExceeded`]
+//!   instead of executing — overload degrades batch traffic first and never
+//!   spends a worker on an answer nobody is waiting for.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
@@ -81,6 +88,110 @@ impl std::str::FromStr for Affinity {
             "shard" => Ok(Affinity::Shard),
             other => Err(format!("`{other}` is not `shared` or `shard`")),
         }
+    }
+}
+
+/// Priority class of a submitted request (see [`SubmitOptions::lane`]).
+///
+/// Workers always dequeue waiting `Interactive` requests before `Batch`
+/// ones on every worker lane; within a class, requests dequeue in FIFO
+/// order.  Admission control (queue depth, memory gate) and deadlines apply
+/// to both classes alike — priority decides *who runs first*, not *who gets
+/// in*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Lane {
+    /// Latency-sensitive traffic; always served first.
+    #[default]
+    Interactive,
+    /// Throughput traffic; served when no interactive request is waiting.
+    /// Ingest batches ([`CoreService::submit_append`]) account here.
+    Batch,
+}
+
+impl Lane {
+    /// Number of priority lanes (the length of [`ServiceStats::per_lane`]).
+    pub const COUNT: usize = 2;
+
+    /// Index of this lane in [`ServiceStats::per_lane`].
+    pub fn index(self) -> usize {
+        match self {
+            Lane::Interactive => 0,
+            Lane::Batch => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Lane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Lane::Interactive => write!(f, "interactive"),
+            Lane::Batch => write!(f, "batch"),
+        }
+    }
+}
+
+impl std::str::FromStr for Lane {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "interactive" => Ok(Lane::Interactive),
+            "batch" => Ok(Lane::Batch),
+            other => Err(format!("`{other}` is not `interactive` or `batch`")),
+        }
+    }
+}
+
+/// Per-request options of [`CoreService::submit_opts`].
+#[derive(Debug, Clone, Copy)]
+pub struct SubmitOptions {
+    /// The algorithm executing the request.
+    pub algorithm: Algorithm,
+    /// The priority class the request queues in.
+    pub lane: Lane,
+    /// Relative deadline, measured from submission.  A request still queued
+    /// when its deadline expires is shed at dequeue with
+    /// [`TkError::DeadlineExceeded`] instead of executing; a zero deadline
+    /// is refused at admission.  The deadline does **not** abort a request
+    /// already executing — it bounds queueing, not computation.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        Self {
+            algorithm: Algorithm::Enum,
+            lane: Lane::Interactive,
+            deadline: None,
+        }
+    }
+}
+
+impl SubmitOptions {
+    /// Options for a batch-lane request with the default algorithm.
+    pub fn batch() -> Self {
+        Self {
+            lane: Lane::Batch,
+            ..Self::default()
+        }
+    }
+
+    /// Returns these options with `algorithm`.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Returns these options with `lane`.
+    pub fn with_lane(mut self, lane: Lane) -> Self {
+        self.lane = lane;
+        self
+    }
+
+    /// Returns these options with a relative `deadline`.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -283,6 +394,11 @@ pub struct ServiceStats {
     /// Requests fully executed and replied to (sum of the per-worker
     /// counters; includes panicked requests, which reply with an error).
     pub completed: u64,
+    /// Admitted requests shed without executing because their deadline
+    /// expired while they waited (plus submissions refused at admission
+    /// with an already-expired deadline); each replied with
+    /// [`TkError::DeadlineExceeded`].
+    pub shed: u64,
     /// Requests whose execution panicked (sum of the per-worker counters).
     pub panicked: u64,
     /// Summed queue wait of completed requests.
@@ -294,9 +410,34 @@ pub struct ServiceStats {
     pub max_queue_depth: usize,
     /// Per-worker latency counters, one entry per pool worker.
     pub per_worker: Vec<WorkerStats>,
+    /// Per-priority-lane counters, indexed by [`Lane::index`].  Each of
+    /// `admitted`, `completed`, `shed` and `rejected` sums across the lanes
+    /// to the service-wide total (ingest batches account under
+    /// [`Lane::Batch`]).
+    pub per_lane: [LaneStats; Lane::COUNT],
     /// Ingest-lane breakdown ([`CoreService::submit_append`] traffic;
     /// appends also count in the shared `admitted`/`completed` totals).
     pub ingest: IngestLaneStats,
+}
+
+impl ServiceStats {
+    /// The counters of one priority lane.
+    pub fn lane(&self, lane: Lane) -> &LaneStats {
+        &self.per_lane[lane.index()]
+    }
+}
+
+/// Counters of one priority [`Lane`] (see [`ServiceStats::per_lane`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Requests of this lane admitted to the queues.
+    pub admitted: u64,
+    /// Requests of this lane fully executed and replied to.
+    pub completed: u64,
+    /// Requests of this lane shed with [`TkError::DeadlineExceeded`].
+    pub shed: u64,
+    /// Requests of this lane refused by admission control.
+    pub rejected: u64,
 }
 
 /// Ingest-lane counters of a [`CoreService`] (see [`ServiceStats::ingest`]).
@@ -322,8 +463,34 @@ struct Job {
     id: RequestId,
     request: crate::request::ValidatedRequest,
     algorithm: Algorithm,
+    lane: Lane,
+    /// Relative deadline; checked against `enqueued_at` at dequeue.
+    deadline: Option<Duration>,
     enqueued_at: Instant,
     reply: mpsc::Sender<Result<ServiceReply, TkError>>,
+}
+
+/// The waiting jobs of one pool worker lane, split by priority: dequeue
+/// takes interactive jobs first, FIFO within each class.
+#[derive(Default)]
+struct LaneQueues {
+    interactive: VecDeque<Job>,
+    batch: VecDeque<Job>,
+}
+
+impl LaneQueues {
+    fn push(&mut self, job: Job) {
+        match job.lane {
+            Lane::Interactive => self.interactive.push_back(job),
+            Lane::Batch => self.batch.push_back(job),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Job> {
+        self.interactive
+            .pop_front()
+            .or_else(|| self.batch.pop_front())
+    }
 }
 
 struct ServiceState {
@@ -332,6 +499,10 @@ struct ServiceState {
     queued: usize,
     /// Requests currently executing.
     in_flight: usize,
+    /// Waiting query jobs, one two-priority queue pair per pool worker
+    /// lane.  Every push is paired with one pool task that pops from the
+    /// same pair, so the queues and the pool stay in lockstep.
+    queues: Vec<LaneQueues>,
     stats: ServiceStats,
 }
 
@@ -491,6 +662,9 @@ impl CoreService {
                 open: true,
                 queued: 0,
                 in_flight: 0,
+                queues: (0..pool.num_workers())
+                    .map(|_| LaneQueues::default())
+                    .collect(),
                 stats: ServiceStats {
                     per_worker: vec![WorkerStats::default(); pool.num_workers()],
                     ..ServiceStats::default()
@@ -545,7 +719,33 @@ impl CoreService {
 
     /// Validates `request`, applies admission control, and enqueues it on
     /// the lane chosen by [`ServiceConfig::affinity`] for the chosen
-    /// algorithm.
+    /// algorithm, in the default (interactive, no-deadline) priority class.
+    ///
+    /// # Errors
+    /// See [`CoreService::submit_opts`].
+    pub fn submit_with(
+        &self,
+        request: QueryRequest,
+        algorithm: Algorithm,
+    ) -> Result<Ticket, TkError> {
+        self.submit_opts(
+            request,
+            SubmitOptions {
+                algorithm,
+                ..SubmitOptions::default()
+            },
+        )
+    }
+
+    /// Validates `request`, applies admission control, and enqueues it with
+    /// the priority lane and deadline in `opts` on the worker lane chosen
+    /// by [`ServiceConfig::affinity`].
+    ///
+    /// Deadlines are enforced twice without ever interrupting execution: a
+    /// zero deadline is refused here, and a request whose deadline passes
+    /// while it waits is shed when a worker would otherwise pick it up —
+    /// its ticket resolves to [`TkError::DeadlineExceeded`] and the worker
+    /// moves on to the next job.
     ///
     /// # Errors
     /// * the validation errors of [`QueryRequest::validate`] (checked
@@ -553,20 +753,29 @@ impl CoreService {
     /// * [`TkError::BudgetExceeded`] when [`ServiceConfig::queue_depth`]
     ///   requests are already waiting or the skyline cache exceeds
     ///   [`ServiceConfig::admission_memory_bytes`];
+    /// * [`TkError::DeadlineExceeded`] when `opts.deadline` is zero (the
+    ///   request is expired on arrival);
     /// * [`TkError::ServiceStopped`] after [`CoreService::shutdown`].
-    pub fn submit_with(
+    pub fn submit_opts(
         &self,
         request: QueryRequest,
-        algorithm: Algorithm,
+        opts: SubmitOptions,
     ) -> Result<Ticket, TkError> {
         let validated = request.validate(&self.engine.graph())?;
-        // Reading cache statistics takes the engine's cache mutex; doing it
-        // before the state lock keeps the two locks unnested.
+        if self.pool.is_none() {
+            // close_and_join already ran; the open flag under the state
+            // lock agrees, but the affinity routing below needs the pool.
+            return Err(TkError::ServiceStopped);
+        }
+        // Reading cache statistics takes the engine's cache mutex, and the
+        // affinity routing below takes the pool mutex; doing both before
+        // the state lock keeps every lock pair unnested.
         let resident_over_budget = self
             .config
             .admission_memory_bytes
             .map(|budget| self.engine.cache_stats().resident_bytes > budget);
         let window = validated.window();
+        let pool_lane = self.lane_for(window);
         let mut state = self.shared.lock();
         if !state.open {
             // A stopped service is ServiceStopped, never BudgetExceeded.
@@ -574,6 +783,7 @@ impl CoreService {
         }
         if resident_over_budget == Some(true) {
             state.stats.rejected += 1;
+            state.stats.per_lane[opts.lane.index()].rejected += 1;
             return Err(TkError::BudgetExceeded {
                 resource: "cache memory",
                 limit: self
@@ -585,24 +795,37 @@ impl CoreService {
         }
         if state.queued >= self.config.queue_depth {
             state.stats.rejected += 1;
+            state.stats.per_lane[opts.lane.index()].rejected += 1;
             return Err(TkError::BudgetExceeded {
                 resource: "request queue",
                 limit: self.config.queue_depth,
+            });
+        }
+        if opts.deadline == Some(Duration::ZERO) {
+            // Expired on arrival: shed at admission, never queued.
+            state.stats.shed += 1;
+            state.stats.per_lane[opts.lane.index()].shed += 1;
+            return Err(TkError::DeadlineExceeded {
+                deadline: Duration::ZERO,
+                waited: Duration::ZERO,
             });
         }
         let id = RequestId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = mpsc::channel();
         state.queued += 1;
         state.stats.admitted += 1;
+        state.stats.per_lane[opts.lane.index()].admitted += 1;
         state.stats.max_queue_depth = state.stats.max_queue_depth.max(state.queued);
-        drop(state);
-        let job = Job {
+        state.queues[pool_lane].push(Job {
             id,
             request: validated,
-            algorithm,
+            algorithm: opts.algorithm,
+            lane: opts.lane,
+            deadline: opts.deadline,
             enqueued_at: Instant::now(),
             reply: tx,
-        };
+        });
+        drop(state);
         let shared = Arc::clone(&self.shared);
         let engine = Arc::clone(&self.engine);
         let pool = self
@@ -610,8 +833,8 @@ impl CoreService {
             .as_ref()
             // tkc-lint: allow(no-panic-api) — `pool` is Some from construction until close_and_join tears the service down
             .expect("pool alive while the service is open");
-        pool.spawn_on(self.lane_for(window), move |worker| {
-            execute_service_job(&engine, &shared, job, worker);
+        pool.spawn_on(pool_lane, move |worker| {
+            drain_service_job(&engine, &shared, pool_lane, worker);
         });
         Ok(Ticket { id, rx })
     }
@@ -650,6 +873,7 @@ impl CoreService {
         }
         if state.queued >= self.config.queue_depth {
             state.stats.rejected += 1;
+            state.stats.per_lane[Lane::Batch.index()].rejected += 1;
             return Err(TkError::BudgetExceeded {
                 resource: "request queue",
                 limit: self.config.queue_depth,
@@ -659,6 +883,7 @@ impl CoreService {
         let (tx, rx) = mpsc::channel();
         state.queued += 1;
         state.stats.admitted += 1;
+        state.stats.per_lane[Lane::Batch.index()].admitted += 1;
         state.stats.ingest.submitted += 1;
         state.stats.max_queue_depth = state.stats.max_queue_depth.max(state.queued);
         drop(state);
@@ -706,18 +931,24 @@ impl CoreService {
         }
     }
 
-    /// Stops accepting requests, waits for every admitted request to finish,
-    /// and releases the worker pool.  Dropping the service does the same.
+    /// Stops accepting requests, waits for every admitted request (query
+    /// and ingest alike) to finish or shed, and releases the worker pool.
+    /// Dropping the service does the same; `shutdown` followed by the
+    /// implicit drop is idempotent — the second drain is a no-op.
     pub fn shutdown(mut self) {
         self.close_and_join();
     }
 
     fn close_and_join(&mut self) {
-        {
-            let mut state = self.shared.lock();
-            state.open = false;
+        if self.pool.is_none() {
+            // Already drained: `shutdown(mut self)` ran close_and_join and
+            // is now dropping `self`, which calls it again.  The first pass
+            // closed admission and waited out every queued and in-flight
+            // job, so there is nothing left to wait on.
+            return;
         }
         let mut state = self.shared.lock();
+        state.open = false;
         while state.queued + state.in_flight > 0 {
             state = crate::sync::wait(&self.shared.drained, state);
         }
@@ -746,15 +977,46 @@ fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Runs one admitted job on pool worker `worker`: accounting, execution
-/// with panic isolation, accounting again, reply.
-fn execute_service_job(engine: &ServingEngine, shared: &ServiceShared, job: Job, worker: usize) {
-    {
+/// Dequeues and runs the next waiting job of pool lane `pool_lane` on pool
+/// worker `worker`: priority pop (interactive before batch), deadline check,
+/// then execution with panic isolation, accounting, reply.
+///
+/// One such task is spawned per admitted job on the job's pool lane, so the
+/// pop always finds a job — though not necessarily *the* job that spawned
+/// this task: a task spawned by a batch submission happily executes an
+/// interactive request that arrived later, which is exactly how the
+/// priority inversion between the classes is implemented.
+fn drain_service_job(
+    engine: &ServingEngine,
+    shared: &ServiceShared,
+    pool_lane: usize,
+    worker: usize,
+) {
+    let (job, queue_wait) = {
         let mut state = shared.lock();
+        let Some(job) = state.queues[pool_lane].pop() else {
+            // Defensive: pushes and spawns are 1:1, so this cannot happen.
+            return;
+        };
         state.queued -= 1;
+        let waited = job.enqueued_at.elapsed();
+        if let Some(deadline) = job.deadline {
+            if waited > deadline {
+                // Expired while queued: shed instead of executing.
+                state.stats.shed += 1;
+                state.stats.per_lane[job.lane.index()].shed += 1;
+                drop(state);
+                shared.drained.notify_all();
+                // The submitter may have dropped its ticket; not an error.
+                let _ = job
+                    .reply
+                    .send(Err(TkError::DeadlineExceeded { deadline, waited }));
+                return;
+            }
+        }
         state.in_flight += 1;
-    }
-    let queue_wait = job.enqueued_at.elapsed();
+        (job, waited)
+    };
     let request = job.request;
     let algorithm = job.algorithm;
     let t0 = Instant::now();
@@ -774,17 +1036,18 @@ fn execute_service_job(engine: &ServingEngine, shared: &ServiceShared, job: Job,
         state.in_flight -= 1;
         let stats = &mut state.stats;
         stats.completed += 1;
+        stats.per_lane[job.lane.index()].completed += 1;
         stats.queue_wait_total += queue_wait;
         stats.execute_total += execute_time;
         if panicked {
             stats.panicked += 1;
         }
-        let lane = &mut stats.per_worker[worker];
-        lane.completed += 1;
-        lane.execute_total += execute_time;
-        lane.latency.record(execute_time);
+        let per_worker = &mut stats.per_worker[worker];
+        per_worker.completed += 1;
+        per_worker.execute_total += execute_time;
+        per_worker.latency.record(execute_time);
         if panicked {
-            lane.panicked += 1;
+            per_worker.panicked += 1;
         }
     }
     shared.drained.notify_all();
@@ -833,17 +1096,18 @@ fn execute_ingest_job(
         state.in_flight -= 1;
         let stats = &mut state.stats;
         stats.completed += 1;
+        stats.per_lane[Lane::Batch.index()].completed += 1;
         stats.queue_wait_total += queue_wait;
         stats.execute_total += absorb_time;
         if panicked {
             stats.panicked += 1;
         }
-        let lane = &mut stats.per_worker[worker];
-        lane.completed += 1;
-        lane.execute_total += absorb_time;
-        lane.latency.record(absorb_time);
+        let per_worker = &mut stats.per_worker[worker];
+        per_worker.completed += 1;
+        per_worker.execute_total += absorb_time;
+        per_worker.latency.record(absorb_time);
         if panicked {
-            lane.panicked += 1;
+            per_worker.panicked += 1;
         }
         let ingest = &mut stats.ingest;
         ingest.absorb_total += absorb_time;
@@ -1090,6 +1354,78 @@ mod tests {
         // Degenerate inputs stay in range.
         assert_eq!(lane_of_shard(5, 3, 2), 1);
         assert_eq!(lane_of_shard(0, 0, 2), 0);
+    }
+
+    #[test]
+    fn lanes_parse_and_display_round_trip() {
+        for lane in [Lane::Interactive, Lane::Batch] {
+            let rendered = lane.to_string();
+            assert_eq!(rendered.parse::<Lane>(), Ok(lane));
+            assert!(lane.index() < Lane::COUNT);
+        }
+        assert!("express".parse::<Lane>().is_err());
+        assert_eq!(Lane::default(), Lane::Interactive);
+    }
+
+    #[test]
+    fn a_zero_deadline_is_shed_at_admission() {
+        let service = CoreService::start(paper_example::graph(), ServiceConfig::default());
+        let err = service
+            .submit_opts(
+                QueryRequest::single(2, 1, 4),
+                SubmitOptions::default().with_deadline(Duration::ZERO),
+            )
+            .unwrap_err();
+        assert!(matches!(err, TkError::DeadlineExceeded { .. }), "{err}");
+        let stats = service.stats();
+        assert_eq!(stats.admitted, 0, "never queued");
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.lane(Lane::Interactive).shed, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn per_lane_counters_sum_to_totals_across_both_classes() {
+        let service = CoreService::start(
+            paper_example::graph(),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let mut tickets = Vec::new();
+        for _ in 0..3 {
+            tickets.push(
+                service
+                    .submit_opts(QueryRequest::single(2, 1, 4), SubmitOptions::default())
+                    .unwrap(),
+            );
+        }
+        for _ in 0..2 {
+            tickets.push(
+                service
+                    .submit_opts(
+                        QueryRequest::single(2, 1, 4),
+                        SubmitOptions::batch().with_deadline(Duration::from_secs(3600)),
+                    )
+                    .unwrap(),
+            );
+        }
+        for ticket in tickets {
+            let reply = ticket.wait().unwrap();
+            assert_eq!(reply.response.total_cores(), 2);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.admitted, 5);
+        assert_eq!(stats.completed, 5);
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.lane(Lane::Interactive).admitted, 3);
+        assert_eq!(stats.lane(Lane::Batch).admitted, 2);
+        let lane_admitted: u64 = stats.per_lane.iter().map(|l| l.admitted).sum();
+        let lane_completed: u64 = stats.per_lane.iter().map(|l| l.completed).sum();
+        assert_eq!(lane_admitted, stats.admitted);
+        assert_eq!(lane_completed, stats.completed);
+        service.shutdown();
     }
 
     #[test]

@@ -81,6 +81,7 @@
 //! batch opens a fresh tail.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::Instant;
 
@@ -759,6 +760,10 @@ struct ShardInner {
     /// another lock).
     scratch: Mutex<SkylineScratch>,
     pool: OnceLock<Arc<ExecPool>>,
+    /// Test-only fail point: while non-zero, each absorb decrements it and
+    /// panics before touching any state (see
+    /// [`ShardedEngine::fail_next_absorbs`]).
+    absorb_failpoints: AtomicU64,
 }
 
 impl ShardedEngine {
@@ -814,6 +819,7 @@ impl ShardedEngine {
                 boundary,
                 scratch: Mutex::new(SkylineScratch::default()),
                 pool: OnceLock::new(),
+                absorb_failpoints: AtomicU64::new(0),
             }),
         })
     }
@@ -897,7 +903,27 @@ impl ShardedEngine {
     /// [`TkError::AppendRejected`] when any event is refused — the whole
     /// batch is then rejected and no state changes.
     pub fn absorb(&self, batch: &[IngestEvent]) -> Result<AbsorbStats, TkError> {
+        if self
+            .inner
+            .absorb_failpoints
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            // tkc-lint: allow(no-panic-api) — test-only fail point armed by fail_next_absorbs; simulates a worker dying on the absorb path before any state changes
+            panic!("injected absorb fail point");
+        }
         self.inner.absorb(batch)
+    }
+
+    /// Arms a test-only fail point: the next `n` calls to
+    /// [`ShardedEngine::absorb`] panic before touching any state, as if the
+    /// absorbing worker died mid-batch.  Lets tests prove the service's
+    /// ingest lane converts worker death into
+    /// [`TkError::WorkerPanicked`] instead of hanging the ticket.  No state
+    /// is mutated by the injected panic, so the engine remains fully usable.
+    #[doc(hidden)]
+    pub fn fail_next_absorbs(&self, n: u64) {
+        self.inner.absorb_failpoints.store(n, Ordering::Relaxed);
     }
 
     /// Seals the live tail shard manually (independent of the configured

@@ -1,0 +1,644 @@
+//! The line-delimited JSON wire protocol of `tkc serve`.
+//!
+//! The offline build environment has no serde, so this module hand-rolls
+//! the small JSON subset the protocol needs: a recursive-descent parser
+//! into [`JsonValue`] for inbound request lines, and direct string
+//! rendering for outbound reply lines (replies are built with integer
+//! formatting, never through `f64`, so counters round-trip exactly).
+//!
+//! # Protocol
+//!
+//! One request per line, one reply line per request, in order.  A request
+//! is a JSON object with an `"op"` field (default `"query"`):
+//!
+//! | op           | fields                                                    |
+//! |--------------|-----------------------------------------------------------|
+//! | `"query"`    | `"k"` *or* `"k_min"`/`"k_max"`, `"start"`, `"end"`, and optionally `"id"`, `"lane"` (`"interactive"` \| `"batch"`), `"deadline_ms"`, `"algo"`, `"output"` (`"count"` \| `"cores"`) |
+//! | `"ping"`     | none                                                      |
+//! | `"stats"`    | none                                                      |
+//! | `"shutdown"` | none                                                      |
+//!
+//! A query reply carries `"status": "ok"`, the echoed client `"id"` (when
+//! one was sent), the service-assigned `"request"` id, the executed
+//! `"window"`, per-`k` `"outcomes"` (`k`, `cores`, `result_edges`, plus up
+//! to [`WireConfig::max_cores_per_reply`] materialized `{"tti", "edges"}`
+//! entries for `"output": "cores"`), and the `"queue_wait_us"` /
+//! `"execute_us"` / `"worker"` accounting of the [`ServiceReply`].
+//!
+//! A refused or failed request replies `"status": "error"` with the stable
+//! [`TkError::code`] in `"error"` and the human rendering in `"detail"` —
+//! shedding is data, not a connection failure, so the connection stays
+//! open.  Malformed lines reply with `"error": "BadRequest"`.
+
+use std::time::Duration;
+
+use crate::error::TkError;
+use crate::query::Algorithm;
+use crate::request::{KOutput, QueryRequest};
+use crate::service::{Lane, ServiceReply, ServiceStats};
+use temporal_graph::Timestamp;
+
+/// Per-connection wire options of the server.
+#[derive(Debug, Clone, Copy)]
+pub struct WireConfig {
+    /// Materialized (`"output": "cores"`) replies embed at most this many
+    /// cores per `k`; the `cores` count still reports all of them.
+    pub max_cores_per_reply: usize,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        Self {
+            max_cores_per_reply: 64,
+        }
+    }
+}
+
+/// A parsed JSON value (the subset the protocol needs; numbers are `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member `key` of an object (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find_map(|(k, v)| (k == key).then_some(v)),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9e15 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document, requiring it to span the whole input.
+///
+/// # Errors
+/// A human-readable description of the first syntax error.
+pub fn parse_json(input: &str) -> Result<JsonValue, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing input at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::String),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("expected `{literal}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape")?;
+                        // Surrogate pairs are not needed by the protocol;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err("invalid escape".into()),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8 sequences pass through unchanged.
+                let text = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let ch = text.chars().next().ok_or("unterminated string")?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // '{'
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        members.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(members));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// Escapes `text` as the body of a JSON string literal.
+pub fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One decoded request line.
+#[derive(Debug)]
+pub enum WireRequest {
+    /// Liveness probe; replies immediately without touching the service.
+    Ping,
+    /// Snapshot of the service's [`ServiceStats`].
+    Stats,
+    /// Ask the server to drain and stop accepting connections.
+    Shutdown,
+    /// A query to submit to the service.
+    Query(WireQuery),
+}
+
+/// The payload of a `"query"` request line.
+#[derive(Debug)]
+pub struct WireQuery {
+    /// Client-chosen correlation id, echoed in the reply.
+    pub client_id: Option<u64>,
+    /// The decoded request (window, `k` selection, output mode).
+    pub request: QueryRequest,
+    /// The algorithm to execute with.
+    pub algorithm: Algorithm,
+    /// The priority lane the request queues in.
+    pub lane: Lane,
+    /// Relative deadline decoded from `"deadline_ms"`.
+    pub deadline: Option<Duration>,
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+/// A human-readable description of why the line is malformed; the server
+/// renders it as a `"BadRequest"` error reply.
+pub fn parse_request(line: &str) -> Result<WireRequest, String> {
+    let value = parse_json(line)?;
+    if !matches!(value, JsonValue::Object(_)) {
+        return Err("a request must be a JSON object".into());
+    }
+    match value.get("op").and_then(JsonValue::as_str) {
+        Some("ping") => return Ok(WireRequest::Ping),
+        Some("stats") => return Ok(WireRequest::Stats),
+        Some("shutdown") => return Ok(WireRequest::Shutdown),
+        Some("query") | None => {}
+        Some(other) => return Err(format!("unknown op `{other}`")),
+    }
+    let client_id = value.get("id").and_then(JsonValue::as_u64);
+    let timestamp = |key: &str| -> Result<Timestamp, String> {
+        value
+            .get(key)
+            .and_then(JsonValue::as_u64)
+            .and_then(|t| Timestamp::try_from(t).ok())
+            .ok_or_else(|| format!("query needs an integer `{key}` timestamp"))
+    };
+    let start = timestamp("start")?;
+    let end = timestamp("end")?;
+    let mut request = match (
+        value.get("k").and_then(JsonValue::as_u64),
+        value.get("k_min").and_then(JsonValue::as_u64),
+        value.get("k_max").and_then(JsonValue::as_u64),
+    ) {
+        (Some(k), None, None) => QueryRequest::single(k as usize, start, end),
+        (None, Some(lo), Some(hi)) => QueryRequest::sweep(lo as usize..=hi as usize, start, end),
+        (None, None, None) => return Err("query needs `k` or `k_min`/`k_max`".into()),
+        _ => return Err("give either `k` or both `k_min` and `k_max`".into()),
+    };
+    request = match value.get("output").and_then(JsonValue::as_str) {
+        None | Some("count") => request.count(),
+        Some("cores") | Some("full") => request.materialize(),
+        Some(other) => return Err(format!("unknown output `{other}` (count or cores)")),
+    };
+    let algorithm = match value.get("algo").and_then(JsonValue::as_str) {
+        None => Algorithm::Enum,
+        Some(name) => name
+            .parse::<Algorithm>()
+            .map_err(|_| format!("unknown algorithm `{name}`"))?,
+    };
+    let lane = match value.get("lane").and_then(JsonValue::as_str) {
+        None => Lane::Interactive,
+        Some(name) => name.parse::<Lane>()?,
+    };
+    let deadline = match value.get("deadline_ms") {
+        None | Some(JsonValue::Null) => None,
+        Some(v) => Some(Duration::from_millis(v.as_u64().ok_or(
+            "`deadline_ms` must be a non-negative integer of milliseconds",
+        )?)),
+    };
+    Ok(WireRequest::Query(WireQuery {
+        client_id,
+        request,
+        algorithm,
+        lane,
+        deadline,
+    }))
+}
+
+/// Renders the leading `"status": "ok"` + optional client id of a reply.
+fn reply_head(client_id: Option<u64>) -> String {
+    match client_id {
+        Some(id) => format!("{{\"status\":\"ok\",\"id\":{id}"),
+        None => "{\"status\":\"ok\"".to_string(),
+    }
+}
+
+/// Renders one completed [`ServiceReply`] as a reply line (no trailing
+/// newline).
+pub fn render_reply(client_id: Option<u64>, reply: &ServiceReply, config: &WireConfig) -> String {
+    let mut out = reply_head(client_id);
+    out.push_str(&format!(
+        ",\"request\":\"{}\",\"window\":[{},{}],\"outcomes\":[",
+        reply.id,
+        reply.response.window.start(),
+        reply.response.window.end()
+    ));
+    for (i, outcome) in reply.response.outcomes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (cores, result_edges) = match &outcome.output {
+            KOutput::Cores(cores) => (
+                cores.len() as u64,
+                cores.iter().map(|c| c.num_edges() as u64).sum(),
+            ),
+            KOutput::Counts(counts) => (counts.num_cores, counts.total_edges),
+            KOutput::Streamed => (outcome.stats.num_cores, outcome.stats.total_result_edges),
+        };
+        out.push_str(&format!(
+            "{{\"k\":{},\"cores\":{cores},\"result_edges\":{result_edges}",
+            outcome.k
+        ));
+        if let KOutput::Cores(cores) = &outcome.output {
+            out.push_str(",\"sample\":[");
+            for (j, core) in cores.iter().take(config.max_cores_per_reply).enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"tti\":[{},{}],\"edges\":{}}}",
+                    core.tti.start(),
+                    core.tti.end(),
+                    core.num_edges()
+                ));
+            }
+            out.push(']');
+        }
+        out.push('}');
+    }
+    out.push_str(&format!(
+        "],\"queue_wait_us\":{},\"execute_us\":{},\"worker\":{}}}",
+        reply.queue_wait.as_micros(),
+        reply.execute_time.as_micros(),
+        reply.worker
+    ));
+    out
+}
+
+/// Renders a typed error as a reply line (no trailing newline).
+pub fn render_error(client_id: Option<u64>, error: &TkError) -> String {
+    render_error_code(client_id, error.code(), &error.to_string())
+}
+
+/// Renders an error reply from a raw code + detail (used for `BadRequest`,
+/// which has no [`TkError`] variant — it never reached the service).
+pub fn render_error_code(client_id: Option<u64>, code: &str, detail: &str) -> String {
+    let head = match client_id {
+        Some(id) => format!("{{\"status\":\"error\",\"id\":{id}"),
+        None => "{\"status\":\"error\"".to_string(),
+    };
+    format!(
+        "{head},\"error\":\"{}\",\"detail\":\"{}\"}}",
+        escape_json(code),
+        escape_json(detail)
+    )
+}
+
+/// Renders the reply to a `"ping"` or `"shutdown"` op.
+pub fn render_ack(op: &str) -> String {
+    format!("{{\"status\":\"ok\",\"op\":\"{}\"}}", escape_json(op))
+}
+
+/// Renders a [`ServiceStats`] snapshot as the reply to a `"stats"` op.
+pub fn render_stats(stats: &ServiceStats) -> String {
+    let lane = |lane: Lane| {
+        let l = stats.lane(lane);
+        format!(
+            "{{\"admitted\":{},\"completed\":{},\"shed\":{},\"rejected\":{}}}",
+            l.admitted, l.completed, l.shed, l.rejected
+        )
+    };
+    format!(
+        "{{\"status\":\"ok\",\"op\":\"stats\",\"admitted\":{},\"completed\":{},\"shed\":{},\
+         \"rejected\":{},\"panicked\":{},\"max_queue_depth\":{},\
+         \"lanes\":{{\"interactive\":{},\"batch\":{}}},\
+         \"ingest\":{{\"submitted\":{},\"completed\":{},\"failed\":{},\"events_appended\":{},\
+         \"seals\":{}}}}}",
+        stats.admitted,
+        stats.completed,
+        stats.shed,
+        stats.rejected,
+        stats.panicked,
+        stats.max_queue_depth,
+        lane(Lane::Interactive),
+        lane(Lane::Batch),
+        stats.ingest.submitted,
+        stats.ingest.completed,
+        stats.ingest.failed,
+        stats.ingest.events_appended,
+        stats.ingest.seals,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_and_nested_objects() {
+        let value =
+            parse_json(r#"{"k": 2, "ok": true, "name": "a\"b\nA", "xs": [1, 2.5, null], "o": {}}"#)
+                .unwrap();
+        assert_eq!(value.get("k").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(value.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(
+            value.get("name").and_then(JsonValue::as_str),
+            Some("a\"b\nA")
+        );
+        let JsonValue::Array(xs) = value.get("xs").unwrap() else {
+            panic!("array");
+        };
+        assert_eq!(xs.len(), 3);
+        assert_eq!(xs[2], JsonValue::Null);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for line in [
+            "",
+            "{",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "[1, 2",
+            "\"unterminated",
+            "{\"a\": 1} trailing",
+            "nope",
+        ] {
+            assert!(parse_json(line).is_err(), "{line:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_the_parser() {
+        let nasty = "quote \" backslash \\ newline \n tab \t control \u{1}";
+        let doc = format!("{{\"s\":\"{}\"}}", escape_json(nasty));
+        let value = parse_json(&doc).unwrap();
+        assert_eq!(value.get("s").and_then(JsonValue::as_str), Some(nasty));
+    }
+
+    #[test]
+    fn parses_a_full_query_line() {
+        let line = r#"{"id": 7, "k": 2, "start": 1, "end": 4, "lane": "batch",
+                       "deadline_ms": 250, "algo": "enum", "output": "cores"}"#;
+        let WireRequest::Query(query) = parse_request(line).unwrap() else {
+            panic!("query");
+        };
+        assert_eq!(query.client_id, Some(7));
+        assert_eq!(query.lane, Lane::Batch);
+        assert_eq!(query.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(query.algorithm, Algorithm::Enum);
+    }
+
+    #[test]
+    fn parses_ops_and_defaults() {
+        assert!(matches!(
+            parse_request(r#"{"op": "ping"}"#).unwrap(),
+            WireRequest::Ping
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op": "stats"}"#).unwrap(),
+            WireRequest::Stats
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op": "shutdown"}"#).unwrap(),
+            WireRequest::Shutdown
+        ));
+        let WireRequest::Query(query) = parse_request(r#"{"k": 1, "start": 1, "end": 3}"#).unwrap()
+        else {
+            panic!("query");
+        };
+        assert_eq!(query.lane, Lane::Interactive);
+        assert_eq!(query.deadline, None);
+        assert_eq!(query.client_id, None);
+    }
+
+    #[test]
+    fn malformed_requests_name_the_defect() {
+        for (line, needle) in [
+            ("{}", "start"),
+            (r#"{"start": 1, "end": 4}"#, "k"),
+            (
+                r#"{"k": 1, "k_min": 1, "k_max": 2, "start": 1, "end": 4}"#,
+                "either",
+            ),
+            (
+                r#"{"k": 1, "start": 1, "end": 4, "lane": "express"}"#,
+                "express",
+            ),
+            (r#"{"k": 1, "start": 1, "end": 4, "output": "xml"}"#, "xml"),
+            (r#"{"op": "teleport"}"#, "teleport"),
+            (
+                r#"{"k": 1, "start": 1, "end": 4, "deadline_ms": -5}"#,
+                "deadline_ms",
+            ),
+            ("[1]", "object"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn error_replies_carry_the_stable_code() {
+        let line = render_error(
+            Some(3),
+            &TkError::DeadlineExceeded {
+                deadline: Duration::from_millis(5),
+                waited: Duration::from_millis(8),
+            },
+        );
+        let value = parse_json(&line).unwrap();
+        assert_eq!(
+            value.get("status").and_then(JsonValue::as_str),
+            Some("error")
+        );
+        assert_eq!(value.get("id").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(
+            value.get("error").and_then(JsonValue::as_str),
+            Some("DeadlineExceeded")
+        );
+        let bad = render_error_code(None, "BadRequest", "no \"op\"");
+        assert!(parse_json(&bad).is_ok(), "{bad}");
+    }
+
+    #[test]
+    fn stats_replies_parse_and_sum() {
+        let mut stats = ServiceStats {
+            admitted: 5,
+            ..ServiceStats::default()
+        };
+        stats.per_lane[Lane::Interactive.index()].admitted = 3;
+        stats.per_lane[Lane::Batch.index()].admitted = 2;
+        let value = parse_json(&render_stats(&stats)).unwrap();
+        assert_eq!(value.get("admitted").and_then(JsonValue::as_u64), Some(5));
+        let lanes = value.get("lanes").unwrap();
+        assert_eq!(
+            lanes
+                .get("interactive")
+                .and_then(|l| l.get("admitted"))
+                .and_then(JsonValue::as_u64),
+            Some(3)
+        );
+    }
+}

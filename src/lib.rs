@@ -56,6 +56,38 @@
 //! assert!(QueryRequest::single(0, 1, 5).run(&graph, &Algorithm::Enum).is_err());
 //! ```
 //!
+//! # Serving
+//!
+//! [`prelude::TkServer`] puts a std-only TCP front end over a shared
+//! [`prelude::CoreService`]: line-delimited JSON, one request per line, one
+//! reply line per request.  Each query line may carry a `deadline_ms` and a
+//! `lane` (`"interactive"` or `"batch"`); the service refuses
+//! already-expired requests at admission, sheds queued requests whose
+//! deadline passes with a typed [`prelude::TkError::DeadlineExceeded`]
+//! *reply* (the connection stays open), and always dequeues interactive
+//! traffic ahead of batch traffic.  A `{"op": "shutdown"}` line drains
+//! gracefully: accepting stops, in-flight requests finish, and
+//! [`prelude::TkServer::serve`] returns a [`prelude::ServeSummary`].
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use temporal_kcore::prelude::*;
+//! use temporal_kcore::tkcore::paper_example;
+//!
+//! let service = Arc::new(CoreService::start(
+//!     paper_example::graph(),
+//!     ServiceConfig::default(),
+//! ));
+//! let server = TkServer::bind(service, "127.0.0.1:7411", ServerConfig::default())?;
+//! println!("listening on {}", server.local_addr());
+//! let summary = server.serve()?; // blocks until a shutdown op drains it
+//! println!("served {} requests", summary.requests);
+//! # Ok::<(), TkError>(())
+//! ```
+//!
+//! On the command line the same protocol is `tkc serve` / `tkc client`, and
+//! `examples/tcp_serving.rs` is the end-to-end walkthrough.
+//!
 //! See the `examples/` directory for domain-oriented walkthroughs
 //! (transaction-ring detection, contact tracing, misinformation bursts) and
 //! `crates/bench` for the experiment harness.
@@ -77,16 +109,17 @@ pub mod prelude {
     };
     pub use tkc_datasets::{
         ArrivalProfile, DatasetProfile, DatasetStats, EventStream, EventStreamConfig,
-        QueryWorkload, WorkloadConfig,
+        OverloadConfig, OverloadRequest, OverloadWorkload, QueryWorkload, WorkloadConfig,
     };
     pub use tkcore::{
         AbsorbStats, Affinity, Algorithm, BatchStats, BoundaryCacheStats, CacheStats,
         CachedBackend, CollectingSink, CoreBackend, CoreService, CountingSink, EdgeCoreSkyline,
         EngineConfig, ExecPool, FrameworkStats, IngestDelta, IngestEvent, IngestLaneStats,
-        IngestReply, IngestTicket, KOutcome, KOutput, KSelection, LatencyHistogram, OutputMode,
-        QueryEngine, QueryRequest, QueryResponse, QueryStats, RequestId, ResultSink, SealPolicy,
-        ServiceConfig, ServiceReply, ServiceStats, ShardCacheStats, ShardPlan, ShardedBackend,
-        ShardedEngine, TemporalKCore, Ticket, TimeRangeKCoreQuery, TkError, ValidatedRequest,
+        IngestReply, IngestTicket, KOutcome, KOutput, KSelection, Lane, LaneStats,
+        LatencyHistogram, OutputMode, QueryEngine, QueryRequest, QueryResponse, QueryStats,
+        RequestId, ResultSink, SealPolicy, ServeSummary, ServerConfig, ServiceConfig, ServiceReply,
+        ServiceStats, ShardCacheStats, ShardPlan, ShardedBackend, ShardedEngine, SubmitOptions,
+        TemporalKCore, Ticket, TimeRangeKCoreQuery, TkError, TkServer, ValidatedRequest,
         VertexCoreTimeIndex, WorkerStats,
     };
 }
