@@ -50,7 +50,7 @@ fn main() {
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
         experiments = vec![
             "table3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "engine",
-            "ingest",
+            "skyline", "ingest",
         ]
         .into_iter()
         .map(String::from)
@@ -69,11 +69,12 @@ fn main() {
             "fig11" => fig11(num_queries),
             "fig12" => fig12(),
             "engine" => engine_batch(num_queries.max(8)),
+            "skyline" => skyline_experiment(num_queries.max(8)),
             "ingest" => ingest_experiment(num_queries.max(6)),
             other => {
                 eprintln!(
                     "unknown experiment `{other}` (expected table3, fig4..fig12, engine, \
-                     ingest, all)"
+                     skyline, ingest, all)"
                 );
                 continue;
             }
@@ -89,6 +90,11 @@ fn main() {
         if experiment == "engine" {
             if let Err(e) = report.save_json("BENCH_engine.json") {
                 eprintln!("warning: could not save BENCH_engine.json: {e}");
+            }
+        }
+        if experiment == "skyline" {
+            if let Err(e) = report.save_json("BENCH_skyline.json") {
+                eprintln!("warning: could not save BENCH_skyline.json: {e}");
             }
         }
         if experiment == "ingest" {
@@ -410,6 +416,18 @@ fn fig11(num_queries: usize) -> Report {
 /// experiment.
 const ENGINE_EXPERIMENT_SHARDS: usize = 4;
 
+/// PR 9 baselines for the warm stitched spanning batch (ms), from the
+/// checked-in `BENCH_engine.json` this container produced before the flat
+/// CSR storage landed.  The flat layout must not regress them (asserted
+/// with a 25% noise allowance).
+const WARM_STITCHED_BASELINE_MS: [(&str, f64); 2] = [("EM", 8.915), ("CM", 1.871)];
+
+/// Minimum speedup of the pooled 4-shard cold build over the serial
+/// per-shard loop, asserted on EM when the host actually has CPUs to fan
+/// out to.  Single-core hosts cannot parallelize, so there the assertion
+/// degrades to a fan-out-overhead bound (see `engine_batch`).
+const PARALLEL_BUILD_MIN_SPEEDUP: f64 = 1.8;
+
 /// Engine experiment (not in the paper): cold per-query execution versus
 /// the cached batch-query engine, on the EM/CM profiles.  The warm column
 /// must beat the cold one — the CoreTime phase is amortised to ~zero on
@@ -422,6 +440,17 @@ const ENGINE_EXPERIMENT_SHARDS: usize = 4;
 /// versus the pre-stitch transient-merge path (`boundary_cache_entries =
 /// 0`); the stitched batch must be at least 2x faster (asserted) and
 /// return identical counts.
+///
+/// Two columns track the flat-CSR/parallel-build work: "parallel cold
+/// build" warms the same 4-shard plan through `ShardedEngine::warm`, which
+/// fans the independent shard builds across the engine's pool — on a
+/// multi-core host this must be at least 1.8x faster than the serial
+/// per-shard loop on EM (on a single-core host, where fanning out buys
+/// nothing, it must instead stay within 25% of the serial loop, bounding
+/// the fan-out overhead); "flat restrict / query" slices the span-wide CSR
+/// index down to each workload window through one recycled scratch — the
+/// allocation-free warm path — and the warm stitched spanning batch is
+/// asserted to be no worse than the PR 9 nested-layout baseline.
 fn engine_batch(num_queries: usize) -> Report {
     let mut report = Report::new(
         format!(
@@ -436,7 +465,10 @@ fn engine_batch(num_queries: usize) -> Report {
             "warm speedup".into(),
             "cache hits".into(),
             "span cold build".into(),
+            "flat restrict / query (us)".into(),
             "sharded cold build".into(),
+            "parallel cold build".into(),
+            "parallel build speedup".into(),
             "peak shard mem / span mem".into(),
             "spanning warm transient".into(),
             "spanning warm stitched".into(),
@@ -487,12 +519,65 @@ fn engine_batch(num_queries: usize) -> Report {
         let span_index = tkcore::EdgeCoreSkyline::build(&graph, k, graph.span());
         let span_build = t3.elapsed();
         let span_bytes = span_index.memory_bytes();
+
+        // Flat restrict: slice the span-wide CSR index down to each
+        // workload window through one recycled scratch pool — after the
+        // first iteration every restriction reuses the same two buffers,
+        // so this times the allocation-free binary-search slice itself.
+        let mut scratch = tkcore::SkylineScratch::default();
+        let mut restricted_windows = 0usize;
+        let t_restrict = Instant::now();
+        for query in &queries {
+            let restricted = span_index.restrict_with(&graph, query.range(), &mut scratch);
+            restricted_windows += restricted.total_windows();
+            scratch.recycle(restricted);
+        }
+        let flat_restrict = t_restrict.elapsed();
+        assert!(
+            restricted_windows > 0,
+            "{name}: no workload window kept any skyline window — the restrict \
+             column would time an empty slice"
+        );
         drop(span_index);
+
         let plan = tkcore::ShardPlan::FixedCount(ENGINE_EXPERIMENT_SHARDS);
         let t4 = Instant::now();
         let profiles =
             tkcore::ShardProfile::measure(&graph, k, &plan).expect("fixed-count plan resolves");
         let sharded_build = t4.elapsed();
+
+        // Parallel cold build: a fresh engine warms the same plan and k,
+        // fanning the four independent shard builds across its pool.
+        let pooled = tkcore::ShardedEngine::new(graph.clone(), plan.clone())
+            .expect("fixed-count plan resolves");
+        let t_parallel = Instant::now();
+        let all_resident = pooled.warm(k);
+        let parallel_build = t_parallel.elapsed();
+        assert!(!all_resident, "{name}: the parallel warm must start cold");
+        let warm_stats = pooled.cache_stats().warm;
+        assert_eq!(
+            warm_stats.entries_built, ENGINE_EXPERIMENT_SHARDS as u64,
+            "{name}: the cold warm must build every shard skyline"
+        );
+        let parallel_speedup = sharded_build.as_secs_f64() / parallel_build.as_secs_f64().max(1e-9);
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if name == "EM" {
+            if cpus >= 2 {
+                assert!(
+                    parallel_speedup >= PARALLEL_BUILD_MIN_SPEEDUP,
+                    "{name}: pooled 4-shard cold build only {parallel_speedup:.2}x over the \
+                     serial loop on {cpus} CPUs ({parallel_build:?} vs {sharded_build:?})"
+                );
+            } else {
+                assert!(
+                    parallel_build.as_secs_f64() <= sharded_build.as_secs_f64() * 1.25,
+                    "{name}: single-CPU pooled build {parallel_build:?} regressed more than \
+                     25% over the serial loop {sharded_build:?}"
+                );
+            }
+        }
         let peak_shard_bytes = profiles.iter().map(|p| p.ecs_bytes).max().unwrap_or(0);
         assert!(
             peak_shard_bytes < span_bytes,
@@ -561,6 +646,18 @@ fn engine_batch(num_queries: usize) -> Report {
             "{name}: warm stitched spanning batch only {stitch_speedup:.2}x faster than the \
              transient-merge path ({stitched_time:?} vs {transient_time:?})"
         );
+        // The flat layout must not regress the nested-layout stitched path.
+        let baseline_ms = WARM_STITCHED_BASELINE_MS
+            .iter()
+            .find(|(dataset, _)| *dataset == name)
+            .map(|&(_, baseline)| baseline)
+            .expect("every engine dataset has a PR 9 baseline");
+        let stitched_ms = stitched_time.as_secs_f64() * 1e3;
+        assert!(
+            stitched_ms <= baseline_ms * 1.25,
+            "{name}: warm stitched spanning batch {stitched_ms:.3} ms regressed past the \
+             PR 9 baseline of {baseline_ms:.3} ms (+25% noise allowance)"
+        );
 
         report.push(
             name,
@@ -574,7 +671,13 @@ fn engine_batch(num_queries: usize) -> Report {
                 ),
                 warm.cache.hits.to_string(),
                 ms(span_build),
+                format!(
+                    "{:.3}",
+                    flat_restrict.as_secs_f64() * 1e6 / queries.len().max(1) as f64
+                ),
                 ms(sharded_build),
+                ms(parallel_build),
+                format!("{parallel_speedup:.1}x ({cpus} CPUs)"),
                 format!(
                     "{:.2} ({:.2} / {:.2} MiB)",
                     peak_shard_bytes as f64 / span_bytes.max(1) as f64,
@@ -584,6 +687,126 @@ fn engine_batch(num_queries: usize) -> Report {
                 ms(transient_time),
                 ms(stitched_time),
                 format!("{stitch_speedup:.1}x"),
+            ],
+        );
+    }
+    report
+}
+
+/// Skyline microbenchmark (not in the paper): the cost of the three CSR
+/// skyline primitives per dataset, persisted as `BENCH_skyline.json` so the
+/// flat layout's trajectory is reviewable next to the engine numbers.
+///
+/// * `build` — one span-wide Algorithm-2 sweep emitting the CSR arrays;
+/// * `restrict` — slicing the span index down to each workload window
+///   through one recycled scratch (two binary searches plus a contiguous
+///   copy per edge, no per-edge allocations);
+/// * `compose` — the boundary merge, isolated as the difference between a
+///   warm transient spanning batch (which pays one merged-window compose
+///   per query) and the same batch answered from the stitch cache (which
+///   pays enumeration only).
+fn skyline_experiment(num_queries: usize) -> Report {
+    let mut report = Report::new(
+        format!(
+            "Skyline primitives: CSR build / restrict / compose ({num_queries} windows, \
+             {ENGINE_EXPERIMENT_SHARDS}-shard compose plan)"
+        ),
+        "dataset/op",
+        vec![
+            "total ms".into(),
+            "per op (us)".into(),
+            "ops".into(),
+            "ecs windows".into(),
+        ],
+    );
+    let us = |d: Duration, ops: usize| format!("{:.3}", d.as_secs_f64() * 1e6 / ops.max(1) as f64);
+    for name in ["EM", "CM"] {
+        let profile = DatasetProfile::by_name(name).expect("profile");
+        let graph = profile.generate();
+        let stats = DatasetStats::compute(&graph);
+        let config = WorkloadConfig::paper_default(&stats, num_queries, profile.seed() ^ 0x5C71);
+        let workload = QueryWorkload::generate(&graph, &config);
+        let queries: Vec<TimeRangeKCoreQuery> = workload.queries().collect();
+        let k = workload.k;
+
+        let t_build = Instant::now();
+        let span_index = tkcore::EdgeCoreSkyline::build(&graph, k, graph.span());
+        let build = t_build.elapsed();
+        report.push(
+            format!("{name}/build"),
+            vec![
+                ms(build),
+                us(build, 1),
+                "1".into(),
+                span_index.total_windows().to_string(),
+            ],
+        );
+
+        let mut scratch = tkcore::SkylineScratch::default();
+        let mut restricted_windows = 0usize;
+        let t_restrict = Instant::now();
+        for query in &queries {
+            let restricted = span_index.restrict_with(&graph, query.range(), &mut scratch);
+            restricted_windows += restricted.total_windows();
+            scratch.recycle(restricted);
+        }
+        let restrict = t_restrict.elapsed();
+        report.push(
+            format!("{name}/restrict"),
+            vec![
+                ms(restrict),
+                us(restrict, queries.len()),
+                queries.len().to_string(),
+                restricted_windows.to_string(),
+            ],
+        );
+
+        // Compose: run the spanning workload warm through the transient
+        // engine (every query re-composes the merged sub-window skyline)
+        // and through the stitch cache (enumeration only); the difference
+        // is what composition itself costs.
+        let spanning =
+            tkc_bench::spanning_workload(&graph, k, ENGINE_EXPERIMENT_SHARDS, num_queries);
+        let plan = tkcore::ShardPlan::FixedCount(ENGINE_EXPERIMENT_SHARDS);
+        let transient = tkcore::ShardedEngine::with_config(
+            graph.clone(),
+            plan.clone(),
+            tkcore::EngineConfig {
+                boundary_cache_entries: 0,
+                ..tkcore::EngineConfig::default()
+            },
+        )
+        .expect("fixed-count plan resolves");
+        let stitched =
+            tkcore::ShardedEngine::new(graph.clone(), plan).expect("fixed-count plan resolves");
+        for engine in [&transient, &stitched] {
+            let (_, first) = engine
+                .run_batch(&spanning)
+                .expect("spanning queries are valid");
+            assert!(
+                first.total_cores > 0,
+                "{name}: spanning workload found no cores"
+            );
+        }
+        let t_transient = Instant::now();
+        let (_, transient_warm) = transient
+            .run_batch(&spanning)
+            .expect("spanning queries are valid");
+        let transient_time = t_transient.elapsed();
+        let t_stitched = Instant::now();
+        let (_, stitched_warm) = stitched
+            .run_batch(&spanning)
+            .expect("spanning queries are valid");
+        let stitched_time = t_stitched.elapsed();
+        assert_eq!(transient_warm.total_cores, stitched_warm.total_cores);
+        let compose = transient_time.saturating_sub(stitched_time);
+        report.push(
+            format!("{name}/compose"),
+            vec![
+                ms(compose),
+                us(compose, spanning.len()),
+                spanning.len().to_string(),
+                "-".into(),
             ],
         );
     }

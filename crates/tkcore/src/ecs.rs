@@ -14,68 +14,92 @@
 //! `max(CT_ts(u), CT_ts(v), t)` (Lemma 1), and whenever it changes between
 //! consecutive start times a minimal core window is emitted (Lemma 2); a
 //! final window is emitted when the edge leaves the shrinking query window.
+//!
+//! # Data layout
+//!
+//! A skyline is stored CSR-style: one flat, contiguous `Vec<TimeWindow>`
+//! holding every edge's windows back to back (per-edge runs in skyline
+//! order), plus a `Vec<u32>` offset array with `num_edges + 1` entries —
+//! edge `first_edge + i` owns `flat[offsets[i]..offsets[i + 1]]`.  The hot
+//! paths ([`EdgeCoreSkyline::restrict_with`] and the boundary-stitch
+//! composition in [`crate::shard`]) walk edges in increasing id order and
+//! append to the tail of `flat`, so they touch two contiguous arrays and
+//! never allocate per edge.  Offsets are `u32` rather than `usize` because
+//! edge ids are `u32` and every window emission is tied to a distinct
+//! `(edge, start time)` pair with `u32` start times, so per-range window
+//! totals fit comfortably (asserted at build time); halving the offset
+//! width keeps the array inside fewer cache lines.
 
 use crate::vct::CoreTimeSweep;
 use temporal_graph::{EdgeId, TemporalGraph, TimeWindow, Timestamp, T_INFINITY};
 
-/// Recycled per-edge window tables for the query hot path.
+/// Recycled CSR buffers for the query hot path.
 ///
 /// [`EdgeCoreSkyline::restrict_with`] and the boundary-stitch composition
-/// (see [`crate::shard`]) run once per query; allocating a fresh
-/// `Vec<Vec<TimeWindow>>` there dominated their cost on cache hits.  A
-/// scratch pool keeps the tables of retired skylines and hands them back
-/// with their row capacity intact, so steady-state queries allocate nothing
-/// (machine-checked by `tkc-lint`'s `hot-path-alloc` rule).
+/// (see [`crate::shard`]) run once per query; allocating a fresh flat window
+/// vector and offset array there dominated their cost on cache hits.  A
+/// scratch pool keeps the `(offsets, flat)` buffer pairs of retired skylines
+/// and hands them back with their capacity intact, so steady-state queries
+/// allocate nothing (machine-checked by `tkc-lint`'s `hot-path-alloc` rule).
+///
+/// The recycling contract: take a pair with [`SkylineScratch::take`], hand a
+/// retired skyline's storage back with [`SkylineScratch::recycle`], and merge
+/// a thread-local pool into a shared one with [`SkylineScratch::absorb`].
+/// Buffers come back cleared but with capacity preserved.
 #[derive(Debug, Default)]
 pub struct SkylineScratch {
-    tables: Vec<Vec<Vec<TimeWindow>>>,
+    buffers: Vec<(Vec<u32>, Vec<TimeWindow>)>,
 }
 
 impl SkylineScratch {
-    /// Takes a table with exactly `num_edges` cleared rows, reusing the row
-    /// capacity of recycled tables when one is pooled.
-    pub(crate) fn take(&mut self, num_edges: usize) -> Vec<Vec<TimeWindow>> {
-        let mut table = self.tables.pop().unwrap_or_default();
-        for row in &mut table {
-            row.clear();
-        }
-        if table.len() < num_edges {
-            table.resize_with(num_edges, Vec::new);
-        } else {
-            table.truncate(num_edges);
-        }
-        table
+    /// Takes a cleared `(offsets, flat)` buffer pair, reusing the capacity
+    /// of recycled skylines when one is pooled.
+    pub(crate) fn take(&mut self) -> (Vec<u32>, Vec<TimeWindow>) {
+        let (mut offsets, mut flat) = self.buffers.pop().unwrap_or_default();
+        offsets.clear();
+        flat.clear();
+        (offsets, flat)
     }
 
     /// Returns a retired skyline's storage to the pool so later queries can
     /// reuse its capacity.
     pub fn recycle(&mut self, skyline: EdgeCoreSkyline) {
-        self.tables.push(skyline.windows);
+        self.buffers.push((skyline.offsets, skyline.flat));
     }
 
-    /// Moves every pooled table of `other` into `self` (used to hand a
+    /// Moves every pooled buffer pair of `other` into `self` (used to hand a
     /// thread-local scratch back to a shared pool).
     pub fn absorb(&mut self, mut other: SkylineScratch) {
-        self.tables.append(&mut other.tables);
+        self.buffers.append(&mut other.buffers);
     }
 }
 
-/// The edge core window skylines of every temporal edge in the query range.
+/// The edge core window skylines of every temporal edge in the query range,
+/// stored CSR-style (see the [module docs](self) for the layout).
 #[derive(Debug, Clone)]
 pub struct EdgeCoreSkyline {
     k: usize,
     range: TimeWindow,
-    /// Skyline windows per edge, indexed by `edge_id - first_edge`.
-    windows: Vec<Vec<TimeWindow>>,
+    /// CSR offsets: `num_edges + 1` entries (empty for an edge-less
+    /// skyline); edge `first_edge + i` owns `flat[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<u32>,
+    /// Every edge's skyline windows back to back, per-edge runs in skyline
+    /// order (both endpoints strictly increasing).
+    flat: Vec<TimeWindow>,
     /// First edge id of the query range (edge ids in a range are contiguous).
     first_edge: EdgeId,
-    total_windows: usize,
 }
 
 impl EdgeCoreSkyline {
     /// Builds the skylines of all edges in `range` for parameter `k`
     /// (Algorithm 2: vertex core time sweep with edge core times maintained
     /// as a byproduct).
+    ///
+    /// A `range` starting past the graph's last timestamp projects to an
+    /// empty graph and yields an **empty skyline reporting the requested
+    /// range back** — the same contract [`CoreTimeSweep::new`] documents for
+    /// its degenerate-range clamp, unified so both layers agree on what
+    /// "past `tmax`" means.
     pub fn build(graph: &TemporalGraph, k: usize, range: TimeWindow) -> Self {
         // A range lying entirely past the graph's last timestamp projects to
         // an empty graph: no edges, no minimal core windows.  Return an
@@ -86,9 +110,9 @@ impl EdgeCoreSkyline {
             return Self {
                 k,
                 range,
-                windows: Vec::new(),
+                offsets: Vec::new(),
+                flat: Vec::new(),
                 first_edge: 0,
-                total_windows: 0,
             };
         }
         let mut sweep = CoreTimeSweep::new(graph, k, range);
@@ -117,9 +141,11 @@ impl EdgeCoreSkyline {
     }
 
     /// [`EdgeCoreSkyline::restrict`] writing into a caller-provided scratch
-    /// pool: the per-edge window table is taken from (and its storage later
+    /// pool: the CSR buffers are taken from (and their storage later
     /// returned to, via [`SkylineScratch::recycle`]) `scratch`, so a warm
-    /// pool makes restriction allocation-free per query.
+    /// pool makes restriction allocation-free per query — the result is
+    /// emitted straight into one flat window vector and one offset array,
+    /// with no per-edge tables at all.
     ///
     /// # Panics
     /// Panics if `range` is not contained in [`EdgeCoreSkyline::range`].
@@ -139,31 +165,27 @@ impl EdgeCoreSkyline {
         let edge_range = graph.edge_ids_in(range);
         let first_edge = edge_range.start;
         let num_edges = (edge_range.end - edge_range.start) as usize;
-        let mut windows = scratch.take(num_edges);
-        let mut total_windows = 0usize;
+        let (mut offsets, mut flat) = scratch.take();
+        offsets.reserve(num_edges + 1);
+        offsets.push(0);
         for id in edge_range {
-            let Some(old_local) = id.checked_sub(self.first_edge) else {
-                continue;
-            };
-            let Some(full) = self.windows.get(old_local as usize) else {
-                continue;
-            };
+            let full = self.windows(id);
             // Windows with start >= range.start() form a suffix, windows
             // with end <= range.end() a prefix; their overlap is the slice
             // of windows contained in `range`.
             let lo = full.partition_point(|w| w.start() < range.start());
             let hi = full.partition_point(|w| w.end() <= range.end());
             if lo < hi {
-                windows[(id - first_edge) as usize].extend_from_slice(&full[lo..hi]);
-                total_windows += hi - lo;
+                flat.extend_from_slice(&full[lo..hi]);
             }
+            offsets.push(flat.len() as u32);
         }
         Self {
             k: self.k,
             range,
-            windows,
+            offsets,
+            flat,
             first_edge,
-            total_windows,
         }
     }
 
@@ -176,7 +198,11 @@ impl EdgeCoreSkyline {
         let first_edge = edge_range.start;
         let num_edges = (edge_range.end - edge_range.start) as usize;
 
-        let mut windows: Vec<Vec<TimeWindow>> = vec![Vec::new(); num_edges];
+        // Windows are emitted interleaved across edges but in skyline order
+        // *per edge*, so they are collected as `(local edge, window)` pairs
+        // and scattered into the CSR arrays by a stable counting sort below —
+        // a constant number of allocations, never one per edge.
+        let mut emitted: Vec<(u32, TimeWindow)> = Vec::new();
         // Current core time of every in-range edge for the sweep's start time.
         let mut edge_ct: Vec<Timestamp> = vec![T_INFINITY; num_edges];
 
@@ -214,8 +240,6 @@ impl EdgeCoreSkyline {
             edge_ct[local] = edge_core_time(ct[e.u as usize], ct[e.v as usize], e.t);
         }
 
-        let mut total_windows = 0usize;
-
         // Sweep start times (Algorithm 2, lines 5-11).
         loop {
             let prev_ts = sweep.current_start_time();
@@ -228,8 +252,7 @@ impl EdgeCoreSkyline {
                     }
                     let local = (id - first_edge) as usize;
                     if edge_ct[local] != T_INFINITY {
-                        windows[local].push(TimeWindow::new(prev_ts, edge_ct[local]));
-                        total_windows += 1;
+                        emitted.push((local as u32, TimeWindow::new(prev_ts, edge_ct[local])));
                     }
                 }
                 break;
@@ -244,8 +267,7 @@ impl EdgeCoreSkyline {
                 }
                 let local = (id - first_edge) as usize;
                 if edge_ct[local] != T_INFINITY {
-                    windows[local].push(TimeWindow::new(prev_ts, edge_ct[local]));
-                    total_windows += 1;
+                    emitted.push((local as u32, TimeWindow::new(prev_ts, edge_ct[local])));
                 }
             }
 
@@ -268,8 +290,7 @@ impl EdgeCoreSkyline {
                             // The previous value was the edge's core time for
                             // start times up to ts - 1, so [ts - 1, old] is a
                             // minimal core window (Lemma 2).
-                            windows[local].push(TimeWindow::new(ts - 1, edge_ct[local]));
-                            total_windows += 1;
+                            emitted.push((local as u32, TimeWindow::new(ts - 1, edge_ct[local])));
                         }
                         edge_ct[local] = new_ct;
                     }
@@ -277,28 +298,56 @@ impl EdgeCoreSkyline {
             }
         }
 
+        // Stable counting-sort scatter into the CSR layout: per-edge counts,
+        // prefix sums into offsets, then one pass placing each window at its
+        // edge's cursor.  Emission order per edge equals skyline order, and
+        // the scatter preserves it.
+        assert!(
+            emitted.len() < u32::MAX as usize,
+            "skyline window count exceeds u32 offset space"
+        );
+        let mut offsets = vec![0u32; num_edges + 1];
+        for &(local, _) in &emitted {
+            offsets[local as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut write_cursor: Vec<u32> = offsets[..num_edges].to_vec();
+        let mut flat: Vec<TimeWindow> = vec![TimeWindow::new(1, 1); emitted.len()];
+        for &(local, w) in &emitted {
+            flat[write_cursor[local as usize] as usize] = w;
+            write_cursor[local as usize] += 1;
+        }
+
         Self {
             k,
             range,
-            windows,
+            offsets,
+            flat,
             first_edge,
-            total_windows,
         }
     }
 
-    /// Crate-internal constructor assembling a skyline from per-edge window
-    /// lists the caller guarantees to be in skyline order (both endpoints
-    /// strictly increasing) and contained in `range`.  Used by the boundary
-    /// stitch composition (see [`crate::shard`]), which merges cached
-    /// per-shard slices with cut-crossing windows instead of re-sweeping.
+    /// Crate-internal constructor assembling a skyline from CSR buffers the
+    /// caller guarantees to be consistent (`offsets` non-decreasing with
+    /// `num_edges + 1` entries ending at `flat.len()`), with per-edge runs
+    /// in skyline order (both endpoints strictly increasing) and contained
+    /// in `range`.  Used by the boundary stitch composition (see
+    /// [`crate::shard`]), which merges cached per-shard slices with
+    /// cut-crossing windows instead of re-sweeping.
     pub(crate) fn from_parts(
         k: usize,
         range: TimeWindow,
         first_edge: EdgeId,
-        windows: Vec<Vec<TimeWindow>>,
+        offsets: Vec<u32>,
+        flat: Vec<TimeWindow>,
     ) -> Self {
-        let total_windows = windows.iter().map(Vec::len).sum();
-        debug_assert!(windows.iter().all(|per_edge| {
+        debug_assert!(offsets.first() == Some(&0));
+        debug_assert!(offsets.last().copied().unwrap_or(0) as usize == flat.len());
+        debug_assert!(offsets.windows(2).all(|p| p[0] <= p[1]));
+        debug_assert!((0..offsets.len().saturating_sub(1)).all(|local| {
+            let per_edge = &flat[offsets[local] as usize..offsets[local + 1] as usize];
             per_edge
                 .windows(2)
                 .all(|p| p[0].start() < p[1].start() && p[0].end() < p[1].end())
@@ -307,9 +356,9 @@ impl EdgeCoreSkyline {
         Self {
             k,
             range,
-            windows,
+            offsets,
+            flat,
             first_edge,
-            total_windows,
         }
     }
 
@@ -320,19 +369,34 @@ impl EdgeCoreSkyline {
     /// yields cores with incomplete edge sets — the boundary index only uses
     /// it as a store of cut-crossing windows to merge back later).
     pub(crate) fn filtered(&self, keep: impl Fn(&TimeWindow) -> bool) -> Self {
-        let windows: Vec<Vec<TimeWindow>> = self
-            .windows
-            .iter()
-            .map(|per_edge| per_edge.iter().copied().filter(|w| keep(w)).collect())
-            .collect();
-        let total_windows = windows.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(self.offsets.len().max(1));
+        let mut flat = Vec::new();
+        offsets.push(0);
+        for local in 0..self.num_local_edges() {
+            let (lo, hi) = (
+                self.offsets[local] as usize,
+                self.offsets[local + 1] as usize,
+            );
+            for w in &self.flat[lo..hi] {
+                if keep(w) {
+                    flat.push(*w);
+                }
+            }
+            offsets.push(flat.len() as u32);
+        }
         Self {
             k: self.k,
             range: self.range,
-            windows,
+            offsets,
+            flat,
             first_edge: self.first_edge,
-            total_windows,
         }
+    }
+
+    /// Number of local (in-range) edge slots in the CSR arrays.
+    #[inline]
+    fn num_local_edges(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
     }
 
     /// The query parameter `k` the skylines were built for.
@@ -350,38 +414,43 @@ impl EdgeCoreSkyline {
     /// The minimal core windows of a temporal edge, ordered by increasing
     /// start (and end) time.  Empty when the edge is outside the query range
     /// or never belongs to a temporal k-core.
+    // tkc-lint: hot
     pub fn windows(&self, edge: EdgeId) -> &[TimeWindow] {
-        if edge < self.first_edge {
+        let Some(local) = edge.checked_sub(self.first_edge) else {
+            return &[];
+        };
+        let local = local as usize;
+        if local + 1 >= self.offsets.len() {
             return &[];
         }
-        let local = (edge - self.first_edge) as usize;
-        self.windows.get(local).map(Vec::as_slice).unwrap_or(&[])
+        &self.flat[self.offsets[local] as usize..self.offsets[local + 1] as usize]
     }
 
     /// Iterates `(edge id, skyline)` for every edge with a non-empty skyline.
     pub fn iter(&self) -> impl Iterator<Item = (EdgeId, &[TimeWindow])> + '_ {
-        self.windows
-            .iter()
-            .enumerate()
-            .filter(|(_, w)| !w.is_empty())
-            .map(move |(local, w)| (self.first_edge + local as EdgeId, w.as_slice()))
+        (0..self.num_local_edges()).filter_map(move |local| {
+            let lo = self.offsets[local] as usize;
+            let hi = self.offsets[local + 1] as usize;
+            (lo < hi).then(|| (self.first_edge + local as EdgeId, &self.flat[lo..hi]))
+        })
     }
 
     /// Total number of minimal core windows over all edges — the paper's `|ECS|`.
     #[inline]
     pub fn total_windows(&self) -> usize {
-        self.total_windows
+        self.flat.len()
     }
 
     /// Number of edges with at least one minimal core window.
     pub fn num_edges_with_windows(&self) -> usize {
-        self.windows.iter().filter(|w| !w.is_empty()).count()
+        self.offsets.windows(2).filter(|p| p[0] < p[1]).count()
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Approximate heap footprint in bytes (the flat window array plus the
+    /// `u32` offset array).
     pub fn memory_bytes(&self) -> usize {
-        self.total_windows * std::mem::size_of::<TimeWindow>()
-            + self.windows.len() * std::mem::size_of::<Vec<TimeWindow>>()
+        self.flat.len() * std::mem::size_of::<TimeWindow>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
     }
 }
 
@@ -476,6 +545,28 @@ mod tests {
     }
 
     #[test]
+    fn csr_offsets_are_consistent() {
+        let g = graph();
+        for k in 1..=3 {
+            let ecs = EdgeCoreSkyline::build(&g, k, g.span());
+            assert_eq!(ecs.offsets.len(), g.num_edges() + 1);
+            assert_eq!(ecs.offsets.first(), Some(&0));
+            assert_eq!(
+                ecs.offsets.last().copied().unwrap_or(0) as usize,
+                ecs.flat.len()
+            );
+            assert!(ecs.offsets.windows(2).all(|p| p[0] <= p[1]));
+            // windows() and the raw CSR slices agree.
+            for id in 0..g.num_edges() as EdgeId {
+                let local = id as usize;
+                let lo = ecs.offsets[local] as usize;
+                let hi = ecs.offsets[local + 1] as usize;
+                assert_eq!(ecs.windows(id), &ecs.flat[lo..hi]);
+            }
+        }
+    }
+
+    #[test]
     fn edges_outside_range_have_no_windows() {
         let g = graph();
         let range = TimeWindow::new(3, 6);
@@ -535,6 +626,26 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn scratch_recycling_preserves_results_and_reuses_capacity() {
+        let g = graph();
+        let span = EdgeCoreSkyline::build(&g, 2, g.span());
+        let mut scratch = SkylineScratch::default();
+        let first = span.restrict_with(&g, TimeWindow::new(2, 6), &mut scratch);
+        let flat_ptr = first.flat.as_ptr();
+        let expected = first.total_windows();
+        scratch.recycle(first);
+        // The second restriction reuses the recycled buffers (same backing
+        // allocation) and produces identical results.
+        let second = span.restrict_with(&g, TimeWindow::new(2, 6), &mut scratch);
+        assert_eq!(second.total_windows(), expected);
+        assert_eq!(second.flat.as_ptr(), flat_ptr, "capacity was recycled");
+        let fresh = EdgeCoreSkyline::build(&g, 2, TimeWindow::new(2, 6));
+        for id in 0..g.num_edges() as EdgeId {
+            assert_eq!(second.windows(id), fresh.windows(id));
         }
     }
 

@@ -148,6 +148,30 @@ pub struct CacheStats {
     /// Times the live tail shard was rolled into a closed shard (see
     /// [`SealPolicy`] and [`crate::ShardedEngine::seal_tail`]).
     pub seals: u64,
+    /// Warm-path timing, with wall-clock and summed per-entry build times
+    /// reported separately: warms fan missing builds across the pool, so
+    /// the summed build time can exceed wall time by the parallelism
+    /// factor — summing alone would make a parallel warm look slower than
+    /// it is.
+    pub warm: WarmStats,
+}
+
+/// Timing counters of the cache-warming paths ([`QueryEngine::warm`],
+/// [`QueryEngine::warm_many`], [`crate::ShardedEngine::warm`]), reported in
+/// [`CacheStats::warm`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Warm calls observed (one per `warm`/`warm_many` call).
+    pub warms: u64,
+    /// Skylines actually built by warm calls; already-resident entries
+    /// don't count.
+    pub entries_built: u64,
+    /// Summed per-entry build time across workers.  Exceeds
+    /// [`WarmStats::wall_time`] when a warm overlaps builds on the pool —
+    /// compare the two to read off the effective build parallelism.
+    pub build_time: Duration,
+    /// Wall-clock time spent inside warm calls.
+    pub wall_time: Duration,
 }
 
 /// Counters of the boundary-stitch index cache of a
@@ -197,6 +221,7 @@ struct SkylineCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    warm: WarmStats,
 }
 
 impl SkylineCache {
@@ -209,6 +234,7 @@ impl SkylineCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            warm: WarmStats::default(),
         }
     }
 
@@ -280,6 +306,7 @@ impl SkylineCache {
             tail_invalidations: 0,
             boundary_invalidations: 0,
             seals: 0,
+            warm: self.warm,
         }
     }
 }
@@ -416,9 +443,55 @@ impl QueryEngine {
     /// Warms the cache for `k` without running a query; returns whether the
     /// skyline was already resident.
     pub fn warm(&self, k: usize) -> bool {
-        let was_resident = sync::lock(&self.inner.cache).entries.contains_key(&k);
-        let _ = self.inner.span_skyline(k);
-        was_resident
+        self.warm_many(std::slice::from_ref(&k))
+    }
+
+    /// Warms the cache for every `k` in `ks` without running queries,
+    /// fanning the missing span-wide builds across the engine's
+    /// [`ExecPool`] — the same parallelism batches get, applied to index
+    /// construction; returns whether all of them were already resident.
+    ///
+    /// Cache accounting matches `ks.len()` serial [`QueryEngine::warm`]
+    /// calls (one hit or miss per `k`; racing builders keep the documented
+    /// single-flight semantics, the loser's copy dropped), and the warm's
+    /// wall-clock vs summed per-entry build times land in
+    /// [`CacheStats::warm`].
+    pub fn warm_many(&self, ks: &[usize]) -> bool {
+        let t0 = Instant::now();
+        let mut missing: Vec<usize> = Vec::new();
+        {
+            let mut cache = sync::lock(&self.inner.cache);
+            for &k in ks {
+                if cache.get(k).is_none() {
+                    missing.push(k);
+                }
+            }
+        }
+        let all_resident = missing.is_empty();
+        if !all_resident {
+            let (_, pool) = batch_executor(
+                &self.inner.pool,
+                self.inner.config.num_threads,
+                missing.len(),
+            );
+            let graph = Arc::clone(&self.inner.graph);
+            let task_ks: Arc<[usize]> = missing.as_slice().into();
+            let built = run_batch_inner(pool.as_deref(), missing.len(), move |i| {
+                let t = Instant::now();
+                let skyline = Arc::new(EdgeCoreSkyline::build(&graph, task_ks[i], graph.span()));
+                (skyline, t.elapsed())
+            });
+            let mut cache = sync::lock(&self.inner.cache);
+            for (&k, (skyline, took)) in missing.iter().zip(built) {
+                cache.warm.entries_built += 1;
+                cache.warm.build_time += took;
+                let _ = cache.adopt(k, skyline);
+            }
+        }
+        let mut cache = sync::lock(&self.inner.cache);
+        cache.warm.warms += 1;
+        cache.warm.wall_time += t0.elapsed();
+        all_resident
     }
 
     /// Runs one query with the paper's final algorithm, streaming results

@@ -186,6 +186,34 @@
 //! (deprecated since the PR 2 API redesign) have been removed; see
 //! `CHANGES.md` for the migration table.
 //!
+//! # Data layout
+//!
+//! [`EdgeCoreSkyline`] stores every edge's minimal core windows in one
+//! CSR-style pair of arrays: a flat `Vec<TimeWindow>` holding all windows
+//! back to back in edge order, and a `Vec<u32>` offset array with one
+//! cumulative entry per covered edge (plus a trailing sentinel), so edge
+//! `i`'s skyline is the contiguous slice `flat[offsets[i]..offsets[i+1]]`.
+//! Three consequences the hot paths rely on:
+//!
+//! * **contiguity** — `restrict`/`restrict_with` and the boundary-stitch
+//!   compose walk edges in increasing id order and append straight onto the
+//!   flat tail, so a whole restriction is two binary searches plus one
+//!   `memcpy`-shaped slice copy per edge over memory the prefetcher
+//!   already has; there are no per-edge `Vec`s to chase or allocate.
+//! * **`u32` offsets** — window counts are bounded by `|ECS|`, which the
+//!   paper's datasets keep far below `u32::MAX`, and halving the offset
+//!   width keeps the entire offset array of a typical shard inside a few
+//!   cache lines ([`EdgeCoreSkyline::build_from_sweep`] asserts the bound
+//!   rather than silently truncating).
+//! * **scratch recycling** — [`SkylineScratch`] pools `(offsets, flat)`
+//!   buffer pairs: a restriction *takes* a pair, emits into it, and the
+//!   caller *recycles* the result's storage back into the pool once the
+//!   restricted skyline has been consumed.  The contract is per-engine:
+//!   scratch pools live under the engine's own lock, are taken whole
+//!   (never held across another lock) and merged back with
+//!   [`SkylineScratch::absorb`], so a warm engine performs zero skyline
+//!   allocations per query regardless of how many shards a window spans.
+//!
 //! # Workspace invariants
 //!
 //! The concurrency and error-handling guarantees above are invariants of
@@ -236,8 +264,9 @@
 //!   sweep's [`CoreTimeSweep::advance`], [`EdgeCoreSkyline::restrict`] /
 //!   `restrict_with`, and the boundary-stitch merge) and everything
 //!   uniquely reachable from them within `tkcore` allocate nothing per
-//!   call; restriction and stitching draw per-edge window tables from a
-//!   pooled [`SkylineScratch`] instead.  Skyline *construction*
+//!   call; restriction and stitching draw their flat CSR buffers from a
+//!   pooled [`SkylineScratch`] instead (see *Data layout* above).  Skyline
+//!   *construction*
 //!   (`EdgeCoreSkyline::build` / `build_from_sweep`) is deliberately not
 //!   seeded: it runs once per `(k, shard)` and is amortised by the
 //!   skyline caches, so its allocations are build-time, not per-query.
@@ -273,6 +302,7 @@ pub use backend::{CachedBackend, CoreBackend};
 pub use ecs::{EdgeCoreSkyline, SkylineScratch};
 pub use engine::{
     BatchStats, BoundaryCacheStats, CacheStats, EngineConfig, QueryEngine, ShardCacheStats,
+    WarmStats,
 };
 pub use enum_base::{enumerate_base, enumerate_base_from_graph, EnumBaseStats};
 pub use enumerate::{enumerate, enumerate_from_graph, EnumStats};

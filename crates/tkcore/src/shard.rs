@@ -83,16 +83,16 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, Weak};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::backend::{validate_query, CoreBackend};
 use crate::ecs::{EdgeCoreSkyline, SkylineScratch};
 use crate::engine::{
     aggregate_batch, batch_executor, fan_out_batch, validate_batch, BatchStats, BoundaryCacheStats,
-    CacheStats, EngineConfig, ShardCacheStats,
+    CacheStats, EngineConfig, ShardCacheStats, WarmStats,
 };
 use crate::error::TkError;
-use crate::exec::ExecPool;
+use crate::exec::{run_batch_inner, ExecPool};
 use crate::ingest::{AbsorbStats, IngestEvent};
 use crate::query::{Algorithm, QueryStats, TimeRangeKCoreQuery};
 use crate::request::QueryRequest;
@@ -234,6 +234,7 @@ struct ShardCache {
     evictions: u64,
     tail_invalidations: u64,
     seals: u64,
+    warm: WarmStats,
     per_shard: Vec<ShardCacheStats>,
 }
 
@@ -249,6 +250,7 @@ impl ShardCache {
             evictions: 0,
             tail_invalidations: 0,
             seals: 0,
+            warm: WarmStats::default(),
             per_shard: (0..num_shards)
                 .map(|shard| ShardCacheStats {
                     shard,
@@ -429,6 +431,7 @@ impl ShardCache {
             tail_invalidations: self.tail_invalidations,
             boundary_invalidations: 0,
             seals: self.seals,
+            warm: self.warm,
             per_shard: self.per_shard.clone(),
             boundary: BoundaryCacheStats::default(),
         }
@@ -619,8 +622,10 @@ impl ResultSink for BoundarySink<'_> {
 /// contiguous containment slice of `crossing`, whose per-edge windows keep
 /// both endpoints strictly increasing).  A per-edge two-way merge by start
 /// time reproduces skyline order.  Cost: `O(|E_W| + |ECS_W|)` — the same as
-/// [`EdgeCoreSkyline::restrict`], with no CoreTime sweep.  The per-edge
-/// window table comes from `scratch`, so a warm pool makes composition
+/// [`EdgeCoreSkyline::restrict`], with no CoreTime sweep.  The merge is
+/// emitted straight into CSR buffers taken from `scratch` (edges are walked
+/// in increasing id order, so each edge's run lands contiguously at the
+/// tail of the flat array), so a warm pool makes composition
 /// allocation-free per query.
 // tkc-lint: hot
 fn compose_boundary_skyline(
@@ -634,30 +639,32 @@ fn compose_boundary_skyline(
     let edge_range = graph.edge_ids_in(window);
     let first_edge = edge_range.start;
     let num_edges = (edge_range.end - edge_range.start) as usize;
-    let mut windows = scratch.take(num_edges);
+    let (mut offsets, mut flat) = scratch.take();
+    offsets.reserve(num_edges + 1);
+    offsets.push(0);
     for id in edge_range {
         let cw = crossing.windows(id);
         let lo = cw.partition_point(|w| w.start() < window.start());
         let hi = cw.partition_point(|w| w.end() <= window.end());
         let cross = if lo < hi { &cw[lo..hi] } else { &[] };
-        let merged = &mut windows[(id - first_edge) as usize];
         let mut cross_iter = cross.iter().copied().peekable();
         for part in parts {
             for &w in part.windows(id) {
                 while let Some(&c) = cross_iter.peek() {
                     if c.start() < w.start() {
-                        merged.push(c);
+                        flat.push(c);
                         cross_iter.next();
                     } else {
                         break;
                     }
                 }
-                merged.push(w);
+                flat.push(w);
             }
         }
-        merged.extend(cross_iter);
+        flat.extend(cross_iter);
+        offsets.push(flat.len() as u32);
     }
-    EdgeCoreSkyline::from_parts(k, window, first_edge, windows)
+    EdgeCoreSkyline::from_parts(k, window, first_edge, offsets, flat)
 }
 
 /// A query engine over time-interval shards: per-`(shard, k)` skyline cache,
@@ -957,16 +964,30 @@ impl ShardedEngine {
         self.inner.live_now().overlapping(window)
     }
 
-    /// Warms every shard skyline for `k`; returns whether all of them were
+    /// Warms every shard skyline for `k`, fanning the missing builds
+    /// across the engine's [`ExecPool`] (shard skylines build
+    /// independently, so a cold warm finishes in roughly the time of the
+    /// largest shard instead of the sum); returns whether all of them were
     /// already resident.
+    ///
+    /// Cache accounting matches the serial warm exactly — one hit or miss
+    /// per shard, single-flight adoption, live-tail epoch tagging — and the
+    /// warm's wall-clock vs summed per-entry build times land in
+    /// [`CacheStats::warm`].
     pub fn warm(&self, k: usize) -> bool {
+        let t0 = Instant::now();
         let live = self.inner.live_now();
-        let mut all_resident = true;
-        for shard in 0..live.shards.len() {
-            let resident = sync::lock(&self.inner.cache).is_resident(shard, k, live.epoch);
-            all_resident &= resident;
-            let _ = self.inner.shard_skyline(&live, shard, k);
-        }
+        let num_shards = live.shards.len();
+        let all_resident = {
+            let cache = sync::lock(&self.inner.cache);
+            (0..num_shards).all(|shard| cache.is_resident(shard, k, live.epoch))
+        };
+        let (_, entries_built, build_time) = self.inner.shard_skylines(&live, 0..num_shards, k);
+        let mut cache = sync::lock(&self.inner.cache);
+        cache.warm.warms += 1;
+        cache.warm.entries_built += entries_built;
+        cache.warm.build_time += build_time;
+        cache.warm.wall_time += t0.elapsed();
         all_resident
     }
 
@@ -1206,16 +1227,73 @@ impl ShardInner {
         }
     }
 
-    /// Returns shard `shard`'s skyline for `k`, building and caching it on a
-    /// miss.  Like the span-wide engine, the build runs outside the cache
-    /// lock: two threads racing on the same cold `(shard, k)` may both
-    /// build; the loser's copy is dropped.
-    fn shard_skyline(&self, live: &LiveState, shard: usize, k: usize) -> Arc<EdgeCoreSkyline> {
-        if let Some(hit) = sync::lock(&self.cache).get(shard, k, live.epoch) {
-            return hit;
+    /// Returns the skylines of every shard in `shards` for `k` (in shard
+    /// order), fanning the builds of the cold ones across the engine's
+    /// [`ExecPool`] via `run_batch` — shard skylines build independently, so
+    /// a cold spanning query pays roughly the largest overlapped shard's
+    /// build instead of the sum (the serial per-shard loop this replaces was
+    /// the dominant cold-query latency term).
+    ///
+    /// Cache semantics are identical to building serially: one `get` per
+    /// shard (hit/miss accounting), builds outside the cache lock with
+    /// single-flight adoption — two threads racing on the same cold
+    /// `(shard, k)` may both build, the loser's copy is dropped — and
+    /// live-tail entries tagged with [`LiveState::shard_validity`]'s epoch.
+    /// Nested fan-out is deadlock-free because `run_batch`'s calling thread
+    /// claims indexes itself.
+    ///
+    /// Also returns the number of skylines built here and their summed
+    /// per-entry build time (wall time is shorter when builds overlap; see
+    /// [`WarmStats`]).
+    fn shard_skylines(
+        &self,
+        live: &Arc<LiveState>,
+        shards: std::ops::Range<usize>,
+        k: usize,
+    ) -> (Vec<Arc<EdgeCoreSkyline>>, u64, Duration) {
+        let first = shards.start;
+        let mut skylines: Vec<Option<Arc<EdgeCoreSkyline>>> = Vec::with_capacity(shards.len());
+        let mut missing: Vec<usize> = Vec::new();
+        {
+            let mut cache = sync::lock(&self.cache);
+            for shard in shards {
+                let hit = cache.get(shard, k, live.epoch);
+                if hit.is_none() {
+                    missing.push(shard);
+                }
+                skylines.push(hit);
+            }
         }
-        let built = Arc::new(EdgeCoreSkyline::build(&live.graph, k, live.shards[shard]));
-        sync::lock(&self.cache).adopt(shard, k, built, live.shard_validity(shard))
+        let mut entries_built = 0u64;
+        let mut build_time = Duration::ZERO;
+        if !missing.is_empty() {
+            let (_, pool) = batch_executor(&self.pool, self.config.num_threads, missing.len());
+            let task_live = Arc::clone(live);
+            let task_shards: Arc<[usize]> = missing.as_slice().into();
+            let built = run_batch_inner(pool.as_deref(), missing.len(), move |i| {
+                let t = Instant::now();
+                let shard = task_shards[i];
+                let skyline = Arc::new(EdgeCoreSkyline::build(
+                    &task_live.graph,
+                    k,
+                    task_live.shards[shard],
+                ));
+                (skyline, t.elapsed())
+            });
+            let mut cache = sync::lock(&self.cache);
+            for (&shard, (skyline, took)) in missing.iter().zip(built) {
+                entries_built += 1;
+                build_time += took;
+                skylines[shard - first] =
+                    Some(cache.adopt(shard, k, skyline, live.shard_validity(shard)));
+            }
+        }
+        let skylines = skylines
+            .into_iter()
+            // tkc-lint: allow(no-panic-api) — every slot is either a cache hit or was adopted just above
+            .map(|skyline| skyline.expect("every requested shard skyline resolved"))
+            .collect();
+        (skylines, entries_built, build_time)
     }
 
     /// Returns the stitch entry for shard range `lo..=hi` and parameter
@@ -1255,7 +1333,7 @@ impl ShardInner {
     /// window inside `live`'s graph span) against one consistent live view.
     fn run_validated(
         &self,
-        live: &LiveState,
+        live: &Arc<LiveState>,
         k: usize,
         window: TimeWindow,
         algorithm: Algorithm,
@@ -1277,17 +1355,22 @@ impl ShardInner {
                 // into it and the pool is merged back at the end.
                 let mut scratch = std::mem::take(&mut *sync::lock(&self.scratch));
 
+                // Prefetch every overlapping shard's skyline, building the
+                // cold ones in parallel on the pool (see `shard_skylines`).
+                let t_prefetch = Instant::now();
+                let (skylines, _, _) = self.shard_skylines(live, shards.clone(), k);
+                total.precompute_time += t_prefetch.elapsed();
+
                 // Intra-shard cores: restrict each overlapping shard's
                 // cached skyline to its part of the window.  The restricted
                 // skylines double as the intra-shard half of the boundary
                 // stitch, so they are kept when a spanning pass follows.
-                for shard in shards.clone() {
+                for (shard, skyline) in shards.clone().zip(&skylines) {
                     let part = live.shards[shard]
                         .intersect(&window)
                         // tkc-lint: allow(no-panic-api) — `shards` only lists shards overlapping `window`, so the intersection is non-empty
                         .expect("overlapping shard intersects the window");
                     let t0 = Instant::now();
-                    let skyline = self.shard_skyline(live, shard, k);
                     let restricted = skyline.restrict_with(&live.graph, part, &mut scratch);
                     let precompute = t0.elapsed();
                     let stats = TimeRangeKCoreQuery::validated(k, part)

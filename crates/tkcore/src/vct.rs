@@ -72,13 +72,28 @@ impl<'g> CoreTimeSweep<'g> {
     /// Builds the sweep and computes core times for the first start time
     /// (`range.start()`).
     ///
+    /// # Range clamping contract
+    ///
+    /// The stored range (reported by [`CoreTimeSweep::range`]) is
+    /// `range.end()` clamped to the graph's last timestamp: windows beyond
+    /// `tmax` contain no additional edges, so results are unchanged and the
+    /// start-time sweep does not iterate over empty timestamps.  A range
+    /// **starting** past `tmax` degenerates to the single-start sweep
+    /// `[start, start]` over an empty projection — every core time is
+    /// [`T_INFINITY`] and [`CoreTimeSweep::advance`] immediately returns
+    /// `None`.  This is the sweep-level counterpart of
+    /// [`crate::EdgeCoreSkyline::build`]'s contract, which maps the same
+    /// degenerate case to an empty skyline that reports the *requested*
+    /// (unclamped) range back; the two layers agree that "past `tmax`"
+    /// means "no cores", they only differ in which range they echo.
+    ///
     /// # Panics
     /// Panics if `k == 0`.
     pub fn new(graph: &'g TemporalGraph, k: usize, range: TimeWindow) -> Self {
         assert!(k >= 1, "temporal k-core queries require k >= 1");
-        // Clamp the range end to the graph's last timestamp: windows beyond
-        // it contain no additional edges, so results are unchanged, and the
-        // start-time sweep does not iterate over empty timestamps.
+        // Clamp the range end to the graph's last timestamp (and never below
+        // the start, so a past-tmax range degenerates to [start, start]
+        // instead of an invalid window) — see the contract above.
         let range = TimeWindow::new(
             range.start(),
             range.end().min(graph.tmax()).max(range.start()),
@@ -475,6 +490,35 @@ mod tests {
         }
         assert_eq!(steps, g.tmax() - 1);
         assert_eq!(sweep.current_start_time(), g.tmax());
+    }
+
+    #[test]
+    fn a_range_starting_past_tmax_degenerates_to_an_empty_sweep() {
+        // Regression test for the clamping contract: `CoreTimeSweep::new`
+        // clamps a past-tmax range to the degenerate `[start, start]` and
+        // must report "no cores" (all core times infinite, no start times to
+        // advance to) — the sweep-level mirror of
+        // `EdgeCoreSkyline::build`'s documented empty skyline.
+        let g = small_graph(); // tmax = 7
+        let past = TimeWindow::new(g.tmax() + 1, g.tmax() + 9);
+        let mut sweep = CoreTimeSweep::new(&g, 2, past);
+        assert_eq!(
+            sweep.range(),
+            TimeWindow::new(g.tmax() + 1, g.tmax() + 1),
+            "the clamped degenerate range is reported"
+        );
+        assert_eq!(sweep.current_start_time(), g.tmax() + 1);
+        assert!(sweep.changed_vertices().is_empty());
+        assert!(sweep.core_times().iter().all(|&ct| ct == T_INFINITY));
+        assert_eq!(sweep.advance(), None, "nothing to sweep past tmax");
+        // The index built through the same sweep is empty too.
+        let vct = VertexCoreTimeIndex::build(&g, 2, past);
+        assert_eq!(vct.size(), 0);
+        // And the skyline layer maps the same case to an empty skyline that
+        // echoes the *requested* range (see EdgeCoreSkyline::build).
+        let ecs = crate::EdgeCoreSkyline::build(&g, 2, past);
+        assert_eq!(ecs.total_windows(), 0);
+        assert_eq!(ecs.range(), past);
     }
 
     #[test]

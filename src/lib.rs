@@ -120,6 +120,6 @@ pub mod prelude {
         RequestId, ResultSink, SealPolicy, ServeSummary, ServerConfig, ServiceConfig, ServiceReply,
         ServiceStats, ShardCacheStats, ShardPlan, ShardedBackend, ShardedEngine, SubmitOptions,
         TemporalKCore, Ticket, TimeRangeKCoreQuery, TkError, TkServer, ValidatedRequest,
-        VertexCoreTimeIndex, WorkerStats,
+        VertexCoreTimeIndex, WarmStats, WorkerStats,
     };
 }
